@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the index structures (the Replica&Indexes
+//! module): phrase lookup, wildcard name matching, tuple range scans,
+//! group-replica BFS and catalog class lookups — the building blocks
+//! whose costs compose into Figure 6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idm_bench::{build, BuildOptions};
+use idm_core::prelude::Value;
+use idm_index::name::NamePattern;
+use idm_index::tuple::CompareOp;
+
+fn bench_scale() -> f64 {
+    std::env::var("IDM_BENCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+fn component_micro(c: &mut Criterion) {
+    let bench = build(BuildOptions {
+        scale: bench_scale(),
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: false,
+    });
+    let indexes = bench.system.indexes();
+
+    let mut group = c.benchmark_group("components");
+
+    group.bench_function("content/term", |b| {
+        b.iter(|| std::hint::black_box(indexes.content.term_query("database")).len())
+    });
+    group.bench_function("content/phrase", |b| {
+        b.iter(|| std::hint::black_box(indexes.content.phrase_query("database tuning")).len())
+    });
+
+    let exact = NamePattern::new("papers");
+    let wildcard = NamePattern::new("*.tex");
+    group.bench_function("name/exact", |b| {
+        b.iter(|| std::hint::black_box(indexes.name.matching(&exact)).len())
+    });
+    group.bench_function("name/wildcard", |b| {
+        b.iter(|| std::hint::black_box(indexes.name.matching(&wildcard)).len())
+    });
+
+    group.bench_function("tuple/range", |b| {
+        b.iter(|| {
+            std::hint::black_box(indexes.tuple.compare(
+                "size",
+                CompareOp::Gt,
+                &Value::Integer(420_000),
+            ))
+            .len()
+        })
+    });
+
+    let papers = indexes.name.exact("papers")[0];
+    group.bench_function("group/descendants", |b| {
+        b.iter(|| std::hint::black_box(indexes.group.descendants(papers)).len())
+    });
+
+    group.bench_function("catalog/by_class", |b| {
+        b.iter(|| std::hint::black_box(indexes.catalog.by_class("latex_section")).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = component_micro
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the Content2iDM converters and parsers: XML and
+//! LaTeX parse + view-graph construction throughput (the dominant part
+//! of the filesystem's "Component Indexing" phase in Figure 5), plus
+//! tokenizer throughput (the content index's analyzer).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use idm_core::prelude::ViewStore;
+
+fn sample_xml(records: usize) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?><dataset>");
+    for r in 0..records {
+        out.push_str(&format!(
+            "<record id=\"{r}\"><title>Resource view number {r}</title>\
+             <note>A note about the dataspace abstraction</note><tag>t{r}</tag></record>"
+        ));
+    }
+    out.push_str("</dataset>");
+    out
+}
+
+fn sample_latex(sections: usize) -> String {
+    let mut out = String::from(
+        "\\documentclass{article}\n\\title{A Study}\n\\begin{document}\n\
+         \\begin{abstract}\nAn abstract about views.\n\\end{abstract}\n",
+    );
+    for s in 0..sections {
+        out.push_str(&format!("\\section{{Topic {s}}} \\label{{sec:{s}}}\n"));
+        out.push_str(
+            "The resource view graph connects personal information across \
+             subsystem boundaries, removing the divide between inside and \
+             outside of files.\n\n",
+        );
+        out.push_str(&format!(
+            "\\begin{{figure}}\\caption{{Results {s}}}\\label{{fig:{s}}}\\end{{figure}}\n\
+             See Figure~\\ref{{fig:{s}}} and Section~\\ref{{sec:{s}}}.\n\n"
+        ));
+    }
+    out.push_str("\\end{document}\n");
+    out
+}
+
+fn converter_benches(c: &mut Criterion) {
+    let xml = sample_xml(300);
+    let latex = sample_latex(40);
+    let prose = sample_latex(40); // text-ish input for the tokenizer
+
+    let mut group = c.benchmark_group("converters");
+
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("xml/parse", |b| {
+        b.iter(|| idm_xml::parse(std::hint::black_box(&xml)).expect("parse"))
+    });
+    group.bench_function("xml/to_views", |b| {
+        b.iter(|| {
+            let store = ViewStore::new();
+            let (vid, derived) =
+                idm_xml::convert::text_to_views(&store, std::hint::black_box(&xml))
+                    .expect("convert");
+            std::hint::black_box((vid, derived))
+        })
+    });
+
+    group.throughput(Throughput::Bytes(latex.len() as u64));
+    group.bench_function("latex/parse", |b| {
+        b.iter(|| idm_latex::parse_latex(std::hint::black_box(&latex)).expect("parse"))
+    });
+    group.bench_function("latex/to_views", |b| {
+        b.iter(|| {
+            let store = ViewStore::new();
+            let mapping =
+                idm_latex::convert::text_to_views(&store, std::hint::black_box(&latex))
+                    .expect("convert");
+            std::hint::black_box(mapping.derived)
+        })
+    });
+
+    group.throughput(Throughput::Bytes(prose.len() as u64));
+    group.bench_function("tokenizer", |b| {
+        b.iter(|| idm_index::tokenize(std::hint::black_box(&prose)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = converter_benches
+}
+criterion_main!(benches);

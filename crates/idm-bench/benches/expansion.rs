@@ -1,0 +1,67 @@
+//! Ablation bench: **forward vs. backward vs. bidirectional expansion**
+//! on the path/join queries (Q4, Q5, Q7, Q8).
+//!
+//! The paper runs forward expansion only and observes that Q8 "causes
+//! the processing of a large number of intermediate results", planning
+//! backward/bidirectional expansion \[30\] as future work — this bench
+//! measures exactly that design choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idm_bench::{build, BuildOptions, TABLE4_QUERIES};
+use idm_query::ExpansionStrategy;
+
+fn bench_scale() -> f64 {
+    std::env::var("IDM_BENCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+fn expansion_strategies(c: &mut Criterion) {
+    let bench = build(BuildOptions {
+        scale: bench_scale(),
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: false,
+    });
+
+    let strategies = [
+        ("forward", ExpansionStrategy::Forward),
+        ("backward", ExpansionStrategy::Backward),
+        ("bidirectional", ExpansionStrategy::Bidirectional),
+    ];
+
+    let mut group = c.benchmark_group("expansion");
+    for query_index in [3usize, 4, 6, 7] {
+        let (qname, iql) = TABLE4_QUERIES[query_index];
+        // Strategies must agree on the result before we time them.
+        let baseline = bench.run_query(query_index, ExpansionStrategy::Forward);
+        for (_sname, strategy) in strategies {
+            assert_eq!(
+                bench.run_query(query_index, strategy),
+                baseline,
+                "{qname}: strategies disagree"
+            );
+        }
+        for (sname, strategy) in strategies {
+            let processor = bench.processor(strategy);
+            group.bench_function(format!("{qname}/{sname}"), |b| {
+                b.iter(|| {
+                    let r = processor
+                        .execute(std::hint::black_box(iql))
+                        .expect("query");
+                    std::hint::black_box(r.rows.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = expansion_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion bench for **Figure 5**: full ingestion per data source
+//! (data source access, conversion, catalog insert, component
+//! indexing), plus the end-to-end pipeline. Latency models are on so
+//! the measured cost *structure* matches the paper's (remote email
+//! slower per byte than the local disk). Scale via `IDM_BENCH_SF`
+//! (default 0.01 — the whole pipeline runs per sample).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use idm_dataset::{generate, DatasetConfig};
+use idm_email::LatencyModel;
+use idm_system::{DataSourcePlugin, FsPlugin, ImapPlugin, Pdsms};
+use idm_vfs::{DiskLatency, NodeId};
+
+fn bench_scale() -> f64 {
+    std::env::var("IDM_BENCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+fn dataset_config(scale: f64) -> DatasetConfig {
+    DatasetConfig {
+        scale,
+        imap_latency: LatencyModel::remote_2005(1.0),
+        imap_sleep: true,
+        ..DatasetConfig::default()
+    }
+}
+
+fn figure5_indexing(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+
+    group.bench_function("filesystem_ingest", |b| {
+        b.iter_batched(
+            || {
+                let dataset = generate(dataset_config(scale));
+                dataset.fs.set_latency(DiskLatency::ide_2005(0.25));
+                let system = Pdsms::new();
+                let plugin: Arc<dyn DataSourcePlugin> =
+                    Arc::new(FsPlugin::new(Arc::clone(&dataset.fs), NodeId::ROOT));
+                (dataset, system, plugin)
+            },
+            |(_dataset, system, plugin)| {
+                let stats = system.rvm().ingest_source(&plugin).expect("ingest");
+                std::hint::black_box(stats.total_views())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("email_ingest", |b| {
+        b.iter_batched(
+            || {
+                let dataset = generate(dataset_config(scale));
+                let system = Pdsms::new();
+                let plugin: Arc<dyn DataSourcePlugin> =
+                    Arc::new(ImapPlugin::new(Arc::clone(&dataset.imap)));
+                (dataset, system, plugin)
+            },
+            |(_dataset, system, plugin)| {
+                let stats = system.rvm().ingest_source(&plugin).expect("ingest");
+                std::hint::black_box(stats.total_views())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.bench_function("full_pipeline", |b| {
+        b.iter_batched(
+            || {
+                let dataset = generate(dataset_config(scale));
+                dataset.fs.set_latency(DiskLatency::ide_2005(0.25));
+                let mut system = Pdsms::new();
+                system.register_source(Arc::new(FsPlugin::new(
+                    Arc::clone(&dataset.fs),
+                    NodeId::ROOT,
+                )));
+                system.register_source(Arc::new(ImapPlugin::new(Arc::clone(&dataset.imap))));
+                (dataset, system)
+            },
+            |(_dataset, system)| {
+                let stats = system.index_all().expect("ingest");
+                std::hint::black_box(stats.len())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figure5_indexing);
+criterion_main!(benches);

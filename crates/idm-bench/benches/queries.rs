@@ -1,0 +1,52 @@
+//! Criterion bench for **Figure 6**: warm-cache response times of the
+//! eight Table 4 queries. Scale via `IDM_BENCH_SF` (default 0.05).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idm_bench::{build, BuildOptions, TABLE4_QUERIES};
+use idm_query::ExpansionStrategy;
+
+fn bench_scale() -> f64 {
+    std::env::var("IDM_BENCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+fn figure6_queries(c: &mut Criterion) {
+    let bench = build(BuildOptions {
+        scale: bench_scale(),
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: false,
+    });
+    let processor = bench.processor(ExpansionStrategy::Forward);
+
+    let expected = bench.expected_counts();
+    let mut group = c.benchmark_group("figure6");
+    for (i, (name, iql)) in TABLE4_QUERIES.into_iter().enumerate() {
+        // Warm up and check against the planted ground truth.
+        let result = processor.execute(iql).expect("query runs");
+        assert_eq!(
+            result.rows.len(),
+            expected[i],
+            "{name} must return the planted count"
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = processor
+                    .execute(std::hint::black_box(iql))
+                    .expect("query");
+                std::hint::black_box(r.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = figure6_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates **Table 2** — characteristics of the personal dataset:
+//! resource views per data source, split into base items and views
+//! derived from XML/LaTeX content, plus total sizes.
+//!
+//! `cargo run --release -p idm-bench --bin table2 -- --sf 0.1`
+
+use idm_bench::{build, cli_options, mb};
+
+fn main() {
+    let options = cli_options();
+    println!(
+        "Table 2 — dataset characteristics (scale factor {}, paper = 1.0)\n",
+        options.scale
+    );
+    let bench = build(options);
+
+    let paper: &[(&str, [i64; 7])] = &[
+        // (source, [size MB, base f&f, base email, base total, xml, latex, total views])
+        ("Filesystem", [4_243, 14_297, 0, 14_297, 117_298, 11_528, 143_123]),
+        ("Email / IMAP", [189, 0, 6_335, 6_335, 672, 350, 7_357]),
+        ("Total", [4_435, 14_297, 6_335, 20_632, 117_970, 11_878, 150_480]),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Data Source", "Size (MB)", "Base views", "XML-derived", "LaTeX-der.", "Derived", "Total views"
+    );
+    let mut totals = (0u64, 0usize, 0usize, 0usize);
+    for stats in &bench.stats {
+        let label = match stats.source.as_str() {
+            "filesystem" => "Filesystem",
+            "imap" => "Email / IMAP",
+            other => other,
+        };
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            label,
+            mb(stats.total_content_bytes),
+            stats.base_views,
+            stats.derived_xml,
+            stats.derived_latex,
+            stats.derived_views(),
+            stats.total_views()
+        );
+        totals.0 += stats.total_content_bytes;
+        totals.1 += stats.base_views;
+        totals.2 += stats.derived_views();
+        totals.3 += stats.total_views();
+    }
+    println!(
+        "{:<14} {:>10} {:>12} {:>25} {:>12} {:>12}",
+        "Total",
+        mb(totals.0),
+        totals.1,
+        "",
+        totals.2,
+        totals.3
+    );
+
+    println!("\nPaper values (scale 1.0) for comparison:");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "Data Source", "Size (MB)", "Base total", "XML-derived", "LaTeX-der.", "Total views"
+    );
+    for (label, row) in paper {
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            label, row[0], row[3], row[4], row[5], row[6]
+        );
+    }
+
+    let c = &bench.dataset.counts;
+    println!(
+        "\nGenerator composition: {} fs items, {} emails ({} mail folders, {} attachments),",
+        c.fs_items, c.emails, c.mail_folders, c.attachments
+    );
+    println!(
+        "{} + {} XML docs, {} + {} LaTeX docs (filesystem + email).",
+        c.fs_xml_docs, c.email_xml_docs, c.fs_latex_docs, c.email_latex_docs
+    );
+    println!(
+        "\nShape check: derived views {}x the base items (paper: {:.1}x).",
+        totals.2 / totals.1.max(1),
+        129_848.0 / 20_632.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Table 3** — index sizes for the personal dataset:
+//! net input data size per source and the sizes of the name, tuple,
+//! content and group structures plus the resource view catalog.
+//!
+//! `cargo run --release -p idm-bench --bin table3 -- --sf 0.1`
+
+use idm_bench::{build, cli_options, mb};
+
+fn main() {
+    let options = cli_options();
+    println!(
+        "Table 3 — index sizes (scale factor {}, paper = 1.0)\n",
+        options.scale
+    );
+    let bench = build(options);
+
+    // Our bundle is global (one set of structures over the dataspace);
+    // attribute per-source *net input* like the paper and report the
+    // structure sizes once.
+    println!("{:<14} {:>16}", "Data Source", "Net Input (MB)");
+    let mut net_total = 0u64;
+    for stats in &bench.stats {
+        let label = match stats.source.as_str() {
+            "filesystem" => "Filesystem",
+            "imap" => "Email / IMAP",
+            other => other,
+        };
+        println!("{:<14} {:>16}", label, mb(stats.net_input_bytes));
+        net_total += stats.net_input_bytes;
+    }
+    println!("{:<14} {:>16}\n", "Total", mb(net_total));
+
+    let sizes = bench.system.indexes().sizes();
+    println!("Index sizes (MB):");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12} {:>8}",
+        "Name", "Tuple", "Content", "Group", "RV Catalog", "Total"
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12} {:>8}",
+        mb(sizes.name as u64),
+        mb(sizes.tuple as u64),
+        mb(sizes.content as u64),
+        mb(sizes.group as u64),
+        mb(sizes.catalog as u64),
+        mb(sizes.total() as u64),
+    );
+
+    let ratio = sizes.total() as f64 / net_total.max(1) as f64 * 100.0;
+    let content_share = sizes.content as f64 / sizes.total().max(1) as f64 * 100.0;
+    println!("\nTotal index size = {ratio:.1}% of net input (paper: 67.5%).");
+    println!("Content index share of total = {content_share:.1}% (paper: 68.4%).");
+
+    println!("\nPaper values (scale 1.0) for comparison, MB:");
+    println!(
+        "{:<14} {:>10} {:>7} {:>7} {:>8} {:>7} {:>11} {:>7}",
+        "Data Source", "Net Input", "Name", "Tuple", "Content", "Group", "RV Catalog", "Total"
+    );
+    println!(
+        "{:<14} {:>10} {:>7} {:>7} {:>8} {:>7} {:>11} {:>7}",
+        "Filesystem", 212.3, 12.5, 11.5, 113.0, 3.3, 24.4, 164.7
+    );
+    println!(
+        "{:<14} {:>10} {:>7} {:>7} {:>8} {:>7} {:>11} {:>7}",
+        "Email / IMAP", 43.1, 0.4, 1.8, 5.0, 0.2, 0.4, 7.8
+    );
+    println!(
+        "{:<14} {:>10} {:>7} {:>7} {:>8} {:>7} {:>11} {:>7}",
+        "Total", 255.4, 12.9, 13.3, 118.0, 3.5, 24.8, 172.5
+    );
+}

@@ -1,0 +1,71 @@
+//! Error types shared across the iDM core model.
+
+use std::fmt;
+
+use crate::store::Vid;
+
+/// Errors raised by the iDM core model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdmError {
+    /// A tuple did not conform to its schema.
+    SchemaMismatch {
+        /// Human readable description of the mismatch.
+        detail: String,
+    },
+    /// A referenced view does not exist in the store.
+    UnknownVid(Vid),
+    /// A referenced resource view class is not registered.
+    UnknownClass(String),
+    /// A view does not conform to the class it claims.
+    Conformance {
+        /// The view that failed validation.
+        vid: Vid,
+        /// Name of the class it was validated against.
+        class: String,
+        /// Which constraint failed.
+        detail: String,
+    },
+    /// A group component violated the `S ∩ Q = ∅` invariant (Def. 1 (ii)).
+    GroupOverlap(Vid),
+    /// A lazy provider failed to compute a component.
+    Provider {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// An operation that requires a finite component met an infinite one.
+    InfiniteComponent {
+        /// Description of the operation that was attempted.
+        detail: String,
+    },
+    /// A date or value literal could not be parsed.
+    Parse {
+        /// Description of the parse failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdmError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            IdmError::UnknownVid(vid) => write!(f, "unknown resource view id {vid}"),
+            IdmError::UnknownClass(name) => write!(f, "unknown resource view class '{name}'"),
+            IdmError::Conformance { vid, class, detail } => {
+                write!(f, "view {vid} does not conform to class '{class}': {detail}")
+            }
+            IdmError::GroupOverlap(vid) => {
+                write!(f, "group component of view {vid} violates S ∩ Q = ∅")
+            }
+            IdmError::Provider { detail } => write!(f, "lazy provider failed: {detail}"),
+            IdmError::InfiniteComponent { detail } => {
+                write!(f, "operation requires a finite component: {detail}")
+            }
+            IdmError::Parse { detail } => write!(f, "parse error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IdmError {}
+
+/// Convenience result alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, IdmError>;

@@ -1,0 +1,183 @@
+//! Traversals over the resource view graph.
+//!
+//! Definition 1 (iii)/(iv): `V_k` is **directly related** to `V_i`
+//! (`V_i → V_k`) when `V_k ∈ S ∪ Q` of `γ_i`; `V_k` is **indirectly
+//! related** (`V_i →* V_k`) when a chain of direct relations connects
+//! them. Because the graph may be cyclic, every traversal here carries a
+//! visited set.
+//!
+//! Traversals force lazy group components as they go — this is exactly the
+//! "compute the iDM graph on demand" behaviour of Section 4 — but skip
+//! infinite group tails (a BFS cannot exhaust a stream) and dangling
+//! references (a dataspace is never globally consistent).
+
+use std::collections::HashSet;
+
+use crate::error::Result;
+use crate::store::{Vid, ViewStore};
+
+/// The views directly related to `vid` (`S ∪ Q`, set members first).
+pub fn directly_related(store: &ViewStore, vid: Vid) -> Result<Vec<Vid>> {
+    Ok(store.group(vid)?.finite_members())
+}
+
+/// Breadth-first traversal of all views indirectly related to `root`
+/// (excluding `root` itself unless it lies on one of its own cycles).
+///
+/// `max_nodes` bounds the expansion; traversal stops once that many
+/// distinct views have been visited.
+pub fn descendants(store: &ViewStore, root: Vid, max_nodes: usize) -> Result<Vec<Vid>> {
+    let mut visited: HashSet<Vid> = HashSet::new();
+    let mut queue: std::collections::VecDeque<Vid> = [root].into();
+    let mut out = Vec::new();
+    let mut seen_root = false;
+    while let Some(vid) = queue.pop_front() {
+        if out.len() >= max_nodes {
+            break;
+        }
+        if !store.contains(vid) {
+            continue; // dangling reference
+        }
+        let members = store.group(vid)?.finite_members();
+        for child in members {
+            if child == root {
+                // root reachable from itself via a cycle: report once.
+                if !seen_root {
+                    seen_root = true;
+                    out.push(root);
+                }
+                continue;
+            }
+            if visited.insert(child) {
+                out.push(child);
+                queue.push_back(child);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Whether `target` is indirectly related to `source` (`source →* target`).
+pub fn is_indirectly_related(store: &ViewStore, source: Vid, target: Vid) -> Result<bool> {
+    let mut visited: HashSet<Vid> = HashSet::new();
+    let mut queue: std::collections::VecDeque<Vid> = [source].into();
+    while let Some(vid) = queue.pop_front() {
+        if !store.contains(vid) {
+            continue;
+        }
+        for child in store.group(vid)?.finite_members() {
+            if child == target {
+                return Ok(true);
+            }
+            if visited.insert(child) {
+                queue.push_back(child);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Builds the reverse adjacency (child → parents) over the currently
+/// materialized graph, without forcing lazy groups.
+///
+/// Index structures ("group replica", Section 5.2) maintain this
+/// incrementally; this helper is the from-first-principles fallback.
+pub fn reverse_adjacency(store: &ViewStore) -> std::collections::HashMap<Vid, Vec<Vid>> {
+    let mut rev: std::collections::HashMap<Vid, Vec<Vid>> = std::collections::HashMap::new();
+    for vid in store.vids() {
+        let Ok(handle) = store.group_handle(vid) else {
+            continue;
+        };
+        // Only materialized groups: this helper must not trigger expansion.
+        if let crate::group::Group::Materialized(data) = handle {
+            for child in data.members() {
+                rev.entry(child).or_default().push(vid);
+            }
+        }
+    }
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(store: &ViewStore, n: usize) -> Vec<Vid> {
+        // v0 → v1 → … → v(n-1)
+        let vids: Vec<Vid> = (0..n).map(|i| store.build(format!("n{i}")).insert()).collect();
+        for i in 0..n - 1 {
+            let (a, b) = (vids[i], vids[i + 1]);
+            store
+                .set_group(a, crate::group::Group::of_set(vec![b]))
+                .unwrap();
+        }
+        vids
+    }
+
+    #[test]
+    fn descendants_of_chain() {
+        let store = ViewStore::new();
+        let vids = chain(&store, 5);
+        let d = descendants(&store, vids[0], usize::MAX).unwrap();
+        assert_eq!(d, vids[1..].to_vec());
+    }
+
+    #[test]
+    fn descendants_terminate_on_cycles() {
+        let store = ViewStore::new();
+        let a = store.build("a").insert();
+        let b = store.build("b").children(vec![a]).insert();
+        store
+            .set_group(a, crate::group::Group::of_set(vec![b]))
+            .unwrap();
+        let d = descendants(&store, a, usize::MAX).unwrap();
+        // a → b → a: both reachable, reported once each.
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&a) && d.contains(&b));
+    }
+
+    #[test]
+    fn indirect_relatedness() {
+        let store = ViewStore::new();
+        let vids = chain(&store, 4);
+        assert!(is_indirectly_related(&store, vids[0], vids[3]).unwrap());
+        assert!(!is_indirectly_related(&store, vids[3], vids[0]).unwrap());
+        // Direct relation is also indirect (one-step chain).
+        assert!(is_indirectly_related(&store, vids[0], vids[1]).unwrap());
+        // A view is not related to itself absent a cycle.
+        assert!(!is_indirectly_related(&store, vids[0], vids[0]).unwrap());
+    }
+
+    #[test]
+    fn self_relatedness_via_cycle() {
+        let store = ViewStore::new();
+        let a = store.build("a").insert();
+        store
+            .set_group(a, crate::group::Group::of_set(vec![a]))
+            .unwrap();
+        assert!(is_indirectly_related(&store, a, a).unwrap());
+    }
+
+    #[test]
+    fn max_nodes_bounds_expansion() {
+        let store = ViewStore::new();
+        let vids = chain(&store, 100);
+        let d = descendants(&store, vids[0], 10).unwrap();
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn reverse_adjacency_matches_forward() {
+        let store = ViewStore::new();
+        let c1 = store.build("c1").insert();
+        let c2 = store.build("c2").insert();
+        let p1 = store.build("p1").children(vec![c1, c2]).insert();
+        let p2 = store.build("p2").sequence(vec![c1]).insert();
+        let rev = reverse_adjacency(&store);
+        let mut parents = rev.get(&c1).cloned().unwrap();
+        parents.sort();
+        assert_eq!(parents, vec![p1, p2]);
+        assert_eq!(rev.get(&c2).cloned().unwrap(), vec![p1]);
+        assert!(!rev.contains_key(&p1));
+    }
+}

@@ -1,0 +1,718 @@
+//! The resource view store: the physical home of a resource view graph.
+//!
+//! Views are identified by [`Vid`]s; group components reference other views
+//! by `Vid`, which lets the store represent arbitrary directed graphs —
+//! trees, DAGs and cyclic graphs (`Projects → PIM → All Projects →
+//! Projects` in Figure 1) — without reference-counting cycles.
+//!
+//! The store realizes the paper's lazy-computation contract (Section 4.1):
+//! every component getter may trigger on-demand computation, and a view's
+//! record hides *how, when and where* its components are produced. The
+//! store also emits change events so push-based stream operators
+//! (Section 4.4.2) can subscribe to component updates.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::class::{ClassId, ClassRegistry};
+use crate::content::Content;
+use crate::error::{IdmError, Result};
+use crate::group::{Group, GroupData, ViewSequenceSource};
+use crate::value::TupleComponent;
+
+/// Identifier of a resource view within one [`ViewStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vid(u64);
+
+impl Vid {
+    /// Sentinel used internally where no view is applicable.
+    pub(crate) const INVALID: Vid = Vid(u64::MAX);
+
+    /// Constructs a Vid from a raw index (tests and serialization only).
+    pub fn from_raw(raw: u64) -> Self {
+        Vid(raw)
+    }
+
+    /// The raw index.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The four components of one resource view `V = (η, τ, χ, γ)` plus its
+/// optional resource view class.
+#[derive(Debug, Clone, Default)]
+pub struct ViewRecord {
+    /// The name component `η` (`None` = empty).
+    pub name: Option<String>,
+    /// The tuple component `τ` (`None` = empty).
+    pub tuple: Option<TupleComponent>,
+    /// The content component `χ`.
+    pub content: Content,
+    /// The group component `γ`.
+    pub group: Group,
+    /// The resource view class this view claims, if any.
+    pub class: Option<ClassId>,
+}
+
+/// What changed about a view (for push-based subscribers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The view was inserted.
+    Created,
+    /// The name component changed.
+    Name,
+    /// The tuple component changed.
+    Tuple,
+    /// The content component changed.
+    Content,
+    /// The group component changed (including incremental member adds).
+    Group,
+    /// The view was removed.
+    Removed,
+}
+
+/// A change notification delivered to subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// The affected view.
+    pub vid: Vid,
+    /// What changed.
+    pub kind: ChangeKind,
+}
+
+/// Snapshot of a group component as seen by a reader.
+#[derive(Clone)]
+pub enum GroupSnapshot {
+    /// A finite group (possibly empty), fully materialized.
+    Finite(Arc<GroupData>),
+    /// An infinite sequence; pull elements via the source.
+    Infinite(Arc<dyn ViewSequenceSource>),
+}
+
+impl GroupSnapshot {
+    /// The finite members, or an error for infinite groups.
+    pub fn finite(&self) -> Result<&GroupData> {
+        match self {
+            GroupSnapshot::Finite(data) => Ok(data),
+            GroupSnapshot::Infinite(_) => Err(IdmError::InfiniteComponent {
+                detail: "group component is an infinite sequence".into(),
+            }),
+        }
+    }
+
+    /// The finite members as a vector; empty for infinite groups.
+    /// Use when traversals should simply skip stream tails.
+    pub fn finite_members(&self) -> Vec<Vid> {
+        match self {
+            GroupSnapshot::Finite(data) => data.members().collect(),
+            GroupSnapshot::Infinite(_) => Vec::new(),
+        }
+    }
+
+    /// Whether the group is infinite.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, GroupSnapshot::Infinite(_))
+    }
+}
+
+static EMPTY_GROUP: once::Lazy<Arc<GroupData>> = once::Lazy::new(|| Arc::new(GroupData::default()));
+
+/// Minimal lazy-static helper (avoids a dependency for one cell).
+mod once {
+    use std::sync::OnceLock;
+
+    pub struct Lazy<T> {
+        cell: OnceLock<T>,
+        init: fn() -> T,
+    }
+
+    impl<T> Lazy<T> {
+        pub const fn new(init: fn() -> T) -> Self {
+            Lazy {
+                cell: OnceLock::new(),
+                init,
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for Lazy<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.cell.get_or_init(self.init)
+        }
+    }
+}
+
+struct StoreInner {
+    nodes: Vec<Option<ViewRecord>>,
+}
+
+/// The resource view store.
+pub struct ViewStore {
+    inner: RwLock<StoreInner>,
+    classes: Arc<ClassRegistry>,
+    subscribers: Mutex<Vec<Sender<ChangeEvent>>>,
+}
+
+impl ViewStore {
+    /// A store with the built-in class registry (Table 1 classes).
+    pub fn new() -> Self {
+        ViewStore::with_registry(Arc::new(ClassRegistry::with_builtins()))
+    }
+
+    /// A store with a caller-provided class registry.
+    pub fn with_registry(classes: Arc<ClassRegistry>) -> Self {
+        ViewStore {
+            inner: RwLock::new(StoreInner { nodes: Vec::new() }),
+            classes,
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The class registry.
+    pub fn classes(&self) -> &Arc<ClassRegistry> {
+        &self.classes
+    }
+
+    /// Number of live views.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .filter(|n| n.is_some())
+            .count()
+    }
+
+    /// Whether the store holds no views.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live view ids, in insertion order.
+    pub fn vids(&self) -> Vec<Vid> {
+        self.inner
+            .read()
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| Vid(i as u64)))
+            .collect()
+    }
+
+    /// Whether a view exists.
+    pub fn contains(&self, vid: Vid) -> bool {
+        self.inner
+            .read()
+            .nodes
+            .get(vid.0 as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// Inserts a view record, returning its new id.
+    pub fn insert(&self, record: ViewRecord) -> Vid {
+        let vid = {
+            let mut inner = self.inner.write();
+            let vid = Vid(inner.nodes.len() as u64);
+            inner.nodes.push(Some(record));
+            vid
+        };
+        self.emit(vid, ChangeKind::Created);
+        vid
+    }
+
+    /// Starts a builder for ergonomic view construction.
+    pub fn build(&self, name: impl Into<String>) -> ViewBuilder<'_> {
+        ViewBuilder::named(self, name)
+    }
+
+    /// Starts a builder for a view with an empty name component.
+    pub fn build_unnamed(&self) -> ViewBuilder<'_> {
+        ViewBuilder::unnamed(self)
+    }
+
+    /// Removes a view. Dangling references from other groups are allowed
+    /// by the model (a dataspace is never globally consistent); traversals
+    /// skip missing members.
+    pub fn remove(&self, vid: Vid) -> Result<ViewRecord> {
+        let record = {
+            let mut inner = self.inner.write();
+            let slot = inner
+                .nodes
+                .get_mut(vid.0 as usize)
+                .ok_or(IdmError::UnknownVid(vid))?;
+            slot.take().ok_or(IdmError::UnknownVid(vid))?
+        };
+        self.emit(vid, ChangeKind::Removed);
+        Ok(record)
+    }
+
+    fn with_record<T>(&self, vid: Vid, f: impl FnOnce(&ViewRecord) -> T) -> Result<T> {
+        let inner = self.inner.read();
+        inner
+            .nodes
+            .get(vid.0 as usize)
+            .and_then(Option::as_ref)
+            .map(f)
+            .ok_or(IdmError::UnknownVid(vid))
+    }
+
+    /// `getNameComponent()`: the name `η`, `None` if empty.
+    pub fn name(&self, vid: Vid) -> Result<Option<String>> {
+        self.with_record(vid, |r| r.name.clone())
+    }
+
+    /// `getTupleComponent()`: the tuple `τ`, `None` if empty.
+    pub fn tuple(&self, vid: Vid) -> Result<Option<TupleComponent>> {
+        self.with_record(vid, |r| r.tuple.clone())
+    }
+
+    /// `getContentComponent()`: a handle to the content `χ`.
+    ///
+    /// The handle is cheap to clone; materialization (for intensional
+    /// content) happens when the caller reads bytes from it.
+    pub fn content(&self, vid: Vid) -> Result<Content> {
+        self.with_record(vid, |r| r.content.clone())
+    }
+
+    /// `getGroupComponent()`: the group `γ`, forcing intensional groups.
+    ///
+    /// This is the call that turns e.g. the contents of a LaTeX file into
+    /// an iDM subgraph on first access (Section 4.1). The provider runs
+    /// *outside* the store lock so that it can insert child views.
+    pub fn group(&self, vid: Vid) -> Result<GroupSnapshot> {
+        let handle = self.with_record(vid, |r| r.group.clone())?;
+        match handle {
+            Group::Empty => Ok(GroupSnapshot::Finite(Arc::clone(&EMPTY_GROUP))),
+            Group::Materialized(data) => Ok(GroupSnapshot::Finite(data)),
+            Group::Lazy(lazy) => {
+                let data = lazy.force(self, vid)?;
+                Ok(GroupSnapshot::Finite(data))
+            }
+            Group::InfiniteSeq(source) => Ok(GroupSnapshot::Infinite(source)),
+        }
+    }
+
+    /// The raw group handle without forcing (introspection, indexing).
+    pub fn group_handle(&self, vid: Vid) -> Result<Group> {
+        self.with_record(vid, |r| r.group.clone())
+    }
+
+    /// The class the view claims, if any.
+    pub fn class(&self, vid: Vid) -> Result<Option<ClassId>> {
+        self.with_record(vid, |r| r.class)
+    }
+
+    /// The name of the view's class, if any.
+    pub fn class_name(&self, vid: Vid) -> Result<Option<String>> {
+        Ok(self.class(vid)?.map(|c| self.classes.name(c)))
+    }
+
+    /// Whether the view conforms to (a specialization of) the named class.
+    pub fn conforms_to(&self, vid: Vid, class_name: &str) -> Result<bool> {
+        let Some(target) = self.classes.lookup(class_name) else {
+            return Ok(false);
+        };
+        Ok(self
+            .class(vid)?
+            .is_some_and(|c| self.classes.is_subclass(c, target)))
+    }
+
+    /// A full snapshot of the record (components cloned as handles).
+    pub fn record(&self, vid: Vid) -> Result<ViewRecord> {
+        self.with_record(vid, Clone::clone)
+    }
+
+    fn mutate(&self, vid: Vid, kind: ChangeKind, f: impl FnOnce(&mut ViewRecord)) -> Result<()> {
+        {
+            let mut inner = self.inner.write();
+            let record = inner
+                .nodes
+                .get_mut(vid.0 as usize)
+                .and_then(Option::as_mut)
+                .ok_or(IdmError::UnknownVid(vid))?;
+            f(record);
+        }
+        self.emit(vid, kind);
+        Ok(())
+    }
+
+    /// Replaces the name component.
+    pub fn set_name(&self, vid: Vid, name: Option<String>) -> Result<()> {
+        self.mutate(vid, ChangeKind::Name, |r| r.name = name)
+    }
+
+    /// Replaces the tuple component.
+    pub fn set_tuple(&self, vid: Vid, tuple: Option<TupleComponent>) -> Result<()> {
+        self.mutate(vid, ChangeKind::Tuple, |r| r.tuple = tuple)
+    }
+
+    /// Replaces the content component.
+    pub fn set_content(&self, vid: Vid, content: Content) -> Result<()> {
+        self.mutate(vid, ChangeKind::Content, |r| r.content = content)
+    }
+
+    /// Replaces the group component.
+    pub fn set_group(&self, vid: Vid, group: Group) -> Result<()> {
+        self.mutate(vid, ChangeKind::Group, |r| r.group = group)
+    }
+
+    /// Replaces the class.
+    pub fn set_class(&self, vid: Vid, class: Option<ClassId>) -> Result<()> {
+        self.mutate(vid, ChangeKind::Tuple, |r| r.class = class)
+    }
+
+    /// Adds a member to a finite group component in place (used e.g. when
+    /// an ActiveXML service result is inserted next to its service call).
+    ///
+    /// `ordered` selects the sequence `Q` (true) or the set `S` (false).
+    /// Lazy groups are forced first; infinite groups reject the operation.
+    pub fn add_group_member(&self, vid: Vid, member: Vid, ordered: bool) -> Result<()> {
+        let snapshot = self.group(vid)?;
+        let data = snapshot.finite()?;
+        let mut set: Vec<Vid> = data.set().to_vec();
+        let mut seq: Vec<Vid> = data.seq().to_vec();
+        if ordered {
+            seq.push(member);
+        } else {
+            set.push(member);
+        }
+        let new_data = GroupData::new(set, seq).map_err(|_| IdmError::GroupOverlap(vid))?;
+        self.mutate(vid, ChangeKind::Group, |r| {
+            r.group = Group::Materialized(Arc::new(new_data));
+        })
+    }
+
+    /// Subscribes to change events (push-based protocol, Section 4.4.2).
+    pub fn subscribe(&self) -> Receiver<ChangeEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    fn emit(&self, vid: Vid, kind: ChangeKind) {
+        let mut subs = self.subscribers.lock();
+        if subs.is_empty() {
+            return;
+        }
+        let event = ChangeEvent { vid, kind };
+        subs.retain(|tx| tx.send(event).is_ok());
+    }
+}
+
+impl Default for ViewStore {
+    fn default() -> Self {
+        ViewStore::new()
+    }
+}
+
+impl fmt::Debug for ViewStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewStore")
+            .field("views", &self.len())
+            .finish()
+    }
+}
+
+/// Fluent builder for inserting views.
+pub struct ViewBuilder<'a> {
+    store: &'a ViewStore,
+    record: ViewRecord,
+}
+
+impl<'a> ViewBuilder<'a> {
+    fn named(store: &'a ViewStore, name: impl Into<String>) -> Self {
+        ViewBuilder {
+            store,
+            record: ViewRecord {
+                name: Some(name.into()),
+                ..ViewRecord::default()
+            },
+        }
+    }
+
+    fn unnamed(store: &'a ViewStore) -> Self {
+        ViewBuilder {
+            store,
+            record: ViewRecord::default(),
+        }
+    }
+
+    /// Sets the tuple component.
+    pub fn tuple(mut self, tuple: TupleComponent) -> Self {
+        self.record.tuple = Some(tuple);
+        self
+    }
+
+    /// Sets the content component.
+    pub fn content(mut self, content: Content) -> Self {
+        self.record.content = content;
+        self
+    }
+
+    /// Sets finite textual content.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.record.content = Content::text(text);
+        self
+    }
+
+    /// Sets the group component.
+    pub fn group(mut self, group: Group) -> Self {
+        self.record.group = group;
+        self
+    }
+
+    /// Sets unordered group members.
+    pub fn children(mut self, set: Vec<Vid>) -> Self {
+        self.record.group = Group::of_set(set);
+        self
+    }
+
+    /// Sets ordered group members.
+    pub fn sequence(mut self, seq: Vec<Vid>) -> Self {
+        self.record.group = Group::of_seq(seq);
+        self
+    }
+
+    /// Sets the class by id.
+    pub fn class(mut self, class: ClassId) -> Self {
+        self.record.class = Some(class);
+        self
+    }
+
+    /// Sets the class by name, erroring on unknown classes at insert time.
+    pub fn class_named(mut self, name: &str) -> Self {
+        self.record.class = self.store.classes().lookup(name);
+        debug_assert!(
+            self.record.class.is_some(),
+            "unknown resource view class '{name}'"
+        );
+        self
+    }
+
+    /// Inserts the view, returning its id.
+    pub fn insert(self) -> Vid {
+        self.store.insert(self.record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::builtin::names;
+    use crate::value::{Timestamp, Value};
+
+    fn fs_tuple(size: i64) -> TupleComponent {
+        TupleComponent::of(vec![
+            ("size", Value::Integer(size)),
+            ("creation time", Value::Date(Timestamp(0))),
+            ("last modified time", Value::Date(Timestamp(100))),
+        ])
+    }
+
+    #[test]
+    fn insert_and_read_components() {
+        let store = ViewStore::new();
+        let vid = store
+            .build("PIM")
+            .tuple(fs_tuple(4096))
+            .class_named(names::FOLDER)
+            .insert();
+        assert_eq!(store.name(vid).unwrap().as_deref(), Some("PIM"));
+        assert_eq!(
+            store.tuple(vid).unwrap().unwrap().get("size"),
+            Some(&Value::Integer(4096))
+        );
+        assert!(store.content(vid).unwrap().is_empty());
+        assert!(store.group(vid).unwrap().finite().unwrap().is_empty());
+        assert_eq!(
+            store.class_name(vid).unwrap().as_deref(),
+            Some(names::FOLDER)
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_from_figure_1() {
+        // Projects → PIM → All Projects → Projects forms a cycle.
+        let store = ViewStore::new();
+        let projects = store.build("Projects").insert();
+        let all_projects = store.build("All Projects").children(vec![projects]).insert();
+        let pim = store.build("PIM").children(vec![all_projects]).insert();
+        store
+            .set_group(projects, Group::of_set(vec![pim]))
+            .unwrap();
+
+        // Walk the cycle: Projects → PIM → All Projects → Projects.
+        let g = store.group(projects).unwrap().finite_members();
+        assert_eq!(g, vec![pim]);
+        let g = store.group(pim).unwrap().finite_members();
+        assert_eq!(g, vec![all_projects]);
+        let g = store.group(all_projects).unwrap().finite_members();
+        assert_eq!(g, vec![projects]);
+    }
+
+    #[test]
+    fn lazy_group_forces_once_and_creates_children() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let store = ViewStore::new();
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let provider = Arc::new(|store: &ViewStore, _owner: Vid| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            let child = store.build("Introduction").text("lazy section").insert();
+            Ok(GroupData::of_seq(vec![child]))
+        });
+        let file = store
+            .build("vldb2006.tex")
+            .group(Group::lazy(provider))
+            .insert();
+        assert_eq!(store.len(), 1, "child not created before first access");
+
+        let members = store.group(file).unwrap().finite_members();
+        assert_eq!(members.len(), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store.name(members[0]).unwrap().as_deref(),
+            Some("Introduction")
+        );
+
+        let again = store.group(file).unwrap().finite_members();
+        assert_eq!(again, members);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1, "provider ran once");
+        assert_eq!(store.len(), 2, "no duplicate children");
+    }
+
+    #[test]
+    fn remove_leaves_dangling_references_skippable() {
+        let store = ViewStore::new();
+        let child = store.build("doc").insert();
+        let parent = store.build("folder").children(vec![child]).insert();
+        store.remove(child).unwrap();
+        assert!(!store.contains(child));
+        let members = store.group(parent).unwrap().finite_members();
+        assert_eq!(members, vec![child], "reference remains");
+        assert!(store.name(child).is_err(), "resolution fails gracefully");
+    }
+
+    #[test]
+    fn change_events_reach_subscribers() {
+        let store = ViewStore::new();
+        let rx = store.subscribe();
+        let vid = store.build("inbox").insert();
+        store.set_name(vid, Some("INBOX".into())).unwrap();
+        store.remove(vid).unwrap();
+        let kinds: Vec<ChangeKind> = rx.try_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ChangeKind::Created, ChangeKind::Name, ChangeKind::Removed]
+        );
+    }
+
+    #[test]
+    fn add_group_member_preserves_disjointness() {
+        let store = ViewStore::new();
+        let a = store.build("a").insert();
+        let parent = store.build("p").children(vec![a]).insert();
+        // Adding `a` again to the sequence would violate S ∩ Q = ∅.
+        assert!(store.add_group_member(parent, a, true).is_err());
+        // Adding to the set dedups silently (it is a set).
+        store.add_group_member(parent, a, false).unwrap();
+        assert_eq!(store.group(parent).unwrap().finite_members(), vec![a]);
+    }
+
+    #[test]
+    fn conforms_to_walks_hierarchy() {
+        let store = ViewStore::new();
+        let vid = store
+            .build("feed.xml")
+            .tuple(fs_tuple(10))
+            .class_named(names::XMLFILE)
+            .insert();
+        assert!(store.conforms_to(vid, names::XMLFILE).unwrap());
+        assert!(store.conforms_to(vid, names::FILE).unwrap());
+        assert!(!store.conforms_to(vid, names::FOLDER).unwrap());
+        assert!(!store.conforms_to(vid, "not-a-class").unwrap());
+    }
+
+    #[test]
+    fn mutations_on_removed_views_error() {
+        let store = ViewStore::new();
+        let vid = store.build("x").insert();
+        store.remove(vid).unwrap();
+        assert!(store.set_name(vid, Some("y".into())).is_err());
+        assert!(store.set_content(vid, Content::text("z")).is_err());
+        assert!(store.set_group(vid, Group::Empty).is_err());
+        assert!(store.set_class(vid, None).is_err());
+        assert!(store.add_group_member(vid, vid, false).is_err());
+    }
+
+    #[test]
+    fn add_group_member_to_infinite_group_rejected() {
+        struct Never;
+        impl crate::group::ViewSequenceSource for Never {
+            fn try_next(&self, _s: &ViewStore) -> crate::error::Result<Option<Vid>> {
+                Ok(None)
+            }
+        }
+        let store = ViewStore::new();
+        let stream = store
+            .build_unnamed()
+            .group(Group::infinite(Arc::new(Never)))
+            .insert();
+        let member = store.build("m").insert();
+        assert!(matches!(
+            store.add_group_member(stream, member, true),
+            Err(IdmError::InfiniteComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn group_snapshot_infinite_reports_itself() {
+        struct Never;
+        impl crate::group::ViewSequenceSource for Never {
+            fn try_next(&self, _s: &ViewStore) -> crate::error::Result<Option<Vid>> {
+                Ok(None)
+            }
+        }
+        let store = ViewStore::new();
+        let stream = store
+            .build_unnamed()
+            .group(Group::infinite(Arc::new(Never)))
+            .insert();
+        let snapshot = store.group(stream).unwrap();
+        assert!(snapshot.is_infinite());
+        assert!(snapshot.finite().is_err());
+        assert!(snapshot.finite_members().is_empty());
+    }
+
+    #[test]
+    fn builder_unnamed_and_class_by_id() {
+        let store = ViewStore::new();
+        let class = store.classes().lookup(names::FILE).unwrap();
+        let vid = store
+            .build_unnamed()
+            .tuple(fs_tuple(1))
+            .text("x")
+            .class(class)
+            .insert();
+        assert!(store.name(vid).unwrap().is_none());
+        assert_eq!(store.class(vid).unwrap(), Some(class));
+    }
+
+    #[test]
+    fn unknown_vid_errors() {
+        let store = ViewStore::new();
+        let ghost = Vid::from_raw(999);
+        assert!(matches!(store.name(ghost), Err(IdmError::UnknownVid(_))));
+        assert!(store.remove(ghost).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Conformance checking of views against resource view classes (Def. 2).
+//!
+//! When a view claims class `C` it must satisfy the constraints of `C`
+//! *and of every generalization of `C`* (Section 3.1: obeying a class
+//! means obeying all its generalizations).
+
+use crate::class::{ChildClasses, ClassId, Constraints, Emptiness, Finiteness, SchemaConstraint};
+use crate::error::{IdmError, Result};
+use crate::group::Group;
+use crate::store::{Vid, ViewStore};
+
+/// How to treat intensional components during validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// Do not force lazy components: a lazy group/content is assumed
+    /// non-empty and finite (it logically *is* data; we just have not
+    /// computed it). Cheap; suitable for registration-time checks.
+    #[default]
+    Shallow,
+    /// Force lazy groups and check the materialized members, including
+    /// restriction 4 (classes of directly related views).
+    Deep,
+}
+
+/// Validates that `vid` conforms to the class it claims.
+///
+/// Views without a class vacuously conform (schema-never modeling).
+pub fn validate(store: &ViewStore, vid: Vid, mode: ValidationMode) -> Result<()> {
+    match store.class(vid)? {
+        Some(class) => validate_as(store, vid, class, mode),
+        None => Ok(()),
+    }
+}
+
+/// Validates that `vid` conforms to `class` (regardless of what the view
+/// itself claims) and to all of that class's generalizations.
+pub fn validate_as(store: &ViewStore, vid: Vid, class: ClassId, mode: ValidationMode) -> Result<()> {
+    for ancestor in store.classes().ancestry(class) {
+        let def = store
+            .classes()
+            .def(ancestor)
+            .ok_or_else(|| IdmError::UnknownClass(format!("{ancestor}")))?;
+        check_constraints(store, vid, ancestor, &def.constraints, mode).map_err(|detail| {
+            IdmError::Conformance {
+                vid,
+                class: def.name.clone(),
+                detail,
+            }
+        })?;
+    }
+    Ok(())
+}
+
+fn check_emptiness(rule: Emptiness, is_empty: bool, component: &str) -> std::result::Result<(), String> {
+    match rule {
+        Emptiness::Any => Ok(()),
+        Emptiness::MustBeEmpty if is_empty => Ok(()),
+        Emptiness::MustBeEmpty => Err(format!("{component} component must be empty")),
+        Emptiness::MustBeNonEmpty if !is_empty => Ok(()),
+        Emptiness::MustBeNonEmpty => Err(format!("{component} component must be non-empty")),
+    }
+}
+
+fn check_constraints(
+    store: &ViewStore,
+    vid: Vid,
+    _class: ClassId,
+    c: &Constraints,
+    mode: ValidationMode,
+) -> std::result::Result<(), String> {
+    let record = store.record(vid).map_err(|e| e.to_string())?;
+
+    // 1. Emptiness of η, τ, χ, γ.
+    check_emptiness(c.name, record.name.as_deref().unwrap_or("").is_empty(), "name")?;
+    check_emptiness(c.tuple, record.tuple.is_none(), "tuple")?;
+    check_emptiness(c.content, record.content.is_empty(), "content")?;
+    check_emptiness(c.group, record.group.is_empty(), "group")?;
+
+    // 2. Schema of τ.
+    match &c.tuple_schema {
+        SchemaConstraint::Any => {}
+        SchemaConstraint::Exact(want) => {
+            let got = record.tuple.as_ref().map(|t| t.schema());
+            if got != Some(want) {
+                return Err("tuple schema does not match the exact class schema".into());
+            }
+        }
+        SchemaConstraint::Covers(want) => match record.tuple.as_ref() {
+            Some(t) if t.schema().covers(want) => {}
+            Some(_) => return Err("tuple schema misses required class attributes".into()),
+            None => return Err("class requires a tuple component with a schema".into()),
+        },
+    }
+
+    // 3. Finiteness of χ and γ.
+    match c.content_finiteness {
+        Finiteness::Any => {}
+        Finiteness::Finite if record.content.is_finite() => {}
+        Finiteness::Finite => return Err("content component must be finite".into()),
+        Finiteness::Infinite if !record.content.is_finite() => {}
+        Finiteness::Infinite => return Err("content component must be infinite".into()),
+    }
+    match c.group_finiteness {
+        Finiteness::Any => {}
+        Finiteness::Finite if record.group.is_finite() => {}
+        Finiteness::Finite => return Err("group component must be finite".into()),
+        Finiteness::Infinite if !record.group.is_finite() => {}
+        Finiteness::Infinite => return Err("group component must be infinite".into()),
+    }
+
+    // Member-ordering and child-class restrictions need the members.
+    let needs_members = c.ordered_members.is_some() || c.child_classes != ChildClasses::Any;
+    if !needs_members {
+        return Ok(());
+    }
+    match &record.group {
+        Group::Empty => Ok(()),
+        Group::InfiniteSeq(_) => {
+            // An infinite sequence lives entirely in Q, so it satisfies
+            // ordered_members = Some(true) and violates Some(false).
+            if c.ordered_members == Some(false) {
+                return Err("group members must be unordered (set S) but are a sequence".into());
+            }
+            // Child classes of an infinite stream are checked per-element
+            // by the stream machinery as elements arrive, not here.
+            Ok(())
+        }
+        Group::Lazy(lazy) => {
+            if mode == ValidationMode::Shallow && !lazy.is_materialized() {
+                return Ok(()); // don't force during shallow validation
+            }
+            let data = lazy.force(store, vid).map_err(|e| e.to_string())?;
+            check_members(store, c, data.set(), data.seq())
+        }
+        Group::Materialized(data) => check_members(store, c, data.set(), data.seq()),
+    }
+}
+
+fn check_members(
+    store: &ViewStore,
+    c: &Constraints,
+    set: &[Vid],
+    seq: &[Vid],
+) -> std::result::Result<(), String> {
+    match c.ordered_members {
+        Some(true) if !set.is_empty() => {
+            return Err("group members must be ordered (sequence Q) but the set S is non-empty".into())
+        }
+        Some(false) if !seq.is_empty() => {
+            return Err("group members must be unordered (set S) but the sequence Q is non-empty".into())
+        }
+        _ => {}
+    }
+    if let ChildClasses::OneOf(allowed) = &c.child_classes {
+        for member in set.iter().chain(seq.iter()) {
+            let Ok(Some(member_class)) = store.class(*member) else {
+                return Err(format!(
+                    "directly related view {member} has no class but the class restricts child classes"
+                ));
+            };
+            let ok = allowed
+                .iter()
+                .any(|a| store.classes().is_subclass(member_class, *a));
+            if !ok {
+                return Err(format!(
+                    "directly related view {member} has class '{}' which is not acceptable",
+                    store.classes().name(member_class)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::builtin::names;
+    use crate::content::Content;
+    use crate::value::{Timestamp, TupleComponent, Value};
+
+    fn fs_tuple() -> TupleComponent {
+        TupleComponent::of(vec![
+            ("size", Value::Integer(1)),
+            ("creation time", Value::Date(Timestamp(0))),
+            ("last modified time", Value::Date(Timestamp(0))),
+        ])
+    }
+
+    #[test]
+    fn valid_file_conforms() {
+        let store = ViewStore::new();
+        let vid = store
+            .build("a.txt")
+            .tuple(fs_tuple())
+            .content(Content::text("hello"))
+            .class_named(names::FILE)
+            .insert();
+        validate(&store, vid, ValidationMode::Deep).unwrap();
+    }
+
+    #[test]
+    fn file_without_tuple_fails() {
+        let store = ViewStore::new();
+        let vid = store.build("a.txt").class_named(names::FILE).insert();
+        let err = validate(&store, vid, ValidationMode::Deep).unwrap_err();
+        assert!(matches!(err, IdmError::Conformance { .. }), "{err}");
+    }
+
+    #[test]
+    fn folder_rejects_non_fs_children() {
+        let store = ViewStore::new();
+        let reg = store.classes();
+        let tuple_class = reg.lookup(names::TUPLE).unwrap();
+        let bad_child = store
+            .build_unnamed()
+            .tuple(TupleComponent::of(vec![("x", Value::Integer(1))]))
+            .class(tuple_class)
+            .insert();
+        let folder = store
+            .build("docs")
+            .tuple(fs_tuple())
+            .children(vec![bad_child])
+            .class_named(names::FOLDER)
+            .insert();
+        let err = validate(&store, folder, ValidationMode::Deep).unwrap_err();
+        assert!(err.to_string().contains("not acceptable"), "{err}");
+    }
+
+    #[test]
+    fn folder_accepts_file_and_subclass_children() {
+        let store = ViewStore::new();
+        let file = store
+            .build("a.xml")
+            .tuple(fs_tuple())
+            .content(Content::text("<a/>"))
+            .class_named(names::XMLFILE) // subclass of file
+            .insert();
+        // xmlfile requires a non-empty ordered group of xmldoc; give it one.
+        let doc = store
+            .build_unnamed()
+            .class_named(names::XMLDOC)
+            .insert();
+        store
+            .set_group(file, crate::group::Group::of_seq(vec![doc]))
+            .unwrap();
+        let folder = store
+            .build("docs")
+            .tuple(fs_tuple())
+            .children(vec![file])
+            .class_named(names::FOLDER)
+            .insert();
+        // Validate only restriction 4 paths on folder (deep).
+        // Note: the xmldoc child itself is intentionally left non-conformant
+        // (empty group); folder validation does not recurse into grandchildren.
+        validate(&store, folder, ValidationMode::Deep).unwrap();
+    }
+
+    #[test]
+    fn xmlelem_requires_ordered_children() {
+        let store = ViewStore::new();
+        let t = store
+            .build_unnamed()
+            .content(Content::text("hi"))
+            .class_named(names::XMLTEXT)
+            .insert();
+        let elem_set = store
+            .build("dep")
+            .children(vec![t]) // wrong: set instead of sequence
+            .class_named(names::XMLELEM)
+            .insert();
+        assert!(validate(&store, elem_set, ValidationMode::Deep).is_err());
+
+        let elem_seq = store
+            .build("dep")
+            .sequence(vec![t])
+            .class_named(names::XMLELEM)
+            .insert();
+        validate(&store, elem_seq, ValidationMode::Deep).unwrap();
+    }
+
+    #[test]
+    fn datstream_requires_infinite_group() {
+        let store = ViewStore::new();
+        let finite = store
+            .build_unnamed()
+            .sequence(vec![])
+            .class_named(names::DATSTREAM)
+            .insert();
+        assert!(validate(&store, finite, ValidationMode::Deep).is_err());
+
+        struct Never;
+        impl crate::group::ViewSequenceSource for Never {
+            fn try_next(
+                &self,
+                _store: &ViewStore,
+            ) -> crate::error::Result<Option<Vid>> {
+                Ok(None)
+            }
+        }
+        let stream = store
+            .build_unnamed()
+            .group(Group::infinite(std::sync::Arc::new(Never)))
+            .class_named(names::DATSTREAM)
+            .insert();
+        validate(&store, stream, ValidationMode::Deep).unwrap();
+    }
+
+    #[test]
+    fn shallow_validation_does_not_force_lazy_groups() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static FORCED: AtomicBool = AtomicBool::new(false);
+        let store = ViewStore::new();
+        let provider = std::sync::Arc::new(|store: &ViewStore, _vid: Vid| {
+            FORCED.store(true, Ordering::SeqCst);
+            let child = store.build("x").insert();
+            Ok(crate::group::GroupData::of_set(vec![child]))
+        });
+        let folder = store
+            .build("lazy-folder")
+            .tuple(fs_tuple())
+            .group(Group::lazy(provider))
+            .class_named(names::FOLDER)
+            .insert();
+        validate(&store, folder, ValidationMode::Shallow).unwrap();
+        assert!(!FORCED.load(Ordering::SeqCst), "shallow must not force");
+        // Deep validation forces and then fails: the child has no class.
+        assert!(validate(&store, folder, ValidationMode::Deep).is_err());
+        assert!(FORCED.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn classless_views_vacuously_conform() {
+        let store = ViewStore::new();
+        let vid = store.build("anything").insert();
+        validate(&store, vid, ValidationMode::Deep).unwrap();
+    }
+}

@@ -1,0 +1,175 @@
+//! Dataspace versioning (Section 8, issue 1).
+//!
+//! "Logically, each change creates a new version of the whole dataspace."
+//! Because iDM represents the entire dataspace in one model, versioning
+//! reduces to recording, per change event, which view changed and what
+//! its components looked like afterwards. The log is an observer of the
+//! store's change events; a full historic dataspace version is then the
+//! latest record of every view at or below a version number.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::Receiver;
+
+use crate::store::{ChangeEvent, ChangeKind, Vid, ViewRecord, ViewStore};
+
+/// Monotonically increasing dataspace version number. Version 0 is the
+/// empty dataspace; every change event bumps it by one.
+pub type VersionNo = u64;
+
+/// One versioned change.
+#[derive(Debug, Clone)]
+pub struct VersionEntry {
+    /// The dataspace version this change created.
+    pub version: VersionNo,
+    /// The affected view.
+    pub vid: Vid,
+    /// What changed.
+    pub kind: ChangeKind,
+    /// The record after the change (`None` after removal).
+    pub after: Option<ViewRecord>,
+}
+
+/// A version log attached to a store.
+///
+/// Events are captured by the store's pub/sub channel and folded into
+/// the log by [`VersionLog::drain`]; call it at transaction boundaries
+/// (the synchronization manager does so after each sync round).
+pub struct VersionLog {
+    rx: Receiver<ChangeEvent>,
+    entries: Vec<VersionEntry>,
+    by_vid: HashMap<Vid, Vec<usize>>,
+}
+
+impl VersionLog {
+    /// Attaches a new log to a store. Only changes made *after* the
+    /// attachment are recorded.
+    pub fn attach(store: &ViewStore) -> Self {
+        VersionLog {
+            rx: store.subscribe(),
+            entries: Vec::new(),
+            by_vid: HashMap::new(),
+        }
+    }
+
+    /// Folds all pending change events into the log, snapshotting the
+    /// changed records from `store`. Returns the number of new versions.
+    ///
+    /// Snapshots are taken at drain time; draining at transaction
+    /// boundaries makes each entry reflect a consistent dataspace state.
+    pub fn drain(&mut self, store: &ViewStore) -> usize {
+        let mut count = 0;
+        while let Ok(event) = self.rx.try_recv() {
+            let after = if event.kind == ChangeKind::Removed {
+                None
+            } else {
+                store.record(event.vid).ok()
+            };
+            let version = self.entries.len() as VersionNo + 1;
+            self.by_vid
+                .entry(event.vid)
+                .or_default()
+                .push(self.entries.len());
+            self.entries.push(VersionEntry {
+                version,
+                vid: event.vid,
+                kind: event.kind,
+                after,
+            });
+            count += 1;
+        }
+        count
+    }
+
+    /// The current dataspace version (number of recorded changes).
+    pub fn current_version(&self) -> VersionNo {
+        self.entries.len() as VersionNo
+    }
+
+    /// All changes to one view, oldest first.
+    pub fn history(&self, vid: Vid) -> Vec<&VersionEntry> {
+        self.by_vid
+            .get(&vid)
+            .map(|idxs| idxs.iter().map(|&i| &self.entries[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The record of `vid` as of dataspace version `version`
+    /// (`None` if the view did not exist or was removed by then).
+    pub fn record_at(&self, vid: Vid, version: VersionNo) -> Option<&ViewRecord> {
+        self.by_vid.get(&vid).and_then(|idxs| {
+            idxs.iter()
+                .rev()
+                .map(|&i| &self.entries[i])
+                .find(|e| e.version <= version)
+                .and_then(|e| e.after.as_ref())
+        })
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[VersionEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_create_update_remove() {
+        let store = ViewStore::new();
+        let mut log = VersionLog::attach(&store);
+
+        let vid = store.build("report.tex").insert();
+        log.drain(&store);
+        assert_eq!(log.current_version(), 1);
+
+        store.set_name(vid, Some("report-v2.tex".into())).unwrap();
+        log.drain(&store);
+        assert_eq!(log.current_version(), 2);
+
+        store.remove(vid).unwrap();
+        assert_eq!(log.drain(&store), 1);
+
+        let history = log.history(vid);
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[0].kind, ChangeKind::Created);
+        assert_eq!(history[2].kind, ChangeKind::Removed);
+        assert!(history[2].after.is_none());
+    }
+
+    #[test]
+    fn record_at_returns_historic_state() {
+        let store = ViewStore::new();
+        let mut log = VersionLog::attach(&store);
+        let vid = store.build("a").insert();
+        log.drain(&store); // v1: created as "a"
+        store.set_name(vid, Some("b".into())).unwrap();
+        log.drain(&store); // v2: renamed to "b"
+
+        // Snapshots are taken at drain time, so v1 reflects the state at
+        // its drain: "a".
+        assert_eq!(
+            log.record_at(vid, 1).unwrap().name.as_deref(),
+            Some("a")
+        );
+        assert_eq!(
+            log.record_at(vid, 2).unwrap().name.as_deref(),
+            Some("b")
+        );
+        assert!(log.record_at(vid, 0).is_none());
+        assert!(log.record_at(Vid::from_raw(99), 2).is_none());
+    }
+
+    #[test]
+    fn changes_before_attach_are_invisible() {
+        let store = ViewStore::new();
+        let before = store.build("old").insert();
+        let mut log = VersionLog::attach(&store);
+        store.build("new").insert();
+        log.drain(&store);
+        assert_eq!(log.current_version(), 1);
+        assert!(log.history(before).is_empty());
+    }
+}

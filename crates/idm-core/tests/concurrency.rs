@@ -1,0 +1,133 @@
+//! Concurrency tests: the view store is shared across every component
+//! of a PDSMS (query processor, sync manager, push operators), so its
+//! guarantees under parallel access matter.
+
+use std::sync::Arc;
+use std::thread;
+
+use idm_core::prelude::*;
+
+#[test]
+fn parallel_inserts_are_all_visible() {
+    let store = Arc::new(ViewStore::new());
+    let threads = 8;
+    let per_thread = 200;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut vids = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    vids.push(store.build(format!("t{t}-v{i}")).text("body").insert());
+                }
+                vids
+            })
+        })
+        .collect();
+    let mut all: Vec<Vid> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("no panics"))
+        .collect();
+    assert_eq!(store.len(), threads * per_thread);
+    // Every thread got distinct vids.
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), threads * per_thread);
+    // And all are resolvable.
+    for vid in all {
+        assert!(store.contains(vid));
+        assert!(store.name(vid).unwrap().is_some());
+    }
+}
+
+#[test]
+fn readers_run_during_writes() {
+    let store = Arc::new(ViewStore::new());
+    let root = store.build("root").insert();
+
+    let writer = {
+        let store = Arc::clone(&store);
+        thread::spawn(move || {
+            for i in 0..500 {
+                let child = store.build(format!("c{i}")).insert();
+                store.add_group_member(root, child, false).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut max_seen = 0;
+                for _ in 0..500 {
+                    let members = store.group(root).unwrap().finite_members();
+                    // Group snapshots are consistent prefixes: size only
+                    // ever grows.
+                    assert!(members.len() >= max_seen);
+                    max_seen = members.len();
+                    for member in members {
+                        // Every member visible in a snapshot resolves.
+                        assert!(store.name(member).is_ok());
+                    }
+                }
+                max_seen
+            })
+        })
+        .collect();
+    writer.join().expect("writer ok");
+    for reader in readers {
+        reader.join().expect("reader ok");
+    }
+    assert_eq!(store.group(root).unwrap().finite_members().len(), 500);
+}
+
+#[test]
+fn lazy_group_forced_from_many_threads_computes_once() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let store = Arc::new(ViewStore::new());
+    static CALLS: AtomicUsize = AtomicUsize::new(0);
+    let provider = Arc::new(|store: &ViewStore, _owner: Vid| {
+        CALLS.fetch_add(1, Ordering::SeqCst);
+        // Simulate a slow conversion.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let child = store.build("expensive child").insert();
+        Ok(GroupData::of_set(vec![child]))
+    });
+    let lazy = store.build("lazy").group(Group::lazy(provider)).insert();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || store.group(lazy).unwrap().finite_members())
+        })
+        .collect();
+    let results: Vec<Vec<Vid>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(CALLS.load(Ordering::SeqCst), 1, "computed exactly once");
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "same members");
+    assert_eq!(store.len(), 2, "one child only");
+}
+
+#[test]
+fn change_events_reach_every_subscriber_exactly_once() {
+    let store = Arc::new(ViewStore::new());
+    let receivers: Vec<_> = (0..4).map(|_| store.subscribe()).collect();
+
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                for i in 0..100 {
+                    store.build(format!("w{t}-{i}")).insert();
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    for rx in receivers {
+        let events: Vec<ChangeEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), 400, "each subscriber sees every event");
+        assert!(events.iter().all(|e| e.kind == ChangeKind::Created));
+    }
+}

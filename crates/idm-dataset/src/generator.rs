@@ -1,0 +1,733 @@
+//! The dataset generator.
+//!
+//! Determinism: everything derives from `DatasetConfig::seed` through a
+//! single `StdRng`; two runs with equal configs produce byte-identical
+//! dataspaces, so benchmark results and expected query counts are
+//! reproducible.
+
+use std::sync::Arc;
+
+use idm_core::prelude::Timestamp;
+use idm_email::message::{Attachment, EmailMessage};
+use idm_email::{ImapServer, LatencyModel, MailboxId};
+use idm_vfs::{NodeId, VirtualFs};
+use idm_xml::rss::{Feed, FeedItem, FeedServer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::text::{binary_blob, TextGen};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Scale factor: 1.0 ≈ the paper's dataset counts (Table 2).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// IMAP latency model for the generated mail server.
+    pub imap_latency: LatencyModel,
+    /// Whether the IMAP server really sleeps its latency (true for
+    /// end-to-end timing runs) or only accounts it (fast tests).
+    pub imap_sleep: bool,
+    /// Byte size of the large binary files that anchor Q3
+    /// (`size > 420000`). Must exceed 420,000.
+    pub big_binary_bytes: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            scale: 0.05,
+            seed: 0x1DCD_2006,
+            imap_latency: LatencyModel::none(),
+            imap_sleep: false,
+            big_binary_bytes: 450_100,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A config at the given scale with defaults otherwise.
+    pub fn at_scale(scale: f64) -> Self {
+        DatasetConfig {
+            scale,
+            ..DatasetConfig::default()
+        }
+    }
+}
+
+/// Expected Table 4 result counts for a generated dataspace, derived
+/// from what was actually planted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpectedResults {
+    /// Q1 `"database"`.
+    pub q1: usize,
+    /// Q2 `"database tuning"`.
+    pub q2: usize,
+    /// Q3 `[size > 420000 and lastmodified < @12.06.2005]`.
+    pub q3: usize,
+    /// Q4 `//papers//*Vision/*["Franklin"]`.
+    pub q4: usize,
+    /// Q5 `//VLDB200?//?onclusion*/*["systems"]`.
+    pub q5: usize,
+    /// Q6 `union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])`.
+    pub q6: usize,
+    /// Q7 (figure-label join under VLDB2006).
+    pub q7: usize,
+    /// Q8 (email ↔ papers `.tex` name join).
+    pub q8: usize,
+}
+
+/// Dataset composition counters (the Table 2 row material).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatasetCounts {
+    /// Filesystem nodes (files, folders, links) excluding the root.
+    pub fs_items: usize,
+    /// Messages on the IMAP server.
+    pub emails: usize,
+    /// Mail folders (including INBOX).
+    pub mail_folders: usize,
+    /// Email attachments.
+    pub attachments: usize,
+    /// XML documents on the filesystem.
+    pub fs_xml_docs: usize,
+    /// LaTeX documents on the filesystem.
+    pub fs_latex_docs: usize,
+    /// XML documents attached to emails.
+    pub email_xml_docs: usize,
+    /// LaTeX documents attached to emails.
+    pub email_latex_docs: usize,
+}
+
+/// The generated dataspace: all three data sources plus ground truth.
+pub struct GeneratedDataset {
+    /// The filesystem source.
+    pub fs: Arc<VirtualFs>,
+    /// The IMAP source.
+    pub imap: Arc<ImapServer>,
+    /// The RSS feed server.
+    pub feeds: Arc<FeedServer>,
+    /// Published feed URLs.
+    pub feed_urls: Vec<String>,
+    /// Expected Table 4 result counts.
+    pub expected: ExpectedResults,
+    /// Composition counters.
+    pub counts: DatasetCounts,
+    /// The config used.
+    pub config: DatasetConfig,
+}
+
+/// `max(1, round(x·scale))` — anchors that must survive downscaling.
+fn n1(x: f64, scale: f64) -> usize {
+    ((x * scale).round() as usize).max(1)
+}
+
+/// `round(x·scale)` — filler that may scale to zero.
+fn n0(x: f64, scale: f64) -> usize {
+    (x * scale).round() as usize
+}
+
+const OLD_MTIME: (i32, u32, u32) = (2005, 5, 15); // before @12.06.2005
+const NEW_MTIME: (i32, u32, u32) = (2005, 7, 20); // after it
+
+struct Gen {
+    rng: StdRng,
+    fs: Arc<VirtualFs>,
+    counts: DatasetCounts,
+    t_new: Timestamp,
+    t_old: Timestamp,
+}
+
+impl Gen {
+    fn text(&mut self) -> TextGen<'_> {
+        TextGen::new(&mut self.rng)
+    }
+
+    /// A LaTeX document with `sections` top-level sections, planting
+    /// `plant` into the first paragraph of the first section if given,
+    /// plus `figures` (label, has_ref) pairs appended as environments
+    /// with references from the last section.
+    #[allow(clippy::too_many_arguments)]
+    fn latex_doc(
+        &mut self,
+        sections: usize,
+        paragraphs_per_section: usize,
+        plant: Option<&str>,
+        special_first_section: Option<&str>,
+        figure_labels: &[String],
+        figure_caption: &str,
+    ) -> String {
+        let title = {
+            let mut t = self.text();
+            t.sentence(4)
+        };
+        let mut out = String::with_capacity(4096);
+        out.push_str("\\documentclass{article}\n");
+        out.push_str(&format!("\\title{{{title}}}\n"));
+        out.push_str("\\begin{document}\n\\begin{abstract}\n");
+        let abstract_text = self.text().paragraph(200, None);
+        out.push_str(&abstract_text);
+        out.push_str("\n\\end{abstract}\n");
+
+        for s in 0..sections {
+            let heading = match (s, special_first_section) {
+                (0, Some(special)) => special.to_owned(),
+                _ => {
+                    let mut t = self.text();
+                    let a = t.token(7);
+                    let b = t.token(9);
+                    format!(
+                        "{}{} {}{}",
+                        a[..1].to_uppercase(),
+                        &a[1..],
+                        b[..1].to_uppercase(),
+                        &b[1..]
+                    )
+                }
+            };
+            out.push_str(&format!("\\section{{{heading}}}\n"));
+            for p in 0..paragraphs_per_section {
+                let planted = if s == 0 && p == 0 { plant } else { None };
+                let para = self.text().paragraph(520, planted);
+                out.push_str(&para);
+                out.push_str("\n\n");
+            }
+        }
+
+        // Planted figure environments + matching references.
+        for label in figure_labels {
+            out.push_str(&format!(
+                "\\begin{{figure}}\n\\caption{{{figure_caption} {label}}}\n\\label{{{label}}}\n\\end{{figure}}\n\n"
+            ));
+            out.push_str(&format!("As shown in Figure~\\ref{{{label}}}.\n\n"));
+        }
+
+        out.push_str("\\end{document}\n");
+        out
+    }
+
+    fn xml_doc(&mut self, approx_items: usize) -> String {
+        // Each record contributes ~7 infoset items (record + 3 elems +
+        // 3 text nodes).
+        let records = (approx_items / 7).max(1);
+        let mut out = String::with_capacity(records * 120);
+        out.push_str("<?xml version=\"1.0\"?><dataset>");
+        for r in 0..records {
+            let (a, b, c) = {
+                let mut t = self.text();
+                (t.sentence(4), t.sentence(5), t.token(8))
+            };
+            out.push_str(&format!(
+                "<record id=\"{r}\"><title>{a}</title><note>{b}</note><tag>{c}</tag></record>"
+            ));
+        }
+        out.push_str("</dataset>");
+        out
+    }
+
+    fn create_latex(&mut self, dir: NodeId, name: &str, content: String) -> NodeId {
+        let at = self.t_new;
+        let node = self
+            .fs
+            .create_file(dir, name, content, at)
+            .expect("dataset: unique latex file name");
+        self.counts.fs_items += 1;
+        self.counts.fs_latex_docs += 1;
+        node
+    }
+}
+
+/// Generates the dataspace.
+pub fn generate(config: DatasetConfig) -> GeneratedDataset {
+    let scale = config.scale;
+    assert!(scale > 0.0, "scale factor must be positive");
+    assert!(config.big_binary_bytes > 420_000, "Q3 anchor needs >420KB");
+
+    let t_new = Timestamp::from_ymd(NEW_MTIME.0, NEW_MTIME.1, NEW_MTIME.2).expect("date");
+    let t_old = Timestamp::from_ymd(OLD_MTIME.0, OLD_MTIME.1, OLD_MTIME.2).expect("date");
+    let fs = Arc::new(VirtualFs::new(t_new));
+    let imap = Arc::new(ImapServer::new(config.imap_latency, config.imap_sleep));
+
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(config.seed),
+        fs: Arc::clone(&fs),
+        counts: DatasetCounts::default(),
+        t_new,
+        t_old,
+    };
+
+    // ---- fixed folder topology (the Table 4 queries navigate it) ----
+    let mk = |path: &str| -> NodeId {
+        
+        g.fs.mkdir_p(path, g.t_new).expect("mkdir")
+    };
+    let projects = mk("/Projects");
+    let pim = mk("/Projects/PIM");
+    let olap = mk("/Projects/OLAP");
+    let vldb2005 = mk("/Projects/VLDB2005");
+    let vldb2006 = mk("/Projects/VLDB2006");
+    let papers = mk("/papers");
+    let papers_v1 = mk("/papers/v1");
+    let papers_final = mk("/papers/final");
+    let papers_archive = mk("/papers/archive");
+    let misc = mk("/misc");
+    g.counts.fs_items += 10;
+    // The Figure 1 cycle: PIM/All Projects → Projects.
+    g.fs
+        .create_link(pim, "All Projects", projects, g.t_new)
+        .expect("link");
+    g.counts.fs_items += 1;
+
+    // ---- misc folder tree ----
+    let mut misc_folders = vec![misc];
+    for i in 0..n0(1000.0, scale) {
+        let parent = misc_folders[g.rng.gen_range(0..misc_folders.len())];
+        if let Ok(id) = g.fs.mkdir(parent, &format!("dir{i:04}"), g.t_new) {
+            misc_folders.push(id);
+            g.counts.fs_items += 1;
+        }
+    }
+    let pick_misc = |g: &mut Gen, folders: &[NodeId]| -> NodeId {
+        folders[g.rng.gen_range(0..folders.len())]
+    };
+
+    // ---- planting schedules --------------------------------------
+    // Q1/Q2: "database" / "database tuning" plantings (each LaTeX
+    // planting matches 3 views: file bytes, section content, text view;
+    // txt-file and email plantings match 1 view each).
+    let db_para = n0(190.0, scale);
+    let db_txt = n0(166.0, scale);
+    let db_email = n0(166.0, scale);
+    let dbt_para = n0(6.0, scale);
+    let dbt_txt = n0(10.0, scale);
+    let dbt_email = n0(11.0, scale);
+
+    let mut expected = ExpectedResults {
+        q1: 3 * (db_para + dbt_para) + db_txt + db_email + dbt_txt + dbt_email,
+        q2: 3 * dbt_para + dbt_txt + dbt_email,
+        ..ExpectedResults::default()
+    };
+
+    // ---- LaTeX documents on the filesystem ----
+    // Anchor docs first, filler afterwards.
+    let mut doc_counter = 0usize;
+    let mut next_doc_name = |g: &mut Gen| {
+        doc_counter += 1;
+        let token = g.text().token(6);
+        format!("doc{doc_counter:04}-{token}.tex")
+    };
+
+    // Q4: sections named `…Vision` under /papers with "Mike Franklin".
+    let q4 = n1(2.0, scale);
+    for _ in 0..q4 {
+        let name = next_doc_name(&mut g);
+        let content = g.latex_doc(
+            5,
+            3,
+            Some("A quote by Mike Franklin on dataspaces"),
+            Some("A Dataspace Vision"),
+            &[],
+            "",
+        );
+        g.create_latex(papers, &name, content);
+    }
+    expected.q4 = q4;
+
+    // Section 5.1 example: //PIM//Introduction with "Mike Franklin".
+    {
+        let name = next_doc_name(&mut g);
+        let content = g.latex_doc(
+            4,
+            3,
+            Some("following the dataspace agenda of Mike Franklin"),
+            Some("Introduction"),
+            &[],
+            "",
+        );
+        g.create_latex(pim, &name, content);
+    }
+
+    // Q5: `Conclusions` sections with "systems" under VLDB200?.
+    let q5 = n1(2.0, scale);
+    for i in 0..q5 {
+        let dir = if i % 2 == 0 { vldb2006 } else { vldb2005 };
+        let name = next_doc_name(&mut g);
+        let content = g.latex_doc(
+            4,
+            2,
+            Some("future systems will converge"),
+            Some("Conclusions"),
+            &[],
+            "",
+        );
+        g.create_latex(dir, &name, content);
+    }
+    expected.q5 = q5;
+
+    // Q6: "documents" plantings in VLDB2005/VLDB2006 docs (3 views each,
+    // the paper reports 31).
+    let q6_paras = n0(10.0, scale).max(1);
+    for i in 0..q6_paras {
+        let dir = if i % 2 == 0 { vldb2005 } else { vldb2006 };
+        let name = next_doc_name(&mut g);
+        let content = g.latex_doc(4, 2, Some("shared documents of the project"), None, &[], "");
+        g.create_latex(dir, &name, content);
+    }
+    expected.q6 = 3 * q6_paras;
+
+    // Q7: figure/label/ref pairs inside VLDB2006 docs.
+    let q7 = n1(21.0, scale);
+    {
+        let docs = q7.div_ceil(5).max(1); // ~5 figures per doc
+        let mut remaining = q7;
+        for d in 0..docs {
+            let here = remaining.div_ceil(docs - d);
+            let labels: Vec<String> = (0..here)
+                .map(|_| {
+                    let token = g.text().token(8);
+                    format!("fig:{token}")
+                })
+                .collect();
+            remaining -= here;
+            let name = next_doc_name(&mut g);
+            let content = g.latex_doc(3, 2, None, None, &labels, "Evaluation results for");
+            g.create_latex(vldb2006, &name, content);
+        }
+    }
+    expected.q7 = q7;
+
+    // OLAP docs with "Indexing Time" figure captions (the Section 5.1
+    // example query `//OLAP//[class="figure" and "Indexing time"]`).
+    for _ in 0..n1(2.0, scale) {
+        let label = {
+            let token = g.text().token(8);
+            format!("fig:{token}")
+        };
+        let name = next_doc_name(&mut g);
+        let content = g.latex_doc(3, 2, None, None, &[label], "Indexing Time for");
+        g.create_latex(olap, &name, content);
+    }
+
+    // Q8: `.tex` names shared between email attachments and /papers.
+    // copies per attachment sum to the target pair count.
+    let q8_attachments = n1(7.0, scale);
+    let q8_pairs_target = n1(16.0, scale).max(q8_attachments);
+    let mut q8_names: Vec<String> = Vec::with_capacity(q8_attachments);
+    let mut q8_copies: Vec<usize> = vec![0; q8_attachments];
+    {
+        let mut pairs = 0usize;
+        // At least one copy each, then round-robin until the target.
+        let mut i = 0usize;
+        while pairs < q8_pairs_target {
+            q8_copies[i % q8_attachments] += 1;
+            pairs += 1;
+            i += 1;
+        }
+    }
+    let copy_dirs = [papers_v1, papers_final, papers_archive];
+    let mut attachment_payloads: Vec<(String, String)> = Vec::new();
+    for (i, copies) in q8_copies.iter().enumerate() {
+        let name = format!("shared{i:02}.tex");
+        let content = g.latex_doc(3, 2, None, None, &[], "");
+        for (c, dir) in copy_dirs.iter().cycle().take(*copies).enumerate() {
+            // Same name in different folders (versions of the paper).
+            let target_dir = if c == 0 { *dir } else { copy_dirs[c % 3] };
+            // Names must be unique per folder; copies beyond 3 get
+            // their own subfolder.
+            let dir = if c < 3 {
+                target_dir
+            } else {
+                g.fs
+                    .mkdir_p(&format!("/papers/extra{c}"), g.t_new)
+                    .expect("mkdir")
+            };
+            if g.fs.child_named(dir, &name).expect("lookup").is_none() {
+                g.create_latex(dir, &name, content.clone());
+            }
+        }
+        q8_names.push(name.clone());
+        attachment_payloads.push((name, content));
+    }
+    expected.q8 = q8_pairs_target;
+
+    // Filler LaTeX docs: misc + papers + remaining project folders,
+    // carrying the Q1/Q2 paragraph plantings (one per doc).
+    let mut para_plants: Vec<&str> = Vec::new();
+    para_plants.extend(std::iter::repeat_n("database", db_para));
+    para_plants.extend(std::iter::repeat_n("database tuning", dbt_para));
+    let filler_latex = n0(167.0, scale).max(para_plants.len()) + n0(60.0, scale);
+    let mut plant_iter = para_plants.into_iter();
+    for i in 0..filler_latex {
+        let dir = match i % 5 {
+            0 => papers,
+            1 => pim,
+            2 => olap,
+            _ => pick_misc(&mut g, &misc_folders),
+        };
+        let plant = plant_iter.next();
+        let name = next_doc_name(&mut g);
+        let content = g.latex_doc(5, 3, plant, None, &[], "");
+        g.create_latex(dir, &name, content);
+    }
+
+    // ---- XML documents on the filesystem ----
+    let fs_xml = n1(47.0, scale);
+    // Paper shape: ≈2,495 derived views per filesystem XML document.
+    for i in 0..fs_xml {
+        let dir = pick_misc(&mut g, &misc_folders);
+        let content = g.xml_doc(2_490);
+        let name = format!("data{i:03}.xml");
+        if g.fs.create_file(dir, &name, content, g.t_new).is_ok() {
+            g.counts.fs_items += 1;
+            g.counts.fs_xml_docs += 1;
+        }
+    }
+
+    // ---- Office "zipped XML" documents (paper footnote 1) ----
+    // Figure 1 shows 'Grant.doc' inside the PIM folder; model it (and a
+    // population of office reports) as Office-12-style containers.
+    {
+        let grant_xml = g.xml_doc(80);
+        let container = idm_xml::zip::office_document(&grant_xml);
+        if g
+            .fs
+            .create_file(pim, "Grant.docx", container, g.t_new)
+            .is_ok()
+        {
+            g.counts.fs_items += 1;
+            g.counts.fs_xml_docs += 1;
+        }
+    }
+    for i in 0..n0(30.0, scale) {
+        let dir = pick_misc(&mut g, &misc_folders);
+        let xml = g.xml_doc(120);
+        let container = idm_xml::zip::office_document(&xml);
+        if g
+            .fs
+            .create_file(dir, &format!("report{i:03}.docx"), container, g.t_new)
+            .is_ok()
+        {
+            g.counts.fs_items += 1;
+            g.counts.fs_xml_docs += 1;
+        }
+    }
+
+    // ---- plain text files (with Q1/Q2 plantings) ----
+    let mut txt_plants: Vec<&str> = Vec::new();
+    txt_plants.extend(std::iter::repeat_n("database", db_txt));
+    txt_plants.extend(std::iter::repeat_n("database tuning", dbt_txt));
+    let txt_total = n0(11_000.0, scale).max(txt_plants.len());
+    let mut txt_plant_iter = txt_plants.into_iter();
+    for i in 0..txt_total {
+        let dir = pick_misc(&mut g, &misc_folders);
+        let plant = txt_plant_iter.next();
+        let body = g.text().paragraph(3200, plant);
+        if g
+            .fs
+            .create_file(dir, &format!("note{i:05}.txt"), body, g.t_new)
+            .is_ok()
+        {
+            g.counts.fs_items += 1;
+        }
+    }
+
+    // ---- binary files ----
+    // Q3 anchors: big and old. The only views with size > 420,000 and
+    // mtime before 12.06.2005.
+    let q3 = n0(88.0, scale).max(1);
+    for i in 0..q3 {
+        let dir = pick_misc(&mut g, &misc_folders);
+        let blob = binary_blob(&mut g.rng, config.big_binary_bytes);
+        let t_old = g.t_old;
+        if g
+            .fs
+            .create_file(dir, &format!("backup{i:03}.bin"), blob, t_old)
+            .is_ok()
+        {
+            g.counts.fs_items += 1;
+        }
+    }
+    expected.q3 = q3;
+    for i in 0..n0(600.0, scale) {
+        let dir = pick_misc(&mut g, &misc_folders);
+        let len = g.rng.gen_range(2_000..9_000);
+        let blob = binary_blob(&mut g.rng, len);
+        if g
+            .fs
+            .create_file(dir, &format!("img{i:04}.jpg"), blob, g.t_new)
+            .is_ok()
+        {
+            g.counts.fs_items += 1;
+        }
+    }
+
+    // ---- email ----
+    let inbox = imap.inbox();
+    let mut mailboxes = vec![inbox];
+    for name in ["Projects", "Lectures", "Admin"] {
+        mailboxes.push(imap.create_mailbox(inbox, name).expect("mailbox"));
+    }
+    let email_projects = mailboxes[1];
+    for name in ["OLAP", "PIM"] {
+        mailboxes.push(
+            imap.create_mailbox(email_projects, name)
+                .expect("mailbox"),
+        );
+    }
+    g.counts.mail_folders = mailboxes.len();
+
+    let email_total = n0(6335.0, scale).max(q8_attachments + 2);
+    let email_xml = n1(13.0, scale);
+    let mut email_plants: Vec<&str> = Vec::new();
+    email_plants.extend(std::iter::repeat_n("database", db_email));
+    email_plants.extend(std::iter::repeat_n("database tuning", dbt_email));
+    let mut email_plant_iter = email_plants.into_iter();
+
+    for i in 0..email_total {
+        let mailbox: MailboxId = mailboxes[i % mailboxes.len()];
+        let plant = email_plant_iter.next();
+        let body = g.text().paragraph(1600, plant);
+        let subject = g.text().sentence(5);
+        let mut attachments = Vec::new();
+        if i < q8_attachments {
+            // The Q8 .tex attachments (same bytes as the paper copies).
+            let (name, content) = attachment_payloads[i].clone();
+            attachments.push(Attachment {
+                filename: name,
+                content: content.into(),
+            });
+            g.counts.email_latex_docs += 1;
+        } else if i < q8_attachments + email_xml {
+            // Paper shape: ≈52 derived views per email XML document.
+            let content = g.xml_doc(52);
+            attachments.push(Attachment {
+                filename: format!("report{i:03}.xml"),
+                content: content.into(),
+            });
+            g.counts.email_xml_docs += 1;
+        }
+        g.counts.attachments += attachments.len();
+        let hour = (i % 24) as u32;
+        let message = EmailMessage {
+            subject,
+            from: "jens.dittrich@inf.ethz.ch".into(),
+            to: "marcos@inf.ethz.ch".into(),
+            date: Timestamp::from_ymd_hms(2005, 7, 1 + (i % 20) as u32, hour, 0, 0)
+                .expect("date"),
+            body,
+            attachments,
+        };
+        imap.append(mailbox, &message).expect("append");
+        g.counts.emails += 1;
+    }
+    // Dataset generation itself should not count as access latency.
+    imap.reset_simulated_latency();
+
+    // ---- RSS feeds ----
+    let feeds = Arc::new(FeedServer::new());
+    let feed_urls: Vec<String> = (0..2)
+        .map(|i| format!("http://feeds.example.org/feed{i}"))
+        .collect();
+    for url in &feed_urls {
+        feeds.publish(url, Feed::new(url.clone()));
+        for k in 0..n1(5.0, scale) {
+            let (title, body) = {
+                let mut t = g.text();
+                (t.sentence(4), t.sentence(12))
+            };
+            feeds.append_item(
+                url,
+                FeedItem {
+                    title,
+                    author: "dbis".into(),
+                    published: Timestamp::from_ymd(2005, 8, 1 + k as u32 % 27).expect("date"),
+                    body,
+                },
+            );
+        }
+    }
+
+    GeneratedDataset {
+        fs,
+        imap,
+        feeds,
+        feed_urls,
+        expected,
+        counts: g.counts,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DatasetConfig::at_scale(0.01));
+        let b = generate(DatasetConfig::at_scale(0.01));
+        assert_eq!(a.counts.fs_items, b.counts.fs_items);
+        assert_eq!(a.counts.emails, b.counts.emails);
+        assert_eq!(a.expected, b.expected);
+        assert_eq!(a.fs.total_file_bytes(), b.fs.total_file_bytes());
+        assert_eq!(a.imap.total_wire_bytes(), b.imap.total_wire_bytes());
+    }
+
+    #[test]
+    fn counts_scale_roughly_linearly() {
+        let small = generate(DatasetConfig::at_scale(0.01));
+        let bigger = generate(DatasetConfig::at_scale(0.03));
+        assert!(bigger.counts.fs_items > 2 * small.counts.fs_items);
+        assert!(bigger.counts.emails > 2 * small.counts.emails);
+    }
+
+    #[test]
+    fn topology_contains_query_folders() {
+        let d = generate(DatasetConfig::at_scale(0.01));
+        for path in [
+            "/Projects/PIM",
+            "/Projects/OLAP",
+            "/Projects/VLDB2005",
+            "/Projects/VLDB2006",
+            "/papers",
+        ] {
+            assert!(d.fs.resolve(path).is_ok(), "{path} missing");
+        }
+        // The Figure 1 cycle exists.
+        assert!(d.fs.resolve("/Projects/PIM/All Projects/PIM").is_ok());
+    }
+
+    #[test]
+    fn anchors_present_at_small_scale() {
+        let d = generate(DatasetConfig::at_scale(0.01));
+        assert!(d.expected.q3 >= 1);
+        assert!(d.expected.q4 >= 1);
+        assert!(d.expected.q5 >= 1);
+        assert!(d.expected.q7 >= 1);
+        assert!(d.expected.q8 >= 1);
+        assert!(d.counts.fs_xml_docs >= 1);
+        assert!(d.counts.email_latex_docs >= 1);
+    }
+
+    #[test]
+    fn paper_scale_counts_match_table_2_shape() {
+        // Expected counts at scale 1.0 (computed, not generated — the
+        // full generation runs in the benches).
+        let scale = 1.0;
+        assert_eq!(n0(6335.0, scale), 6335);
+        assert_eq!(n1(47.0, scale), 47);
+        assert_eq!(n0(88.0, scale), 88);
+        let expected_q1 = 3 * (190 + 6) + 166 + 166 + 10 + 11;
+        assert_eq!(expected_q1, 941, "Q1 calibration");
+        let expected_q2 = 3 * 6 + 10 + 11;
+        assert_eq!(expected_q2, 39, "Q2 calibration");
+    }
+
+    #[test]
+    fn feeds_published() {
+        let d = generate(DatasetConfig::at_scale(0.01));
+        for url in &d.feed_urls {
+            assert!(d.feeds.item_count(url) >= 1);
+        }
+    }
+}

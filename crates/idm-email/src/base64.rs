@@ -1,0 +1,119 @@
+//! A from-scratch Base64 codec (RFC 4648, standard alphabet with
+//! padding) for MIME `Content-Transfer-Encoding: base64` parts.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as Base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3F] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3F] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes Base64 text (whitespace tolerated, padding required for the
+/// final quantum when the length demands it).
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    fn value(c: u8) -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("invalid base64 character '{}'", c as char)),
+        }
+    }
+
+    let cleaned: Vec<u8> = text
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
+    for quad in cleaned.chunks(4) {
+        if quad.len() < 2 {
+            return Err("truncated base64 quantum".into());
+        }
+        let pads = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pads > 2 {
+            return Err("malformed base64 padding".into());
+        }
+        // Unpadded final quanta of length 2 or 3 are tolerated.
+        let digits = quad.len() - pads;
+        if digits < 2 {
+            return Err("malformed base64 padding".into());
+        }
+        let mut triple = 0u32;
+        for (i, &c) in quad.iter().enumerate().take(digits) {
+            if c == b'=' {
+                return Err("padding inside base64 quantum".into());
+            }
+            triple |= value(c)? << (18 - 6 * i);
+        }
+        out.push((triple >> 16) as u8);
+        if digits > 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if digits > 3 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, encoded) in vectors {
+            assert_eq!(encode(plain.as_bytes()), encoded);
+            assert_eq!(decode(encoded).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(decode("Zm9v\r\nYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        assert!(decode("Zm9v!").is_err());
+        assert!(decode("Z").is_err());
+        assert!(decode("Z===").is_err());
+        assert!(decode("=Zm9").is_err());
+    }
+}

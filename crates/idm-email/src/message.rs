@@ -1,0 +1,362 @@
+//! RFC-822-style message parsing and serialization with MIME multipart
+//! attachments — the format the simulated IMAP server stores and the
+//! Email2iDM converter consumes.
+
+use bytes::Bytes;
+use idm_core::prelude::*;
+use idm_core::value::Timestamp;
+
+use crate::base64;
+
+/// An attachment: a filename plus bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attachment {
+    /// The attachment filename, e.g. `vldb2006.tex`.
+    pub filename: String,
+    /// Raw content bytes.
+    pub content: Bytes,
+}
+
+/// A parsed email message.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EmailMessage {
+    /// `Subject:` header.
+    pub subject: String,
+    /// `From:` header.
+    pub from: String,
+    /// `To:` header.
+    pub to: String,
+    /// Parsed `Date:` header.
+    pub date: Timestamp,
+    /// The text body.
+    pub body: String,
+    /// MIME attachments, in order.
+    pub attachments: Vec<Attachment>,
+}
+
+impl EmailMessage {
+    /// Total content size: body plus attachments.
+    pub fn content_size(&self) -> usize {
+        self.body.len() + self.attachments.iter().map(|a| a.content.len()).sum::<usize>()
+    }
+
+    /// Serializes to RFC-822-style wire bytes. Messages without
+    /// attachments are plain text; with attachments they become
+    /// `multipart/mixed` with base64-encoded attachment parts.
+    pub fn to_wire(&self) -> String {
+        let date = format_date(self.date);
+        let mut out = String::new();
+        out.push_str(&format!("From: {}\r\n", self.from));
+        out.push_str(&format!("To: {}\r\n", self.to));
+        out.push_str(&format!("Subject: {}\r\n", self.subject));
+        out.push_str(&format!("Date: {date}\r\n"));
+        if self.attachments.is_empty() {
+            out.push_str("Content-Type: text/plain; charset=utf-8\r\n\r\n");
+            out.push_str(&self.body);
+            return out;
+        }
+        let boundary = "=-imemex-boundary-7d1";
+        out.push_str(&format!(
+            "Content-Type: multipart/mixed; boundary=\"{boundary}\"\r\n\r\n"
+        ));
+        out.push_str(&format!("--{boundary}\r\n"));
+        out.push_str("Content-Type: text/plain; charset=utf-8\r\n\r\n");
+        out.push_str(&self.body);
+        out.push_str("\r\n");
+        for attachment in &self.attachments {
+            out.push_str(&format!("--{boundary}\r\n"));
+            out.push_str("Content-Type: application/octet-stream\r\n");
+            out.push_str("Content-Transfer-Encoding: base64\r\n");
+            out.push_str(&format!(
+                "Content-Disposition: attachment; filename=\"{}\"\r\n\r\n",
+                attachment.filename
+            ));
+            out.push_str(&base64::encode(&attachment.content));
+            out.push_str("\r\n");
+        }
+        out.push_str(&format!("--{boundary}--\r\n"));
+        out
+    }
+
+    /// Parses wire bytes back into a message.
+    pub fn from_wire(raw: &str) -> Result<EmailMessage> {
+        let (headers, body) = split_headers(raw)?;
+        let header = |name: &str| -> String {
+            headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let mut message = EmailMessage {
+            subject: header("Subject"),
+            from: header("From"),
+            to: header("To"),
+            date: parse_date(&header("Date")).unwrap_or_default(),
+            body: String::new(),
+            attachments: Vec::new(),
+        };
+
+        let content_type = header("Content-Type");
+        if let Some(boundary) = extract_boundary(&content_type) {
+            parse_multipart(body, &boundary, &mut message)?;
+        } else {
+            message.body = body.to_owned();
+        }
+        Ok(message)
+    }
+}
+
+fn split_headers(raw: &str) -> Result<(Vec<(String, String)>, &str)> {
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (&raw[..i], &raw[i + 4..]),
+        None => match raw.find("\n\n") {
+            Some(i) => (&raw[..i], &raw[i + 2..]),
+            None => (raw, ""),
+        },
+    };
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in head.lines() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            // Folded header continuation.
+            if let Some((_, value)) = headers.last_mut() {
+                value.push(' ');
+                value.push_str(line.trim());
+                continue;
+            }
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| IdmError::Parse {
+            detail: format!("malformed header line '{line}'"),
+        })?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
+    Ok((headers, body))
+}
+
+fn extract_boundary(content_type: &str) -> Option<String> {
+    if !content_type.to_ascii_lowercase().contains("multipart") {
+        return None;
+    }
+    let idx = content_type.to_ascii_lowercase().find("boundary=")?;
+    let rest = &content_type[idx + "boundary=".len()..];
+    let boundary = if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()?
+    } else {
+        rest.split(';').next()?.trim()
+    };
+    Some(boundary.to_owned())
+}
+
+fn parse_multipart(body: &str, boundary: &str, message: &mut EmailMessage) -> Result<()> {
+    let delim = format!("--{boundary}");
+    let closing = format!("--{boundary}--");
+    let mut parts: Vec<&str> = Vec::new();
+    let mut rest = body;
+    // Skip preamble up to the first delimiter.
+    while let Some(i) = rest.find(&delim) {
+        let after = &rest[i + delim.len()..];
+        if rest[i..].starts_with(&closing) {
+            break;
+        }
+        let after = after.strip_prefix("\r\n").or_else(|| after.strip_prefix('\n')).unwrap_or(after);
+        let end = after.find(&delim).unwrap_or(after.len());
+        // Strip exactly the one line break that precedes the next
+        // boundary delimiter (the part body itself may end in newlines).
+        let part = after[..end]
+            .strip_suffix("\r\n")
+            .or_else(|| after[..end].strip_suffix('\n'))
+            .unwrap_or(&after[..end]);
+        parts.push(part);
+        rest = &after[end..];
+        if rest.starts_with(&closing) {
+            break;
+        }
+    }
+
+    for part in parts {
+        let (headers, part_body) = split_headers(part)?;
+        let header = |name: &str| -> String {
+            headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let disposition = header("Content-Disposition");
+        if disposition.to_ascii_lowercase().contains("attachment") {
+            let filename = disposition
+                .split("filename=")
+                .nth(1)
+                .map(|f| f.trim_matches(['"', ' ', ';']).to_owned())
+                .unwrap_or_else(|| "attachment".to_owned());
+            let encoding = header("Content-Transfer-Encoding");
+            let content = if encoding.eq_ignore_ascii_case("base64") {
+                Bytes::from(base64::decode(part_body).map_err(|e| IdmError::Parse {
+                    detail: format!("attachment '{filename}': {e}"),
+                })?)
+            } else {
+                Bytes::from(part_body.as_bytes().to_vec())
+            };
+            message.attachments.push(Attachment { filename, content });
+        } else {
+            // Body part.
+            if message.body.is_empty() {
+                message.body = part_body.to_owned();
+            } else {
+                message.body.push('\n');
+                message.body.push_str(part_body);
+            }
+        }
+    }
+    Ok(())
+}
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Formats `12 Jun 2005 16:14:02` (a UTC-only RFC 2822 subset).
+pub fn format_date(t: Timestamp) -> String {
+    let (y, mo, d) = t.to_ymd();
+    let (h, mi, s) = t.to_hms();
+    format!("{d} {} {y} {h:02}:{mi:02}:{s:02}", MONTHS[(mo - 1) as usize])
+}
+
+/// Parses the [`format_date`] shape (weekday prefixes and zone suffixes
+/// tolerated and ignored: everything is UTC in the simulation).
+pub fn parse_date(text: &str) -> Result<Timestamp> {
+    let text = text.trim();
+    // Strip an optional leading "Mon, " weekday.
+    let text = match text.split_once(", ") {
+        Some((_weekday, rest)) => rest,
+        None => text,
+    };
+    let mut parts = text.split_whitespace();
+    let (day, month, year, time) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(d), Some(m), Some(y), Some(t)) => (d, m, y, t),
+        _ => {
+            return Err(IdmError::Parse {
+                detail: format!("bad date '{text}'"),
+            })
+        }
+    };
+    let month_num = MONTHS
+        .iter()
+        .position(|m| m.eq_ignore_ascii_case(month))
+        .ok_or_else(|| IdmError::Parse {
+            detail: format!("bad month '{month}'"),
+        })? as u32
+        + 1;
+    let mut hms = time.split(':');
+    let (h, mi, s) = match (hms.next(), hms.next(), hms.next()) {
+        (Some(h), Some(m), Some(s)) => (h, m, s),
+        _ => {
+            return Err(IdmError::Parse {
+                detail: format!("bad time '{time}'"),
+            })
+        }
+    };
+    let parse_num = |s: &str, what: &str| -> Result<u32> {
+        s.parse().map_err(|_| IdmError::Parse {
+            detail: format!("bad {what} '{s}'"),
+        })
+    };
+    Timestamp::from_ymd_hms(
+        parse_num(year, "year")? as i32,
+        month_num,
+        parse_num(day, "day")?,
+        parse_num(h, "hour")?,
+        parse_num(mi, "minute")?,
+        parse_num(s, "second")?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmailMessage {
+        EmailMessage {
+            subject: "OLAP project figures".into(),
+            from: "jens.dittrich@inf.ethz.ch".into(),
+            to: "marcos@inf.ethz.ch".into(),
+            date: Timestamp::from_ymd_hms(2005, 9, 22, 16, 14, 2).unwrap(),
+            body: "Please find the indexing time figure attached.".into(),
+            attachments: vec![
+                Attachment {
+                    filename: "olap.tex".into(),
+                    content: Bytes::from_static(b"\\section{Results}"),
+                },
+                Attachment {
+                    filename: "data.bin".into(),
+                    content: Bytes::from(vec![0u8, 255, 128, 7]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_with_attachments() {
+        let message = sample();
+        let wire = message.to_wire();
+        let parsed = EmailMessage::from_wire(&wire).unwrap();
+        assert_eq!(parsed, message);
+    }
+
+    #[test]
+    fn wire_roundtrip_plain() {
+        let message = EmailMessage {
+            subject: "hello".into(),
+            from: "a@b".into(),
+            to: "c@d".into(),
+            date: Timestamp::from_ymd(2005, 1, 2).unwrap(),
+            body: "just text\r\nwith two lines".into(),
+            attachments: vec![],
+        };
+        let parsed = EmailMessage::from_wire(&message.to_wire()).unwrap();
+        assert_eq!(parsed, message);
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        let t = Timestamp::from_ymd_hms(2005, 6, 12, 23, 59, 58).unwrap();
+        assert_eq!(parse_date(&format_date(t)).unwrap(), t);
+        // Weekday prefix tolerated.
+        assert_eq!(parse_date("Sun, 12 Jun 2005 23:59:58").unwrap(), t);
+        assert!(parse_date("not a date").is_err());
+    }
+
+    #[test]
+    fn folded_headers_unfold() {
+        let raw = "Subject: a very\r\n long subject\r\nFrom: x@y\r\nTo: z@w\r\nDate: 1 Jan 2005 00:00:00\r\n\r\nbody";
+        let m = EmailMessage::from_wire(raw).unwrap();
+        assert_eq!(m.subject, "a very long subject");
+        assert_eq!(m.body, "body");
+    }
+
+    #[test]
+    fn content_size_counts_attachments() {
+        let m = sample();
+        assert_eq!(
+            m.content_size(),
+            m.body.len() + "\\section{Results}".len() + 4
+        );
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        assert!(EmailMessage::from_wire("NoColonHere\r\n\r\nbody").is_err());
+    }
+
+    #[test]
+    fn missing_headers_default_empty() {
+        let m = EmailMessage::from_wire("Subject: s\r\n\r\nb").unwrap();
+        assert_eq!(m.from, "");
+        assert_eq!(m.date, Timestamp::default());
+        assert_eq!(m.body, "b");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: Base64 codec against the spec, MIME wire
+//! roundtrips, and date parsing.
+
+use bytes::Bytes;
+use idm_core::prelude::Timestamp;
+use idm_email::base64;
+use idm_email::message::{format_date, parse_date, Attachment, EmailMessage};
+use proptest::prelude::*;
+
+proptest! {
+    /// decode ∘ encode is the identity on arbitrary bytes.
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = base64::encode(&data);
+        prop_assert_eq!(base64::decode(&encoded).unwrap(), data);
+    }
+
+    /// Encoded output uses only the Base64 alphabet and is 4/3 the size.
+    #[test]
+    fn base64_output_shape(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let encoded = base64::encode(&data);
+        prop_assert_eq!(encoded.len(), data.len().div_ceil(3) * 4);
+        prop_assert!(encoded.bytes().all(
+            |b| b.is_ascii_alphanumeric() || matches!(b, b'+' | b'/' | b'=')
+        ));
+    }
+
+    /// The decoder never panics on arbitrary text.
+    #[test]
+    fn base64_decode_never_panics(text in ".{0,100}") {
+        let _ = base64::decode(&text);
+    }
+
+    /// Wire-format roundtrip for arbitrary messages. Header values
+    /// avoid newlines (folded headers unfold lossily, by design).
+    #[test]
+    fn message_wire_roundtrip(
+        subject in "[^\r\n]{0,40}",
+        from in "[a-z0-9.@]{0,20}",
+        to in "[a-z0-9.@]{0,20}",
+        date_secs in 0i64..4_000_000_000i64,
+        body in "[a-zA-Z0-9 .,!\n]{0,200}",
+        attachments in proptest::collection::vec(
+            ("[a-z0-9.]{1,12}", proptest::collection::vec(any::<u8>(), 0..64)),
+            0..3,
+        ),
+    ) {
+        // Second precision only; trim to whole seconds.
+        let message = EmailMessage {
+            subject: subject.trim().to_owned(),
+            from: from.trim().to_owned(),
+            to: to.trim().to_owned(),
+            date: Timestamp(date_secs),
+            body: body.replace('\n', "\r\n"),
+            attachments: attachments
+                .into_iter()
+                .map(|(filename, content)| Attachment {
+                    filename,
+                    content: Bytes::from(content),
+                })
+                .collect(),
+        };
+        let parsed = EmailMessage::from_wire(&message.to_wire()).expect("parse");
+        prop_assert_eq!(parsed, message);
+    }
+
+    /// Date format/parse roundtrip over four millennia.
+    #[test]
+    fn date_roundtrip(secs in -30_000_000_000i64..60_000_000_000i64) {
+        let t = Timestamp(secs);
+        prop_assert_eq!(parse_date(&format_date(t)).unwrap(), t);
+    }
+
+    /// The message parser never panics on arbitrary input.
+    #[test]
+    fn from_wire_never_panics(raw in ".{0,400}") {
+        let _ = EmailMessage::from_wire(&raw);
+    }
+}

@@ -1,0 +1,311 @@
+//! The full Replica&Indexes bundle: one of each per-component structure
+//! plus the catalog, with the maintenance logic that keeps them in sync
+//! with a [`ViewStore`]. This is the physical layer the iQL query
+//! processor runs against and the unit whose sizes Table 3 reports.
+
+use idm_core::prelude::*;
+
+use crate::catalog::{CatalogEntry, ResourceViewCatalog};
+use crate::fulltext::FullTextIndex;
+use crate::group::GroupReplica;
+use crate::name::NameIndex;
+use crate::tuple::TupleIndex;
+
+/// Per-index byte sizes (one Table 3 row).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexSizes {
+    /// Name index & replica.
+    pub name: usize,
+    /// Tuple index & replica.
+    pub tuple: usize,
+    /// Content (full-text) index.
+    pub content: usize,
+    /// Group replica.
+    pub group: usize,
+    /// Resource view catalog.
+    pub catalog: usize,
+}
+
+impl IndexSizes {
+    /// Sum of all structures.
+    pub fn total(&self) -> usize {
+        self.name + self.tuple + self.content + self.group + self.catalog
+    }
+}
+
+/// All indexes, replicas and the catalog of one dataspace.
+#[derive(Default)]
+pub struct IndexBundle {
+    /// Name Index & Replica.
+    pub name: NameIndex,
+    /// Tuple Index & Replica.
+    pub tuple: TupleIndex,
+    /// Content Index (full text; not a replica).
+    pub content: FullTextIndex,
+    /// Group Replica (forward + reverse adjacency).
+    pub group: GroupReplica,
+    /// Resource View Catalog.
+    pub catalog: ResourceViewCatalog,
+}
+
+/// What [`IndexBundle::index_view`] did with a view's content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentIndexing {
+    /// Content was empty; nothing to index.
+    Empty,
+    /// Content was textual and went into the content index.
+    Indexed {
+        /// Number of bytes handed to the index (net input size).
+        bytes: usize,
+    },
+    /// Content was binary or infinite; only its size was recorded.
+    Skipped,
+}
+
+/// Heuristic: is this finite content textual (indexable)?
+/// NUL bytes in the head mark binary formats (images, archives, …).
+pub fn is_texty(bytes: &[u8]) -> bool {
+    !bytes.iter().take(512).any(|b| *b == 0)
+}
+
+impl IndexBundle {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        IndexBundle::default()
+    }
+
+    /// Registers one view in the catalog and inserts its components into
+    /// all four index structures. `source` labels the data source for
+    /// Table 2/3-style accounting.
+    ///
+    /// Equivalent to [`IndexBundle::index_components`] followed by
+    /// [`IndexBundle::register_in_catalog`]; the Resource View Manager
+    /// calls the two halves separately so the Figure 5 phases (Catalog
+    /// Insert vs. Component Indexing) can be timed independently.
+    pub fn index_view(&self, store: &ViewStore, vid: Vid, source: &str) -> Result<ContentIndexing> {
+        let outcome = self.index_components(store, vid)?;
+        self.register_in_catalog(store, vid, source, outcome)?;
+        Ok(outcome)
+    }
+
+    /// Inserts a view's components into the four index structures
+    /// (Figure 5's "Component Indexing" phase).
+    ///
+    /// Lazy groups are **not** forced here; callers decide when the graph
+    /// expands (the synchronization manager forces during ingestion, the
+    /// lazy demo paths don't). Infinite groups are skipped — they are
+    /// managed through stream windows, not replicas.
+    pub fn index_components(&self, store: &ViewStore, vid: Vid) -> Result<ContentIndexing> {
+        let record = store.record(vid)?;
+
+        // Name.
+        if let Some(name) = &record.name {
+            self.name.index(vid, name);
+        }
+
+        // Tuple.
+        if let Some(tuple) = &record.tuple {
+            self.tuple.index(vid, tuple);
+        }
+
+        // Content.
+        let outcome = if record.content.is_empty() {
+            ContentIndexing::Empty
+        } else if record.content.is_finite() {
+            let bytes = record.content.bytes()?;
+            if is_texty(&bytes) {
+                let text = String::from_utf8_lossy(&bytes);
+                self.content.index(vid, &text);
+                ContentIndexing::Indexed { bytes: bytes.len() }
+            } else {
+                ContentIndexing::Skipped
+            }
+        } else {
+            ContentIndexing::Skipped
+        };
+
+        // Group (materialized members only; see doc comment).
+        match &record.group {
+            Group::Materialized(data) => {
+                let members: Vec<Vid> = data.members().collect();
+                self.group.index(vid, &members);
+            }
+            Group::Lazy(lazy) => {
+                if let Some(data) = lazy.is_materialized().then(|| {
+                    // Re-force returns the cached value without computing.
+                    lazy.force(store, vid)
+                }) {
+                    let members: Vec<Vid> = data?.members().collect();
+                    self.group.index(vid, &members);
+                }
+            }
+            Group::Empty | Group::InfiniteSeq(_) => {}
+        }
+        Ok(outcome)
+    }
+
+    /// Registers a view's catalog row (Figure 5's "Catalog Insert"
+    /// phase). `outcome` reports what [`IndexBundle::index_components`]
+    /// did with the content component.
+    pub fn register_in_catalog(
+        &self,
+        store: &ViewStore,
+        vid: Vid,
+        source: &str,
+        outcome: ContentIndexing,
+    ) -> Result<()> {
+        let record = store.record(vid)?;
+        let content_size = match outcome {
+            ContentIndexing::Indexed { bytes } => Some(bytes as u64),
+            _ => record.content.size_hint(),
+        };
+        self.catalog.register(CatalogEntry {
+            vid: vid.as_u64(),
+            name: record.name.clone().unwrap_or_default(),
+            class: record.class.map(|c| store.classes().name(c)),
+            source: source.to_owned(),
+            content_size,
+            content_indexed: matches!(outcome, ContentIndexing::Indexed { .. }),
+        });
+        Ok(())
+    }
+
+    /// Removes a view from every structure.
+    pub fn remove_view(&self, vid: Vid) {
+        if let Some(entry) = self.catalog.entry(vid) {
+            if !entry.name.is_empty() {
+                self.name.remove(vid, &entry.name);
+            }
+        }
+        self.tuple.remove(vid);
+        self.content.remove(vid);
+        self.group.remove(vid);
+        self.catalog.unregister(vid);
+    }
+
+    /// Current byte sizes of all structures.
+    pub fn sizes(&self) -> IndexSizes {
+        IndexSizes {
+            name: self.name.footprint_bytes(),
+            tuple: self.tuple.footprint_bytes(),
+            content: self.content.footprint_bytes(),
+            group: self.group.footprint_bytes(),
+            catalog: self.catalog.footprint_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_core::class::builtin::names;
+
+    fn fs_tuple(size: i64) -> TupleComponent {
+        TupleComponent::of(vec![
+            ("size", Value::Integer(size)),
+            ("creation time", Value::Date(Timestamp(0))),
+            ("last modified time", Value::Date(Timestamp(0))),
+        ])
+    }
+
+    #[test]
+    fn index_view_populates_all_structures() {
+        let store = ViewStore::new();
+        let bundle = IndexBundle::new();
+        let child = store.build("child").insert();
+        let vid = store
+            .build("notes.txt")
+            .tuple(fs_tuple(42))
+            .text("searching for database tuning hints")
+            .children(vec![child])
+            .class_named(names::FILE)
+            .insert();
+
+        let outcome = bundle.index_view(&store, vid, "filesystem").unwrap();
+        assert!(matches!(outcome, ContentIndexing::Indexed { bytes } if bytes > 0));
+
+        assert_eq!(bundle.name.exact("notes.txt"), vec![vid]);
+        assert_eq!(
+            bundle
+                .tuple
+                .compare("size", crate::tuple::CompareOp::Eq, &Value::Integer(42)),
+            vec![vid]
+        );
+        assert_eq!(bundle.content.phrase_query("database tuning"), vec![vid]);
+        assert_eq!(bundle.group.children(vid), vec![child]);
+        let entry = bundle.catalog.entry(vid).unwrap();
+        assert_eq!(entry.class.as_deref(), Some("file"));
+        assert_eq!(entry.source, "filesystem");
+        assert!(entry.content_indexed);
+    }
+
+    #[test]
+    fn binary_content_is_size_counted_not_indexed() {
+        let store = ViewStore::new();
+        let bundle = IndexBundle::new();
+        let vid = store
+            .build("photo.jpg")
+            .content(Content::inline(vec![0xFFu8, 0xD8, 0x00, 0x10, 0x00]))
+            .insert();
+        let outcome = bundle.index_view(&store, vid, "filesystem").unwrap();
+        assert_eq!(outcome, ContentIndexing::Skipped);
+        let entry = bundle.catalog.entry(vid).unwrap();
+        assert!(!entry.content_indexed);
+        assert_eq!(entry.content_size, Some(5));
+        assert_eq!(bundle.content.document_count(), 0);
+    }
+
+    #[test]
+    fn unforced_lazy_groups_not_replicated() {
+        let store = ViewStore::new();
+        let bundle = IndexBundle::new();
+        let provider = std::sync::Arc::new(|store: &ViewStore, _vid: Vid| {
+            Ok(GroupData::of_set(vec![store.build("late").insert()]))
+        });
+        let vid = store.build("lazy").group(Group::lazy(provider)).insert();
+        bundle.index_view(&store, vid, "fs").unwrap();
+        assert!(bundle.group.children(vid).is_empty());
+
+        // After forcing, re-indexing picks the members up.
+        store.group(vid).unwrap();
+        bundle.index_view(&store, vid, "fs").unwrap();
+        assert_eq!(bundle.group.children(vid).len(), 1);
+    }
+
+    #[test]
+    fn remove_view_clears_all_structures() {
+        let store = ViewStore::new();
+        let bundle = IndexBundle::new();
+        let vid = store
+            .build("gone.txt")
+            .tuple(fs_tuple(1))
+            .text("ephemeral words")
+            .insert();
+        bundle.index_view(&store, vid, "fs").unwrap();
+        bundle.remove_view(vid);
+        assert!(bundle.name.exact("gone.txt").is_empty());
+        assert!(bundle.content.term_query("ephemeral").is_empty());
+        assert!(bundle.tuple.tuple_of(vid).is_none());
+        assert!(!bundle.catalog.contains(vid));
+    }
+
+    #[test]
+    fn sizes_total_adds_up() {
+        let store = ViewStore::new();
+        let bundle = IndexBundle::new();
+        for i in 0..50 {
+            let vid = store
+                .build(format!("doc{i}.txt"))
+                .tuple(fs_tuple(i))
+                .text(format!("document number {i} about dataspaces"))
+                .insert();
+            bundle.index_view(&store, vid, "fs").unwrap();
+        }
+        let sizes = bundle.sizes();
+        assert_eq!(
+            sizes.total(),
+            sizes.name + sizes.tuple + sizes.content + sizes.group + sizes.catalog
+        );
+        assert!(sizes.content > 0 && sizes.name > 0 && sizes.catalog > 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! A positional inverted keyword index (the Lucene stand-in).
+//!
+//! Supports single-term lookups, boolean AND/OR combinations and exact
+//! phrase queries via positional intersection. The index is **not** a
+//! replica: term positions cannot reconstruct the original content
+//! (Section 5.2 makes this distinction explicitly).
+
+use std::collections::{BTreeMap, HashSet};
+
+use idm_core::prelude::Vid;
+use parking_lot::RwLock;
+
+use crate::tokenizer::{terms, tokenize};
+
+/// A posting: one document (view) and the positions of a term within it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Posting {
+    vid: Vid,
+    positions: Vec<u32>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Term → postings sorted by vid.
+    postings: BTreeMap<String, Vec<Posting>>,
+    /// Number of indexed documents.
+    documents: usize,
+    /// Total tokens indexed.
+    tokens: u64,
+}
+
+/// Exported posting lists: `(term, [(vid, positions)])`.
+pub type ExportedPostings = Vec<(String, Vec<(u64, Vec<u32>)>)>;
+
+/// The inverted full-text index.
+#[derive(Default)]
+pub struct FullTextIndex {
+    inner: RwLock<Inner>,
+}
+
+impl FullTextIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        FullTextIndex::default()
+    }
+
+    /// Indexes a document's text under `vid`.
+    ///
+    /// A vid must be indexed at most once; re-indexing requires
+    /// [`FullTextIndex::remove`] first.
+    pub fn index(&self, vid: Vid, text: &str) {
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write();
+        inner.documents += 1;
+        inner.tokens += tokens.len() as u64;
+        // Group positions per term.
+        let mut per_term: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for token in tokens {
+            per_term.entry(token.term).or_default().push(token.position);
+        }
+        for (term, positions) in per_term {
+            let postings = inner.postings.entry(term).or_default();
+            // Insertion keeps vid order if vids are indexed in order;
+            // otherwise insert at the right position.
+            match postings.binary_search_by_key(&vid, |p| p.vid) {
+                Ok(i) => postings[i].positions.extend(positions),
+                Err(i) => postings.insert(i, Posting { vid, positions }),
+            }
+        }
+    }
+
+    /// Removes a document from the index.
+    pub fn remove(&self, vid: Vid) {
+        let mut inner = self.inner.write();
+        let mut removed_any = false;
+        inner.postings.retain(|_, postings| {
+            if let Ok(i) = postings.binary_search_by_key(&vid, |p| p.vid) {
+                postings.remove(i);
+                removed_any = true;
+            }
+            !postings.is_empty()
+        });
+        if removed_any {
+            inner.documents = inner.documents.saturating_sub(1);
+        }
+    }
+
+    /// Documents containing `term` (normalized).
+    pub fn term_query(&self, term: &str) -> Vec<Vid> {
+        let normalized = terms(term);
+        let Some(term) = normalized.first() else {
+            return Vec::new();
+        };
+        let inner = self.inner.read();
+        inner
+            .postings
+            .get(term)
+            .map(|ps| ps.iter().map(|p| p.vid).collect())
+            .unwrap_or_default()
+    }
+
+    /// Documents containing the exact phrase (terms at adjacent
+    /// positions). A single-term phrase degrades to a term query.
+    pub fn phrase_query(&self, phrase: &str) -> Vec<Vid> {
+        let query_terms = terms(phrase);
+        match query_terms.len() {
+            0 => return Vec::new(),
+            1 => return self.term_query(&query_terms[0]),
+            _ => {}
+        }
+        let inner = self.inner.read();
+        let mut lists: Vec<&Vec<Posting>> = Vec::with_capacity(query_terms.len());
+        for term in &query_terms {
+            match inner.postings.get(term) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        // Drive by the rarest list.
+        let driver = lists
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.len())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let mut out = Vec::new();
+        'candidates: for posting in lists[driver] {
+            let vid = posting.vid;
+            // Gather positions of every term in this document.
+            let mut doc_positions: Vec<&[u32]> = Vec::with_capacity(lists.len());
+            for list in &lists {
+                match list.binary_search_by_key(&vid, |p| p.vid) {
+                    Ok(i) => doc_positions.push(&list[i].positions),
+                    Err(_) => continue 'candidates,
+                }
+            }
+            // Check adjacency: positions of term i must contain p0 + i.
+            for &p0 in doc_positions[0] {
+                if (1..doc_positions.len())
+                    .all(|i| doc_positions[i].binary_search(&(p0 + i as u32)).is_ok())
+                {
+                    out.push(vid);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Documents containing **all** the given phrases (boolean AND).
+    pub fn all_of(&self, phrases: &[&str]) -> Vec<Vid> {
+        let mut sets: Vec<HashSet<Vid>> = phrases
+            .iter()
+            .map(|p| self.phrase_query(p).into_iter().collect())
+            .collect();
+        let Some(mut acc) = sets.pop() else {
+            return Vec::new();
+        };
+        for set in sets {
+            acc.retain(|v| set.contains(v));
+        }
+        let mut out: Vec<Vid> = acc.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Documents containing **any** of the given phrases (boolean OR).
+    pub fn any_of(&self, phrases: &[&str]) -> Vec<Vid> {
+        let mut acc: HashSet<Vid> = HashSet::new();
+        for phrase in phrases {
+            acc.extend(self.phrase_query(phrase));
+        }
+        let mut out: Vec<Vid> = acc.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Exports the posting lists for persistence:
+    /// `(term, [(vid, positions)])`, terms sorted.
+    pub fn export_postings(&self) -> ExportedPostings {
+        let inner = self.inner.read();
+        inner
+            .postings
+            .iter()
+            .map(|(term, postings)| {
+                (
+                    term.clone(),
+                    postings
+                        .iter()
+                        .map(|p| (p.vid.as_u64(), p.positions.clone()))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds the index from exported postings (plus the document and
+    /// token counters, which cannot be derived from postings alone).
+    pub fn import_postings(&self, postings: ExportedPostings, documents: usize, tokens: u64) {
+        let mut inner = self.inner.write();
+        inner.postings = postings
+            .into_iter()
+            .map(|(term, list)| {
+                (
+                    term,
+                    list.into_iter()
+                        .map(|(vid, positions)| Posting {
+                            vid: Vid::from_raw(vid),
+                            positions,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        inner.documents = documents;
+        inner.tokens = tokens;
+    }
+
+    /// Total indexed tokens (persistence counter).
+    pub fn token_count(&self) -> u64 {
+        self.inner.read().tokens
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.inner.read().postings.len()
+    }
+
+    /// How often `term` occurs in document `vid` (0 if absent).
+    pub fn term_frequency(&self, vid: Vid, term: &str) -> usize {
+        let normalized = terms(term);
+        let Some(term) = normalized.first() else {
+            return 0;
+        };
+        let inner = self.inner.read();
+        inner
+            .postings
+            .get(term)
+            .and_then(|postings| {
+                postings
+                    .binary_search_by_key(&vid, |p| p.vid)
+                    .ok()
+                    .map(|i| postings[i].positions.len())
+            })
+            .unwrap_or(0)
+    }
+
+    /// Number of documents containing `term` (document frequency).
+    pub fn document_frequency(&self, term: &str) -> usize {
+        let normalized = terms(term);
+        let Some(term) = normalized.first() else {
+            return 0;
+        };
+        self.inner
+            .read()
+            .postings
+            .get(term)
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    /// Number of indexed documents.
+    pub fn document_count(&self) -> usize {
+        self.inner.read().documents
+    }
+
+    /// Serialized index size in bytes, modeling the compressed on-disk
+    /// layout real keyword indexes (like the paper's Lucene) use:
+    /// delta-encoded varint document ids and positions per term.
+    pub fn footprint_bytes(&self) -> usize {
+        fn varint(v: u64) -> usize {
+            (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+        }
+        let inner = self.inner.read();
+        inner
+            .postings
+            .iter()
+            .map(|(term, postings)| {
+                let mut bytes = term.len() + varint(postings.len() as u64) + 8;
+                let mut prev_vid = 0u64;
+                for posting in postings {
+                    bytes += varint(posting.vid.as_u64().wrapping_sub(prev_vid));
+                    prev_vid = posting.vid.as_u64();
+                    bytes += varint(posting.positions.len() as u64);
+                    let mut prev_pos = 0u32;
+                    for &pos in &posting.positions {
+                        bytes += varint(u64::from(pos.wrapping_sub(prev_pos)));
+                        prev_pos = pos;
+                    }
+                }
+                bytes
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: u64) -> Vid {
+        Vid::from_raw(i)
+    }
+
+    fn sample() -> FullTextIndex {
+        let index = FullTextIndex::new();
+        index.index(vid(1), "database systems and database tuning");
+        index.index(vid(2), "tuning a database");
+        index.index(vid(3), "the art of computer programming");
+        index
+    }
+
+    #[test]
+    fn term_query_finds_documents() {
+        let index = sample();
+        assert_eq!(index.term_query("database"), vec![vid(1), vid(2)]);
+        assert_eq!(index.term_query("DATABASE"), vec![vid(1), vid(2)]);
+        assert_eq!(index.term_query("tuning"), vec![vid(1), vid(2)]);
+        assert!(index.term_query("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn phrase_query_requires_adjacency() {
+        let index = sample();
+        // "database tuning" is adjacent only in doc 1.
+        assert_eq!(index.phrase_query("database tuning"), vec![vid(1)]);
+        // Both words occur in doc 2 but not adjacently.
+        assert!(index.phrase_query("database tuning").len() == 1);
+        assert_eq!(index.phrase_query("tuning a database"), vec![vid(2)]);
+        assert!(index.phrase_query("computer database").is_empty());
+    }
+
+    #[test]
+    fn phrase_across_punctuation() {
+        let index = FullTextIndex::new();
+        index.index(vid(7), "...phrase 'Mike Franklin' appears here");
+        assert_eq!(index.phrase_query("Mike Franklin"), vec![vid(7)]);
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let index = sample();
+        assert_eq!(index.all_of(&["database", "tuning"]), vec![vid(1), vid(2)]);
+        assert_eq!(index.all_of(&["database", "systems"]), vec![vid(1)]);
+        assert_eq!(
+            index.any_of(&["programming", "systems"]),
+            vec![vid(1), vid(3)]
+        );
+        assert!(index.all_of(&[]).is_empty());
+        assert!(index.any_of(&[]).is_empty());
+    }
+
+    #[test]
+    fn remove_document() {
+        let index = sample();
+        index.remove(vid(1));
+        assert_eq!(index.term_query("database"), vec![vid(2)]);
+        assert_eq!(index.document_count(), 2);
+        assert!(index.phrase_query("database tuning").is_empty());
+        // Removing twice is a no-op.
+        index.remove(vid(1));
+        assert_eq!(index.document_count(), 2);
+    }
+
+    #[test]
+    fn repeated_terms_in_document() {
+        let index = FullTextIndex::new();
+        index.index(vid(1), "go go go gadget");
+        assert_eq!(index.term_query("go"), vec![vid(1)]);
+        assert_eq!(index.phrase_query("go go gadget"), vec![vid(1)]);
+        assert!(index.phrase_query("gadget go").is_empty());
+    }
+
+    #[test]
+    fn empty_documents_not_counted() {
+        let index = FullTextIndex::new();
+        index.index(vid(1), "   !!! ");
+        assert_eq!(index.document_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_vids() {
+        let index = FullTextIndex::new();
+        index.index(vid(9), "alpha");
+        index.index(vid(3), "alpha");
+        index.index(vid(5), "alpha");
+        assert_eq!(index.term_query("alpha"), vec![vid(3), vid(5), vid(9)]);
+    }
+
+    #[test]
+    fn footprint_grows_with_content() {
+        let index = FullTextIndex::new();
+        let before = index.footprint_bytes();
+        index.index(vid(1), "some words to index for footprint accounting");
+        assert!(index.footprint_bytes() > before);
+    }
+}

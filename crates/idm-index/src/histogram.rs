@@ -1,0 +1,237 @@
+//! A histogram-based similarity index for non-textual content.
+//!
+//! Section 5.2: "content indexes are not restricted to text indexes. An
+//! example of that is a content index that uses histogram information
+//! to index pictures based on image similarity \[6\]" (the QBIC system).
+//! This module implements that example: binary content components are
+//! summarized by a normalized byte-value histogram and queried by
+//! nearest-neighbour search under the L1 (histogram-intersection-style)
+//! distance. For real images the histogram would be over color bins;
+//! for the simulated dataspace the byte distribution plays that role —
+//! the index structure and query interface are identical.
+
+use idm_core::prelude::Vid;
+use parking_lot::RwLock;
+
+/// Number of histogram bins (byte values are folded into 8-value bins).
+pub const BINS: usize = 32;
+
+/// A normalized content histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    bins: [f32; BINS],
+}
+
+impl Signature {
+    /// Computes the signature of a byte string. Empty content yields
+    /// the zero signature.
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut bins = [0f32; BINS];
+        if bytes.is_empty() {
+            return Signature { bins };
+        }
+        for &b in bytes {
+            bins[(b as usize) * BINS / 256] += 1.0;
+        }
+        let total = bytes.len() as f32;
+        for bin in &mut bins {
+            *bin /= total;
+        }
+        Signature { bins }
+    }
+
+    /// L1 distance in `[0, 2]`; 0 = identical distributions.
+    pub fn distance(&self, other: &Signature) -> f32 {
+        self.bins
+            .iter()
+            .zip(&other.bins)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<(Vid, Signature)>,
+}
+
+/// The similarity index: signatures by view, k-NN lookup.
+#[derive(Default)]
+pub struct HistogramIndex {
+    inner: RwLock<Inner>,
+}
+
+impl HistogramIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        HistogramIndex::default()
+    }
+
+    /// Indexes (or refreshes) a view's content signature.
+    pub fn index(&self, vid: Vid, bytes: &[u8]) {
+        let signature = Signature::of(bytes);
+        let mut inner = self.inner.write();
+        match inner.entries.binary_search_by_key(&vid, |(v, _)| *v) {
+            Ok(i) => inner.entries[i].1 = signature,
+            Err(i) => inner.entries.insert(i, (vid, signature)),
+        }
+    }
+
+    /// Removes a view.
+    pub fn remove(&self, vid: Vid) {
+        let mut inner = self.inner.write();
+        if let Ok(i) = inner.entries.binary_search_by_key(&vid, |(v, _)| *v) {
+            inner.entries.remove(i);
+        }
+    }
+
+    /// The `k` indexed views most similar to `query`, nearest first,
+    /// as `(vid, distance)` pairs. Ties break by vid for determinism.
+    pub fn nearest(&self, query: &Signature, k: usize) -> Vec<(Vid, f32)> {
+        let inner = self.inner.read();
+        let mut scored: Vec<(Vid, f32)> = inner
+            .entries
+            .iter()
+            .map(|(vid, sig)| (*vid, sig.distance(query)))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Views within `radius` of the query, nearest first.
+    pub fn within(&self, query: &Signature, radius: f32) -> Vec<(Vid, f32)> {
+        let mut out = self.nearest(query, usize::MAX);
+        out.retain(|(_, d)| *d <= radius);
+        out
+    }
+
+    /// k-NN by example: the views most similar to an already-indexed
+    /// view (excluding itself).
+    pub fn similar_to(&self, vid: Vid, k: usize) -> Vec<(Vid, f32)> {
+        let query = {
+            let inner = self.inner.read();
+            match inner.entries.binary_search_by_key(&vid, |(v, _)| *v) {
+                Ok(i) => inner.entries[i].1.clone(),
+                Err(_) => return Vec::new(),
+            }
+        };
+        self.nearest(&query, k + 1)
+            .into_iter()
+            .filter(|(v, _)| *v != vid)
+            .take(k)
+            .collect()
+    }
+
+    /// Number of indexed views.
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialized size in bytes (vid + quantized bins per entry).
+    pub fn footprint_bytes(&self) -> usize {
+        self.len() * (8 + BINS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: u64) -> Vid {
+        Vid::from_raw(i)
+    }
+
+    /// Deterministic pseudo-image: a byte pattern with a given bias.
+    fn image(bias: u8, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (bias as usize + i * 7 % 40) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn identical_content_has_zero_distance() {
+        let a = Signature::of(&image(10, 500));
+        let b = Signature::of(&image(10, 500));
+        assert_eq!(a.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = Signature::of(&image(0, 300));
+        let b = Signature::of(&image(200, 300));
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert!(a.distance(&b) <= 2.0 + 1e-4, "{}", a.distance(&b));
+        assert!(a.distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn nearest_prefers_similar_distributions() {
+        let index = HistogramIndex::new();
+        index.index(vid(1), &image(10, 400)); // dark-ish
+        index.index(vid(2), &image(12, 400)); // near-dark
+        index.index(vid(3), &image(200, 400)); // bright
+
+        let query = Signature::of(&image(11, 400));
+        let hits = index.nearest(&query, 2);
+        assert_eq!(hits.len(), 2);
+        let ids: Vec<Vid> = hits.iter().map(|(v, _)| *v).collect();
+        assert!(ids.contains(&vid(1)) && ids.contains(&vid(2)));
+        assert!(hits[0].1 <= hits[1].1, "nearest first");
+    }
+
+    #[test]
+    fn similar_to_excludes_self() {
+        let index = HistogramIndex::new();
+        for i in 0..5 {
+            index.index(vid(i), &image((i * 40) as u8, 300));
+        }
+        let similar = index.similar_to(vid(0), 2);
+        assert_eq!(similar.len(), 2);
+        assert!(similar.iter().all(|(v, _)| *v != vid(0)));
+        assert!(index.similar_to(vid(99), 3).is_empty());
+    }
+
+    #[test]
+    fn within_radius_filters() {
+        let index = HistogramIndex::new();
+        index.index(vid(1), &image(10, 300));
+        index.index(vid(2), &image(250, 300));
+        let query = Signature::of(&image(10, 300));
+        let close = index.within(&query, 0.1);
+        assert_eq!(close.len(), 1);
+        assert_eq!(close[0].0, vid(1));
+        assert_eq!(index.within(&query, 2.0).len(), 2);
+    }
+
+    #[test]
+    fn reindex_and_remove() {
+        let index = HistogramIndex::new();
+        index.index(vid(1), &image(10, 100));
+        index.index(vid(1), &image(200, 100)); // refresh
+        assert_eq!(index.len(), 1);
+        let query = Signature::of(&image(200, 100));
+        assert_eq!(index.nearest(&query, 1)[0].1, 0.0);
+        index.remove(vid(1));
+        assert!(index.is_empty());
+        index.remove(vid(1)); // no-op
+    }
+
+    #[test]
+    fn empty_content_is_representable() {
+        let zero = Signature::of(&[]);
+        assert_eq!(zero.distance(&zero), 0.0);
+        let index = HistogramIndex::new();
+        index.index(vid(1), &[]);
+        assert_eq!(index.nearest(&zero, 1)[0].0, vid(1));
+    }
+}

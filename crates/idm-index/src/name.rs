@@ -1,0 +1,312 @@
+//! The Name Index & Replica: maps resource view names to vids and
+//! answers the wildcard name patterns iQL paths use (`*Vision`,
+//! `?onclusion*`, `VLDB200?`, `*.tex`, bare `*`).
+
+use std::collections::BTreeMap;
+
+use idm_core::prelude::Vid;
+use parking_lot::RwLock;
+
+/// A compiled name pattern with `*` (any run) and `?` (any one char).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamePattern {
+    raw: String,
+}
+
+impl NamePattern {
+    /// Compiles a pattern.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        NamePattern {
+            raw: pattern.into(),
+        }
+    }
+
+    /// Whether the pattern matches every name (a bare `*`).
+    pub fn matches_all(&self) -> bool {
+        self.raw == "*"
+    }
+
+    /// Whether this pattern contains no wildcards (exact lookup).
+    pub fn is_exact(&self) -> bool {
+        !self.raw.contains(['*', '?'])
+    }
+
+    /// The raw pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Glob matching (iterative two-pointer with backtracking on `*`).
+    pub fn matches(&self, name: &str) -> bool {
+        let pattern: Vec<char> = self.raw.chars().collect();
+        let text: Vec<char> = name.chars().collect();
+        let (mut p, mut t) = (0usize, 0usize);
+        let (mut star, mut star_t) = (None::<usize>, 0usize);
+        while t < text.len() {
+            if p < pattern.len() && (pattern[p] == '?' || pattern[p] == text[t]) {
+                p += 1;
+                t += 1;
+            } else if p < pattern.len() && pattern[p] == '*' {
+                star = Some(p);
+                star_t = t;
+                p += 1;
+            } else if let Some(sp) = star {
+                p = sp + 1;
+                star_t += 1;
+                t = star_t;
+            } else {
+                return false;
+            }
+        }
+        while p < pattern.len() && pattern[p] == '*' {
+            p += 1;
+        }
+        p == pattern.len()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Name → vids with that exact name (the replica: names stored).
+    by_name: BTreeMap<String, Vec<Vid>>,
+    entries: usize,
+}
+
+/// The name index.
+#[derive(Default)]
+pub struct NameIndex {
+    inner: RwLock<Inner>,
+}
+
+impl NameIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        NameIndex::default()
+    }
+
+    /// Indexes a view under its name. Unnamed views are not indexed
+    /// (they are still reachable via `*` path steps through expansion).
+    pub fn index(&self, vid: Vid, name: &str) {
+        if name.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        let vids = inner.by_name.entry(name.to_owned()).or_default();
+        if let Err(i) = vids.binary_search(&vid) {
+            vids.insert(i, vid);
+            inner.entries += 1;
+        }
+    }
+
+    /// Removes a view from the index.
+    pub fn remove(&self, vid: Vid, name: &str) {
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        let mut emptied = false;
+        if let Some(vids) = inner.by_name.get_mut(name) {
+            if let Ok(i) = vids.binary_search(&vid) {
+                vids.remove(i);
+                inner.entries -= 1;
+            }
+            emptied = vids.is_empty();
+        }
+        if emptied {
+            inner.by_name.remove(name);
+        }
+    }
+
+    /// Views with exactly this name.
+    pub fn exact(&self, name: &str) -> Vec<Vid> {
+        self.inner
+            .read()
+            .by_name
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Views whose name matches the pattern. Uses a prefix scan over the
+    /// sorted dictionary when the pattern has a literal prefix.
+    pub fn matching(&self, pattern: &NamePattern) -> Vec<Vid> {
+        if pattern.is_exact() {
+            return self.exact(pattern.as_str());
+        }
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        // Literal prefix before the first wildcard bounds the scan.
+        let prefix: String = pattern
+            .as_str()
+            .chars()
+            .take_while(|c| *c != '*' && *c != '?')
+            .collect();
+        let range: Box<dyn Iterator<Item = (&String, &Vec<Vid>)>> = if prefix.is_empty() {
+            Box::new(inner.by_name.iter())
+        } else {
+            Box::new(
+                inner
+                    .by_name
+                    .range(prefix.clone()..)
+                    .take_while(move |(name, _)| name.starts_with(&prefix)),
+            )
+        };
+        for (name, vids) in range {
+            if pattern.matches(name) {
+                out.extend_from_slice(vids);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Exports the name dictionary for persistence.
+    pub fn export_names(&self) -> Vec<(String, Vec<u64>)> {
+        let inner = self.inner.read();
+        inner
+            .by_name
+            .iter()
+            .map(|(name, vids)| (name.clone(), vids.iter().map(|v| v.as_u64()).collect()))
+            .collect()
+    }
+
+    /// Rebuilds the index from an export.
+    pub fn import_names(&self, names: Vec<(String, Vec<u64>)>) {
+        let mut inner = self.inner.write();
+        inner.entries = names.iter().map(|(_, v)| v.len()).sum();
+        inner.by_name = names
+            .into_iter()
+            .map(|(name, vids)| (name, vids.into_iter().map(Vid::from_raw).collect()))
+            .collect();
+    }
+
+    /// Number of distinct indexed names.
+    pub fn name_count(&self) -> usize {
+        self.inner.read().by_name.len()
+    }
+
+    /// Number of (name, vid) entries.
+    pub fn entry_count(&self) -> usize {
+        self.inner.read().entries
+    }
+
+    /// Serialized index size in bytes: the name replica (the strings
+    /// themselves) plus delta-varint vid postings.
+    pub fn footprint_bytes(&self) -> usize {
+        fn varint(v: u64) -> usize {
+            (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+        }
+        let inner = self.inner.read();
+        inner
+            .by_name
+            .iter()
+            .map(|(name, vids)| {
+                let mut bytes = name.len() + varint(vids.len() as u64) + 4;
+                let mut prev = 0u64;
+                for vid in vids {
+                    bytes += varint(vid.as_u64().wrapping_sub(prev));
+                    prev = vid.as_u64();
+                }
+                bytes
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: u64) -> Vid {
+        Vid::from_raw(i)
+    }
+
+    #[test]
+    fn glob_matching_table() {
+        let cases = [
+            // (pattern, name, matches) — the paper's Table 4 shapes.
+            ("*Vision", "A Dataspace Vision", true),
+            ("*Vision", "Vision", true),
+            ("*Vision", "Visionary", false),
+            ("?onclusion*", "Conclusions", true),
+            ("?onclusion*", "conclusion", true),
+            ("?onclusion*", "onclusion", false),
+            ("VLDB200?", "VLDB2005", true),
+            ("VLDB200?", "VLDB2006", true),
+            ("VLDB200?", "VLDB20056", false),
+            ("*.tex", "vldb 2006.tex", true),
+            ("*.tex", "tex", false),
+            ("*.tex", ".tex", true),
+            ("figure*", "figure12", true),
+            ("figure*", "fig", false),
+            ("*", "anything at all", true),
+            ("*", "", true),
+            ("a*b*c", "aXXbYYc", true),
+            ("a*b*c", "abc", true),
+            ("a*b*c", "acb", false),
+        ];
+        for (pattern, name, expected) in cases {
+            assert_eq!(
+                NamePattern::new(pattern).matches(name),
+                expected,
+                "'{pattern}' vs '{name}'"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_and_wildcard_lookup() {
+        let index = NameIndex::new();
+        index.index(vid(1), "Introduction");
+        index.index(vid(2), "Introduction");
+        index.index(vid(3), "Conclusions");
+        index.index(vid(4), "vldb 2006.tex");
+
+        assert_eq!(index.exact("Introduction"), vec![vid(1), vid(2)]);
+        assert!(index.exact("introduction").is_empty(), "case-sensitive");
+        assert_eq!(
+            index.matching(&NamePattern::new("?onclusion*")),
+            vec![vid(3)]
+        );
+        assert_eq!(index.matching(&NamePattern::new("*.tex")), vec![vid(4)]);
+        assert_eq!(index.matching(&NamePattern::new("*")).len(), 4);
+    }
+
+    #[test]
+    fn prefix_scan_bounds_work() {
+        let index = NameIndex::new();
+        index.index(vid(1), "VLDB2005");
+        index.index(vid(2), "VLDB2006");
+        index.index(vid(3), "SIGMOD2006");
+        assert_eq!(
+            index.matching(&NamePattern::new("VLDB200?")),
+            vec![vid(1), vid(2)]
+        );
+    }
+
+    #[test]
+    fn remove_and_dedup() {
+        let index = NameIndex::new();
+        index.index(vid(1), "a");
+        index.index(vid(1), "a"); // duplicate ignored
+        assert_eq!(index.entry_count(), 1);
+        index.remove(vid(1), "a");
+        assert!(index.exact("a").is_empty());
+        assert_eq!(index.name_count(), 0);
+        index.remove(vid(1), "a"); // no-op
+    }
+
+    #[test]
+    fn unnamed_views_not_indexed() {
+        let index = NameIndex::new();
+        index.index(vid(1), "");
+        assert_eq!(index.entry_count(), 0);
+    }
+
+    #[test]
+    fn pathological_star_patterns_terminate() {
+        let pattern = NamePattern::new("*a*a*a*a*a*a*a*a*b");
+        let name = "a".repeat(60);
+        assert!(!pattern.matches(&name));
+        assert!(pattern.matches(&("a".repeat(20) + "b")));
+    }
+}

@@ -1,0 +1,609 @@
+//! Durable storage for the Replica&Indexes module.
+//!
+//! The paper's prototype kept the Resource View Catalog in Apache Derby
+//! and the full-text indexes in Lucene — both disk-backed, so a PDSMS
+//! restart did not re-scan the user's dataspace. This module provides
+//! the same property from scratch: a compact, versioned binary format
+//! (varint-compressed, length-prefixed) that serializes the whole
+//! [`IndexBundle`] and loads it back, byte-for-byte deterministic.
+//!
+//! The on-disk layout is a magic header followed by five sections
+//! (catalog, name, tuple, content, group), each length-delimited so
+//! future versions can skip unknown sections.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use idm_core::prelude::{Domain, Schema, Timestamp, TupleComponent, Value};
+
+use crate::bundle::IndexBundle;
+use crate::catalog::CatalogEntry;
+
+const MAGIC: &[u8; 8] = b"IDMIDX01";
+
+// ---- primitive codec ----------------------------------------------------
+
+/// A growable binary writer with varint primitives.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn put_u64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn put_i64(&mut self, v: i64) {
+        self.put_u64(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Raw bytes with length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// IEEE-754 double, little endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bits_bytes());
+    }
+}
+
+trait F64Bytes {
+    fn to_le_bits_bytes(self) -> [u8; 8];
+}
+impl F64Bytes for f64 {
+    fn to_le_bits_bytes(self) -> [u8; 8] {
+        self.to_bits().to_le_bytes()
+    }
+}
+
+/// A binary reader matching [`Encoder`].
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn err(message: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, format!("idm index file: {message}"))
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// LEB128 unsigned varint.
+    pub fn get_u64(&mut self) -> io::Result<u64> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .buf
+                .get(self.pos)
+                .ok_or_else(|| Self::err("truncated varint"))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(Self::err("varint overflow"));
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    pub fn get_i64(&mut self) -> io::Result<i64> {
+        let v = self.get_u64()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> io::Result<String> {
+        let bytes = self.get_raw()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Self::err("invalid utf-8"))
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn get_raw(&mut self) -> io::Result<&'a [u8]> {
+        let len = self.get_u64()? as usize;
+        if self.remaining() < len {
+            return Err(Self::err("truncated bytes"));
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// One byte.
+    pub fn get_u8(&mut self) -> io::Result<u8> {
+        let byte = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Self::err("truncated byte"))?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    /// IEEE-754 double, little endian.
+    pub fn get_f64(&mut self) -> io::Result<f64> {
+        if self.remaining() < 8 {
+            return Err(Self::err("truncated f64"));
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+}
+
+// ---- value / tuple codec -------------------------------------------------
+
+fn put_value(enc: &mut Encoder, value: &Value) {
+    match value {
+        Value::Text(s) => {
+            enc.put_u8(0);
+            enc.put_str(s);
+        }
+        Value::Integer(i) => {
+            enc.put_u8(1);
+            enc.put_i64(*i);
+        }
+        Value::Float(f) => {
+            enc.put_u8(2);
+            enc.put_f64(*f);
+        }
+        Value::Boolean(b) => {
+            enc.put_u8(3);
+            enc.put_u8(u8::from(*b));
+        }
+        Value::Date(t) => {
+            enc.put_u8(4);
+            enc.put_i64(t.0);
+        }
+    }
+}
+
+fn get_value(dec: &mut Decoder) -> io::Result<Value> {
+    Ok(match dec.get_u8()? {
+        0 => Value::Text(dec.get_str()?),
+        1 => Value::Integer(dec.get_i64()?),
+        2 => Value::Float(dec.get_f64()?),
+        3 => Value::Boolean(dec.get_u8()? != 0),
+        4 => Value::Date(Timestamp(dec.get_i64()?)),
+        other => return Err(Decoder::err(&format!("unknown value tag {other}"))),
+    })
+}
+
+fn domain_tag(domain: Domain) -> u8 {
+    match domain {
+        Domain::Text => 0,
+        Domain::Integer => 1,
+        Domain::Float => 2,
+        Domain::Boolean => 3,
+        Domain::Date => 4,
+    }
+}
+
+fn tag_domain(tag: u8) -> io::Result<Domain> {
+    Ok(match tag {
+        0 => Domain::Text,
+        1 => Domain::Integer,
+        2 => Domain::Float,
+        3 => Domain::Boolean,
+        4 => Domain::Date,
+        other => return Err(Decoder::err(&format!("unknown domain tag {other}"))),
+    })
+}
+
+fn put_tuple(enc: &mut Encoder, tuple: &TupleComponent) {
+    enc.put_u64(tuple.schema().arity() as u64);
+    for (attr, value) in tuple.iter() {
+        enc.put_str(&attr.name);
+        enc.put_u8(domain_tag(attr.domain));
+        put_value(enc, value);
+    }
+}
+
+fn get_tuple(dec: &mut Decoder) -> io::Result<TupleComponent> {
+    let arity = dec.get_u64()? as usize;
+    let mut attrs = Vec::with_capacity(arity);
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = dec.get_str()?;
+        let domain = tag_domain(dec.get_u8()?)?;
+        let value = get_value(dec)?;
+        attrs.push(idm_core::prelude::Attribute::new(name, domain));
+        values.push(value);
+    }
+    TupleComponent::new(Schema::new(attrs), values)
+        .map_err(|e| Decoder::err(&format!("tuple does not validate: {e}")))
+}
+
+// ---- bundle sections -------------------------------------------------------
+
+/// Serializes the bundle to bytes.
+pub fn to_bytes(bundle: &IndexBundle) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.buf.extend_from_slice(MAGIC);
+
+    // Section 1: catalog.
+    let rows = bundle.catalog.export_rows();
+    enc.put_u64(rows.len() as u64);
+    for row in rows {
+        enc.put_u64(row.vid);
+        enc.put_str(&row.name);
+        match &row.class {
+            Some(class) => {
+                enc.put_u8(1);
+                enc.put_str(class);
+            }
+            None => enc.put_u8(0),
+        }
+        enc.put_str(&row.source);
+        match row.content_size {
+            Some(size) => {
+                enc.put_u8(1);
+                enc.put_u64(size);
+            }
+            None => enc.put_u8(0),
+        }
+        enc.put_u8(u8::from(row.content_indexed));
+    }
+
+    // Section 2: name index.
+    let names = bundle.name.export_names();
+    enc.put_u64(names.len() as u64);
+    for (name, vids) in names {
+        enc.put_str(&name);
+        enc.put_u64(vids.len() as u64);
+        let mut prev = 0u64;
+        for vid in vids {
+            enc.put_u64(vid.wrapping_sub(prev));
+            prev = vid;
+        }
+    }
+
+    // Section 3: tuple replica.
+    let tuples = bundle.tuple.export_replica();
+    enc.put_u64(tuples.len() as u64);
+    for (vid, tuple) in tuples {
+        enc.put_u64(vid);
+        put_tuple(&mut enc, &tuple);
+    }
+
+    // Section 4: content index.
+    let postings = bundle.content.export_postings();
+    enc.put_u64(bundle.content.document_count() as u64);
+    enc.put_u64(bundle.content.token_count());
+    enc.put_u64(postings.len() as u64);
+    for (term, list) in postings {
+        enc.put_str(&term);
+        enc.put_u64(list.len() as u64);
+        let mut prev_vid = 0u64;
+        for (vid, positions) in list {
+            enc.put_u64(vid.wrapping_sub(prev_vid));
+            prev_vid = vid;
+            enc.put_u64(positions.len() as u64);
+            let mut prev_pos = 0u32;
+            for pos in positions {
+                enc.put_u64(u64::from(pos.wrapping_sub(prev_pos)));
+                prev_pos = pos;
+            }
+        }
+    }
+
+    // Section 5: group replica (forward side only).
+    let edges = bundle.group.export_edges();
+    enc.put_u64(edges.len() as u64);
+    for (parent, children) in edges {
+        enc.put_u64(parent);
+        enc.put_u64(children.len() as u64);
+        for child in children {
+            enc.put_u64(child);
+        }
+    }
+
+    enc.into_bytes()
+}
+
+/// Deserializes a bundle from bytes.
+pub fn from_bytes(bytes: &[u8]) -> io::Result<IndexBundle> {
+    let mut dec = Decoder::new(bytes);
+    let mut magic = [0u8; 8];
+    if dec.remaining() < 8 {
+        return Err(Decoder::err("missing header"));
+    }
+    magic.copy_from_slice(&bytes[..8]);
+    dec.pos = 8;
+    if &magic != MAGIC {
+        return Err(Decoder::err("bad magic (not an iDM index file?)"));
+    }
+    let bundle = IndexBundle::new();
+
+    // Section 1: catalog.
+    let row_count = dec.get_u64()? as usize;
+    let mut rows = Vec::with_capacity(row_count.min(1 << 20));
+    for _ in 0..row_count {
+        let vid = dec.get_u64()?;
+        let name = dec.get_str()?;
+        let class = if dec.get_u8()? == 1 {
+            Some(dec.get_str()?)
+        } else {
+            None
+        };
+        let source = dec.get_str()?;
+        let content_size = if dec.get_u8()? == 1 {
+            Some(dec.get_u64()?)
+        } else {
+            None
+        };
+        let content_indexed = dec.get_u8()? != 0;
+        rows.push(CatalogEntry {
+            vid,
+            name,
+            class,
+            source,
+            content_size,
+            content_indexed,
+        });
+    }
+    bundle.catalog.import_rows(rows);
+
+    // Section 2: name index.
+    let name_count = dec.get_u64()? as usize;
+    let mut names = Vec::with_capacity(name_count.min(1 << 20));
+    for _ in 0..name_count {
+        let name = dec.get_str()?;
+        let vid_count = dec.get_u64()? as usize;
+        let mut vids = Vec::with_capacity(vid_count.min(1 << 20));
+        let mut prev = 0u64;
+        for _ in 0..vid_count {
+            prev = prev.wrapping_add(dec.get_u64()?);
+            vids.push(prev);
+        }
+        names.push((name, vids));
+    }
+    bundle.name.import_names(names);
+
+    // Section 3: tuple replica.
+    let tuple_count = dec.get_u64()? as usize;
+    let mut tuples = Vec::with_capacity(tuple_count.min(1 << 20));
+    for _ in 0..tuple_count {
+        let vid = dec.get_u64()?;
+        tuples.push((vid, get_tuple(&mut dec)?));
+    }
+    bundle.tuple.import_replica(tuples);
+
+    // Section 4: content index.
+    let documents = dec.get_u64()? as usize;
+    let tokens = dec.get_u64()?;
+    let term_count = dec.get_u64()? as usize;
+    let mut postings = Vec::with_capacity(term_count.min(1 << 20));
+    for _ in 0..term_count {
+        let term = dec.get_str()?;
+        let doc_count = dec.get_u64()? as usize;
+        let mut list = Vec::with_capacity(doc_count.min(1 << 20));
+        let mut prev_vid = 0u64;
+        for _ in 0..doc_count {
+            prev_vid = prev_vid.wrapping_add(dec.get_u64()?);
+            let pos_count = dec.get_u64()? as usize;
+            let mut positions = Vec::with_capacity(pos_count.min(1 << 20));
+            let mut prev_pos = 0u32;
+            for _ in 0..pos_count {
+                prev_pos = prev_pos.wrapping_add(dec.get_u64()? as u32);
+                positions.push(prev_pos);
+            }
+            list.push((prev_vid, positions));
+        }
+        postings.push((term, list));
+    }
+    bundle.content.import_postings(postings, documents, tokens);
+
+    // Section 5: group replica.
+    let parent_count = dec.get_u64()? as usize;
+    let mut edges = Vec::with_capacity(parent_count.min(1 << 20));
+    for _ in 0..parent_count {
+        let parent = dec.get_u64()?;
+        let child_count = dec.get_u64()? as usize;
+        let mut children = Vec::with_capacity(child_count.min(1 << 20));
+        for _ in 0..child_count {
+            children.push(dec.get_u64()?);
+        }
+        edges.push((parent, children));
+    }
+    bundle.group.import_edges(edges);
+
+    if dec.remaining() != 0 {
+        return Err(Decoder::err("trailing bytes"));
+    }
+    Ok(bundle)
+}
+
+/// Saves the bundle to a file atomically (write to a sibling temp file,
+/// then rename): a crash mid-save never corrupts an existing index.
+pub fn save(bundle: &IndexBundle, path: &Path) -> io::Result<()> {
+    let bytes = to_bytes(bundle);
+    let tmp = path.with_extension("idm.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a bundle from a file.
+pub fn load(path: &Path) -> io::Result<IndexBundle> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_core::prelude::*;
+
+    fn populated_bundle() -> (ViewStore, IndexBundle) {
+        let store = ViewStore::new();
+        let bundle = IndexBundle::new();
+        let child = store.build("child").text("nested content words").insert();
+        for i in 0..20 {
+            let vid = store
+                .build(format!("doc{i}.txt"))
+                .tuple(TupleComponent::of(vec![
+                    ("size", Value::Integer(i * 100)),
+                    ("ratio", Value::Float(i as f64 / 3.0)),
+                    ("flag", Value::Boolean(i % 2 == 0)),
+                    ("when", Value::Date(Timestamp(1_000_000 + i))),
+                    ("label", Value::Text(format!("tag-{i}"))),
+                ]))
+                .text(format!("document {i} about dataspaces and database tuning"))
+                .children(if i == 0 { vec![child] } else { vec![] })
+                .class_named("file")
+                .insert();
+            bundle.index_view(&store, vid, "filesystem").unwrap();
+        }
+        bundle.index_view(&store, child, "filesystem").unwrap();
+        (store, bundle)
+    }
+
+    fn assert_equivalent(a: &IndexBundle, b: &IndexBundle) {
+        assert_eq!(a.catalog.export_rows(), b.catalog.export_rows());
+        assert_eq!(a.name.export_names(), b.name.export_names());
+        assert_eq!(a.content.export_postings(), b.content.export_postings());
+        assert_eq!(a.content.document_count(), b.content.document_count());
+        assert_eq!(a.group.export_edges(), b.group.export_edges());
+        assert_eq!(a.tuple.export_replica(), b.tuple.export_replica());
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (_store, bundle) = populated_bundle();
+        let bytes = to_bytes(&bundle);
+        let loaded = from_bytes(&bytes).unwrap();
+        assert_equivalent(&bundle, &loaded);
+
+        // And the loaded bundle answers queries identically.
+        assert_eq!(
+            loaded.content.phrase_query("database tuning").len(),
+            bundle.content.phrase_query("database tuning").len()
+        );
+        assert_eq!(loaded.name.exact("doc3.txt"), bundle.name.exact("doc3.txt"));
+        assert_eq!(
+            loaded
+                .tuple
+                .compare("size", crate::tuple::CompareOp::Gt, &Value::Integer(1500)),
+            bundle
+                .tuple
+                .compare("size", crate::tuple::CompareOp::Gt, &Value::Integer(1500))
+        );
+        assert_eq!(loaded.group.children(Vid::from_raw(1)), bundle.group.children(Vid::from_raw(1)));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let (_s1, b1) = populated_bundle();
+        let (_s2, b2) = populated_bundle();
+        assert_eq!(to_bytes(&b1), to_bytes(&b2));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_store, bundle) = populated_bundle();
+        let dir = std::env::temp_dir().join(format!("idm-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("indexes.idm");
+        save(&bundle, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_equivalent(&bundle, &loaded);
+        // The file size should be in the same ballpark as the
+        // footprint estimate (the estimate models this very format).
+        let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+        let estimated = bundle.sizes().name + bundle.sizes().content;
+        assert!(file_len > estimated / 2, "{file_len} vs {estimated}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_inputs_are_errors_not_panics() {
+        let (_store, bundle) = populated_bundle();
+        let bytes = to_bytes(&bundle);
+        assert!(from_bytes(b"").is_err());
+        assert!(from_bytes(b"NOTMAGIC").is_err());
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(from_bytes(&trailing).is_err());
+        let mut wrong_magic = bytes;
+        wrong_magic[0] ^= 0xFF;
+        assert!(from_bytes(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn varint_primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            enc.put_u64(v);
+        }
+        let signed = [0i64, -1, 1, i64::MIN, i64::MAX, -123456789];
+        for &v in &signed {
+            enc.put_i64(v);
+        }
+        enc.put_str("héllo wörld");
+        enc.put_f64(std::f64::consts::PI);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        for &v in &values {
+            assert_eq!(dec.get_u64().unwrap(), v);
+        }
+        for &v in &signed {
+            assert_eq!(dec.get_i64().unwrap(), v);
+        }
+        assert_eq!(dec.get_str().unwrap(), "héllo wörld");
+        assert_eq!(dec.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(dec.remaining(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The analyzer feeding the full-text indexes: lowercased alphanumeric
+//! tokens with positions (positions make phrase queries possible).
+
+/// A token: the normalized term and its position in the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased term text.
+    pub term: String,
+    /// 0-based position in the document's token stream.
+    pub position: u32,
+}
+
+/// Tokenizes text: maximal runs of alphanumeric characters, lowercased.
+/// Everything else separates tokens.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut position = 0u32;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lower in c.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(Token {
+                term: std::mem::take(&mut current),
+                position,
+            });
+            position += 1;
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(Token {
+            term: current,
+            position,
+        });
+    }
+    tokens
+}
+
+/// Tokenizes a query phrase into its terms (no positions needed).
+pub fn terms(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.term).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumerics() {
+        let tokens = tokenize("Show me: all LaTeX 'Introduction' sections!");
+        let terms: Vec<&str> = tokens.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(
+            terms,
+            vec!["show", "me", "all", "latex", "introduction", "sections"]
+        );
+        let positions: Vec<u32> = tokens.iter().map(|t| t.position).collect();
+        assert_eq!(positions, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(terms("VLDB 2006 paper"), vec!["vldb", "2006", "paper"]);
+        assert_eq!(terms("vldb2006"), vec!["vldb2006"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!@# $%^").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(terms("Zürich ETH"), vec!["zürich", "eth"]);
+    }
+
+    #[test]
+    fn adjacent_positions_for_phrases() {
+        let tokens = tokenize("database tuning guide");
+        assert_eq!(tokens[0].position + 1, tokens[1].position);
+        assert_eq!(tokens[1].position + 1, tokens[2].position);
+    }
+}

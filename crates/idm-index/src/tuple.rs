@@ -1,0 +1,387 @@
+//! The Tuple Index & Replica: an in-memory, vertically partitioned
+//! index over tuple component attributes (Section 7.2 cites the
+//! Decomposition Storage Model \[11\]).
+//!
+//! Each attribute name gets its own sorted column of `(value, vid)`
+//! pairs, so predicates like `[size > 42000 and lastmodified <
+//! yesterday()]` resolve with two binary searches per attribute. iDM
+//! schemas are per-tuple, so the same attribute name may carry values
+//! from different domains in different views; the column orders values
+//! by `(domain rank, value)` and comparisons only consider the
+//! compatible domain section.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use idm_core::prelude::{TupleComponent, Value, Vid};
+use parking_lot::RwLock;
+
+/// Comparison operators supported by attribute predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Whether `ordering` (of value vs constant) satisfies the operator.
+    pub fn accepts(self, ordering: Ordering) -> bool {
+        matches!(
+            (self, ordering),
+            (CompareOp::Eq, Ordering::Equal)
+                | (CompareOp::Ne, Ordering::Less)
+                | (CompareOp::Ne, Ordering::Greater)
+                | (CompareOp::Lt, Ordering::Less)
+                | (CompareOp::Le, Ordering::Less)
+                | (CompareOp::Le, Ordering::Equal)
+                | (CompareOp::Gt, Ordering::Greater)
+                | (CompareOp::Ge, Ordering::Greater)
+                | (CompareOp::Ge, Ordering::Equal)
+        )
+    }
+}
+
+/// Total order over values for column sorting: domain rank first (with
+/// integers and floats sharing a numeric rank), value order within.
+fn sort_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Integer(_) | Value::Float(_) => 0,
+            Value::Text(_) => 1,
+            Value::Boolean(_) => 2,
+            Value::Date(_) => 3,
+        }
+    }
+    rank(a)
+        .cmp(&rank(b))
+        .then_with(|| a.compare(b).unwrap_or(Ordering::Equal))
+}
+
+#[derive(Default)]
+struct Column {
+    /// Sorted by `sort_cmp(value)`, ties by vid.
+    entries: Vec<(Value, Vid)>,
+    sorted: bool,
+}
+
+impl Column {
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.entries
+                .sort_by(|(va, a), (vb, b)| sort_cmp(va, vb).then(a.cmp(b)));
+            self.sorted = true;
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    columns: HashMap<String, Column>,
+    /// Tuple replica: vid → tuple component (enables join field access
+    /// like `B.tuple.label` without touching the data source).
+    replica: HashMap<Vid, TupleComponent>,
+}
+
+/// The vertically partitioned tuple index plus replica.
+#[derive(Default)]
+pub struct TupleIndex {
+    inner: RwLock<Inner>,
+}
+
+impl TupleIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TupleIndex::default()
+    }
+
+    /// Indexes a view's tuple component (and replicates it).
+    pub fn index(&self, vid: Vid, tuple: &TupleComponent) {
+        let mut inner = self.inner.write();
+        if inner.replica.insert(vid, tuple.clone()).is_some() {
+            // Re-index: drop stale column entries first.
+            for column in inner.columns.values_mut() {
+                column.entries.retain(|(_, v)| *v != vid);
+            }
+        }
+        for (attr, value) in tuple.iter() {
+            let column = inner.columns.entry(attr.name.clone()).or_default();
+            column.entries.push((value.clone(), vid));
+            column.sorted = false;
+        }
+    }
+
+    /// Removes a view's tuple from index and replica.
+    pub fn remove(&self, vid: Vid) {
+        let mut inner = self.inner.write();
+        if inner.replica.remove(&vid).is_some() {
+            for column in inner.columns.values_mut() {
+                column.entries.retain(|(_, v)| *v != vid);
+            }
+        }
+    }
+
+    /// The replicated tuple component of a view.
+    pub fn tuple_of(&self, vid: Vid) -> Option<TupleComponent> {
+        self.inner.read().replica.get(&vid).cloned()
+    }
+
+    /// One attribute value of a view, from the replica.
+    pub fn value_of(&self, vid: Vid, attr: &str) -> Option<Value> {
+        self.inner
+            .read()
+            .replica
+            .get(&vid)
+            .and_then(|t| t.get(attr).cloned())
+    }
+
+    /// Views whose `attr` value satisfies `op` against `constant`.
+    /// Views whose value is of an incomparable domain never match.
+    pub fn compare(&self, attr: &str, op: CompareOp, constant: &Value) -> Vec<Vid> {
+        let mut inner = self.inner.write();
+        let Some(column) = inner.columns.get_mut(attr) else {
+            return Vec::new();
+        };
+        column.ensure_sorted();
+        let mut out: Vec<Vid> = column
+            .entries
+            .iter()
+            .filter_map(|(value, vid)| {
+                value
+                    .compare(constant)
+                    .filter(|ord| op.accepts(*ord))
+                    .map(|_| *vid)
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Views carrying any value for `attr`.
+    pub fn has_attribute(&self, attr: &str) -> Vec<Vid> {
+        let inner = self.inner.read();
+        let Some(column) = inner.columns.get(attr) else {
+            return Vec::new();
+        };
+        let mut out: Vec<Vid> = column.entries.iter().map(|(_, v)| *v).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Exports the tuple replica for persistence (columns are derived on
+    /// import), sorted by vid.
+    pub fn export_replica(&self) -> Vec<(u64, TupleComponent)> {
+        let inner = self.inner.read();
+        let mut rows: Vec<(u64, TupleComponent)> = inner
+            .replica
+            .iter()
+            .map(|(vid, tuple)| (vid.as_u64(), tuple.clone()))
+            .collect();
+        rows.sort_by_key(|(v, _)| *v);
+        rows
+    }
+
+    /// Rebuilds the index from an exported replica.
+    pub fn import_replica(&self, rows: Vec<(u64, TupleComponent)>) {
+        {
+            let mut inner = self.inner.write();
+            *inner = Inner::default();
+        }
+        for (vid, tuple) in rows {
+            self.index(Vid::from_raw(vid), &tuple);
+        }
+    }
+
+    /// Number of indexed views.
+    pub fn view_count(&self) -> usize {
+        self.inner.read().replica.len()
+    }
+
+    /// Number of attribute columns.
+    pub fn column_count(&self) -> usize {
+        self.inner.read().columns.len()
+    }
+
+    /// Approximate in-memory footprint in bytes (columns + replica).
+    pub fn footprint_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        let columns: usize = inner
+            .columns
+            .iter()
+            .map(|(name, c)| {
+                name.len()
+                    + 48
+                    + c.entries
+                        .iter()
+                        .map(|(v, _)| v.footprint() + 8)
+                        .sum::<usize>()
+            })
+            .sum();
+        let replica: usize = inner
+            .replica
+            .values()
+            .map(|t| t.footprint() + 32)
+            .sum();
+        columns + replica
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_core::prelude::Timestamp;
+
+    fn vid(i: u64) -> Vid {
+        Vid::from_raw(i)
+    }
+
+    fn fs_tuple(size: i64, modified_day: u32) -> TupleComponent {
+        TupleComponent::of(vec![
+            ("size", Value::Integer(size)),
+            (
+                "last modified time",
+                Value::Date(Timestamp::from_ymd(2005, 6, modified_day).unwrap()),
+            ),
+        ])
+    }
+
+    fn sample() -> TupleIndex {
+        let index = TupleIndex::new();
+        index.index(vid(1), &fs_tuple(100, 1));
+        index.index(vid(2), &fs_tuple(500_000, 10));
+        index.index(vid(3), &fs_tuple(420_001, 20));
+        index
+    }
+
+    #[test]
+    fn range_comparisons() {
+        let index = sample();
+        assert_eq!(
+            index.compare("size", CompareOp::Gt, &Value::Integer(420_000)),
+            vec![vid(2), vid(3)]
+        );
+        assert_eq!(
+            index.compare("size", CompareOp::Le, &Value::Integer(100)),
+            vec![vid(1)]
+        );
+        assert_eq!(
+            index.compare("size", CompareOp::Eq, &Value::Integer(500_000)),
+            vec![vid(2)]
+        );
+        assert_eq!(
+            index.compare("size", CompareOp::Ne, &Value::Integer(100)),
+            vec![vid(2), vid(3)]
+        );
+    }
+
+    #[test]
+    fn date_comparisons_match_q3() {
+        let index = sample();
+        let cutoff = Value::Date(Timestamp::parse_dmy("12.06.2005").unwrap());
+        let before = index.compare("last modified time", CompareOp::Lt, &cutoff);
+        assert_eq!(before, vec![vid(1), vid(2)]);
+    }
+
+    #[test]
+    fn mixed_domains_in_one_column() {
+        let index = TupleIndex::new();
+        index.index(
+            vid(1),
+            &TupleComponent::of(vec![("label", Value::Text("fig:a".into()))]),
+        );
+        index.index(
+            vid(2),
+            &TupleComponent::of(vec![("label", Value::Integer(7))]),
+        );
+        // Text comparison sees only the text entry.
+        assert_eq!(
+            index.compare("label", CompareOp::Eq, &Value::Text("fig:a".into())),
+            vec![vid(1)]
+        );
+        // Integer comparison sees only the numeric entry.
+        assert_eq!(
+            index.compare("label", CompareOp::Ge, &Value::Integer(0)),
+            vec![vid(2)]
+        );
+        assert_eq!(index.has_attribute("label"), vec![vid(1), vid(2)]);
+    }
+
+    #[test]
+    fn int_float_cross_domain_comparison() {
+        let index = TupleIndex::new();
+        index.index(
+            vid(1),
+            &TupleComponent::of(vec![("x", Value::Float(1.5))]),
+        );
+        index.index(vid(2), &TupleComponent::of(vec![("x", Value::Integer(2))]));
+        assert_eq!(
+            index.compare("x", CompareOp::Gt, &Value::Integer(1)),
+            vec![vid(1), vid(2)]
+        );
+        assert_eq!(
+            index.compare("x", CompareOp::Gt, &Value::Float(1.6)),
+            vec![vid(2)]
+        );
+    }
+
+    #[test]
+    fn reindex_replaces_old_values() {
+        let index = TupleIndex::new();
+        index.index(vid(1), &fs_tuple(10, 1));
+        index.index(vid(1), &fs_tuple(99, 2));
+        assert_eq!(
+            index.compare("size", CompareOp::Eq, &Value::Integer(10)),
+            Vec::<Vid>::new()
+        );
+        assert_eq!(
+            index.compare("size", CompareOp::Eq, &Value::Integer(99)),
+            vec![vid(1)]
+        );
+        assert_eq!(index.view_count(), 1);
+    }
+
+    #[test]
+    fn remove_clears_everything() {
+        let index = sample();
+        index.remove(vid(2));
+        assert!(index.tuple_of(vid(2)).is_none());
+        assert_eq!(
+            index.compare("size", CompareOp::Gt, &Value::Integer(420_000)),
+            vec![vid(3)]
+        );
+    }
+
+    #[test]
+    fn replica_serves_join_field_access() {
+        let index = TupleIndex::new();
+        index.index(
+            vid(5),
+            &TupleComponent::of(vec![("label", Value::Text("fig:idx".into()))]),
+        );
+        assert_eq!(
+            index.value_of(vid(5), "label"),
+            Some(Value::Text("fig:idx".into()))
+        );
+        assert_eq!(index.value_of(vid(5), "nope"), None);
+    }
+
+    #[test]
+    fn unknown_attribute_matches_nothing() {
+        let index = sample();
+        assert!(index
+            .compare("ghost", CompareOp::Eq, &Value::Integer(1))
+            .is_empty());
+        assert!(index.has_attribute("ghost").is_empty());
+    }
+}

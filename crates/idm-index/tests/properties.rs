@@ -1,0 +1,256 @@
+//! Property-based tests: every index structure is checked against a
+//! naive reference implementation on random inputs.
+
+use std::cmp::Ordering;
+
+use idm_core::prelude::{TupleComponent, Value, Vid};
+use idm_index::name::{NameIndex, NamePattern};
+use idm_index::tuple::{CompareOp, TupleIndex};
+use idm_index::{tokenize, FullTextIndex, GroupReplica};
+use proptest::prelude::*;
+
+// ---- Full-text index vs naive scan ------------------------------------
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-d]{1,3}", 0..12).prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    /// phrase_query agrees with a naive token-window scan.
+    #[test]
+    fn phrase_query_matches_naive(docs in proptest::collection::vec(arb_doc(), 1..12),
+                                  phrase in proptest::collection::vec("[a-d]{1,3}", 1..4)) {
+        let index = FullTextIndex::new();
+        for (i, doc) in docs.iter().enumerate() {
+            index.index(Vid::from_raw(i as u64), doc);
+        }
+        let phrase_text = phrase.join(" ");
+        let mut got = index.phrase_query(&phrase_text);
+        got.sort();
+
+        let mut want: Vec<Vid> = docs.iter().enumerate().filter_map(|(i, doc)| {
+            let tokens: Vec<String> = tokenize(doc).into_iter().map(|t| t.term).collect();
+            let found = tokens.windows(phrase.len()).any(|w| w == phrase.as_slice());
+            found.then_some(Vid::from_raw(i as u64))
+        }).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// all_of is the intersection of the individual phrase results.
+    #[test]
+    fn all_of_is_intersection(docs in proptest::collection::vec(arb_doc(), 1..10),
+                              p1 in "[a-d]{1,3}", p2 in "[a-d]{1,3}") {
+        let index = FullTextIndex::new();
+        for (i, doc) in docs.iter().enumerate() {
+            index.index(Vid::from_raw(i as u64), doc);
+        }
+        let both = index.all_of(&[&p1, &p2]);
+        let s1: std::collections::HashSet<Vid> = index.phrase_query(&p1).into_iter().collect();
+        let s2: std::collections::HashSet<Vid> = index.phrase_query(&p2).into_iter().collect();
+        let mut want: Vec<Vid> = s1.intersection(&s2).copied().collect();
+        want.sort();
+        prop_assert_eq!(both, want);
+    }
+
+    /// Removal really removes: after removing a document it never
+    /// appears in any term query for its own words.
+    #[test]
+    fn remove_is_complete(docs in proptest::collection::vec(arb_doc(), 1..8), victim in 0usize..8) {
+        let index = FullTextIndex::new();
+        for (i, doc) in docs.iter().enumerate() {
+            index.index(Vid::from_raw(i as u64), doc);
+        }
+        let victim = victim % docs.len();
+        index.remove(Vid::from_raw(victim as u64));
+        for token in tokenize(&docs[victim]) {
+            prop_assert!(!index.term_query(&token.term).contains(&Vid::from_raw(victim as u64)));
+        }
+    }
+}
+
+// ---- Name pattern matching vs naive glob -------------------------------
+
+/// Naive recursive glob used as the reference semantics.
+fn naive_glob(pattern: &[char], text: &[char]) -> bool {
+    match (pattern.first(), text.first()) {
+        (None, None) => true,
+        (Some('*'), _) => {
+            naive_glob(&pattern[1..], text)
+                || (!text.is_empty() && naive_glob(pattern, &text[1..]))
+        }
+        (Some('?'), Some(_)) => naive_glob(&pattern[1..], &text[1..]),
+        (Some(p), Some(t)) if p == t => naive_glob(&pattern[1..], &text[1..]),
+        _ => false,
+    }
+}
+
+proptest! {
+    /// The iterative matcher agrees with the naive recursive definition.
+    #[test]
+    fn glob_matches_reference(pattern in "[ab*?]{0,8}", text in "[ab]{0,10}") {
+        let fast = NamePattern::new(pattern.clone()).matches(&text);
+        let p: Vec<char> = pattern.chars().collect();
+        let t: Vec<char> = text.chars().collect();
+        prop_assert_eq!(fast, naive_glob(&p, &t), "pattern '{}' text '{}'", pattern, text);
+    }
+
+    /// matching() returns exactly the names the pattern matches.
+    #[test]
+    fn name_index_matching_is_exact(names in proptest::collection::vec("[ab]{1,6}", 1..15),
+                                    pattern in "[ab*?]{1,6}") {
+        let index = NameIndex::new();
+        for (i, name) in names.iter().enumerate() {
+            index.index(Vid::from_raw(i as u64), name);
+        }
+        let compiled = NamePattern::new(pattern);
+        let got: std::collections::HashSet<Vid> =
+            index.matching(&compiled).into_iter().collect();
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(
+                got.contains(&Vid::from_raw(i as u64)),
+                compiled.matches(name),
+                "name '{}'", name
+            );
+        }
+    }
+}
+
+// ---- Tuple index vs naive filter ----------------------------------------
+
+proptest! {
+    /// compare() agrees with a naive filter over the stored tuples.
+    #[test]
+    fn tuple_compare_matches_naive(values in proptest::collection::vec(-50i64..50, 1..25),
+                                   constant in -50i64..50,
+                                   op_choice in 0usize..6) {
+        let ops = [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt,
+                   CompareOp::Le, CompareOp::Gt, CompareOp::Ge];
+        let op = ops[op_choice];
+        let index = TupleIndex::new();
+        for (i, v) in values.iter().enumerate() {
+            index.index(
+                Vid::from_raw(i as u64),
+                &TupleComponent::of(vec![("x", Value::Integer(*v))]),
+            );
+        }
+        let mut got = index.compare("x", op, &Value::Integer(constant));
+        got.sort();
+        let mut want: Vec<Vid> = values.iter().enumerate().filter_map(|(i, v)| {
+            op.accepts(v.cmp(&constant)).then_some(Vid::from_raw(i as u64))
+        }).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// CompareOp::accepts encodes the six comparison operators.
+    #[test]
+    fn compare_op_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let ord = a.cmp(&b);
+        prop_assert_eq!(CompareOp::Eq.accepts(ord), a == b);
+        prop_assert_eq!(CompareOp::Ne.accepts(ord), a != b);
+        prop_assert_eq!(CompareOp::Lt.accepts(ord), a < b);
+        prop_assert_eq!(CompareOp::Le.accepts(ord), a <= b);
+        prop_assert_eq!(CompareOp::Gt.accepts(ord), a > b);
+        prop_assert_eq!(CompareOp::Ge.accepts(ord), a >= b);
+        let _ = Ordering::Equal; // keep the import honest
+    }
+}
+
+// ---- Group replica vs core traversal -------------------------------------
+
+proptest! {
+    /// descendants() over the replica equals a naive reachability
+    /// computation on the same edge set.
+    #[test]
+    fn replica_descendants_match_naive(edges in proptest::collection::vec((0u64..10, 0u64..10), 0..30)) {
+        let replica = GroupReplica::new();
+        let mut adjacency: std::collections::HashMap<u64, Vec<Vid>> = Default::default();
+        for (a, b) in &edges {
+            adjacency.entry(*a).or_default().push(Vid::from_raw(*b));
+        }
+        for (parent, children) in &adjacency {
+            replica.index(Vid::from_raw(*parent), children);
+        }
+
+        // Naive BFS.
+        let root = 0u64;
+        let mut reach: std::collections::HashSet<u64> = Default::default();
+        let mut queue = vec![root];
+        while let Some(n) = queue.pop() {
+            for (a, b) in &edges {
+                if *a == n && reach.insert(*b) {
+                    queue.push(*b);
+                }
+            }
+        }
+        let mut want: Vec<Vid> = reach.into_iter().map(Vid::from_raw).collect();
+        want.sort();
+        let mut got = replica.descendants(Vid::from_raw(root));
+        got.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// parents() is the exact inverse of children().
+    #[test]
+    fn replica_reverse_is_inverse(edges in proptest::collection::vec((0u64..8, 0u64..8), 0..25)) {
+        let replica = GroupReplica::new();
+        let mut adjacency: std::collections::HashMap<u64, Vec<Vid>> = Default::default();
+        for (a, b) in &edges {
+            adjacency.entry(*a).or_default().push(Vid::from_raw(*b));
+        }
+        for (parent, children) in &adjacency {
+            replica.index(Vid::from_raw(*parent), children);
+        }
+        for node in 0u64..8 {
+            let vid = Vid::from_raw(node);
+            for child in replica.children(vid) {
+                prop_assert!(replica.parents(child).contains(&vid));
+            }
+            for parent in replica.parents(vid) {
+                prop_assert!(replica.children(parent).contains(&vid));
+            }
+        }
+    }
+}
+
+// ---- persistence roundtrip on arbitrary bundles ---------------------------
+
+proptest! {
+    /// Arbitrary bundles roundtrip through the binary format.
+    #[test]
+    fn persist_roundtrip(docs in proptest::collection::vec(
+        ("[a-z .]{0,30}", "[a-z0-9._]{1,10}", -1000i64..1000),
+        0..15,
+    )) {
+        use idm_core::prelude::{TupleComponent, Value, ViewStore};
+        let store = ViewStore::new();
+        let bundle = idm_index::IndexBundle::new();
+        let mut prev = None;
+        for (text, name, size) in docs {
+            let mut builder = store.build(name).text(text);
+            builder = builder.tuple(TupleComponent::of(vec![("size", Value::Integer(size))]));
+            if let Some(prev) = prev {
+                builder = builder.children(vec![prev]);
+            }
+            let vid = builder.insert();
+            bundle.index_view(&store, vid, "prop").unwrap();
+            prev = Some(vid);
+        }
+        let bytes = idm_index::persist::to_bytes(&bundle);
+        let loaded = idm_index::persist::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(loaded.catalog.export_rows(), bundle.catalog.export_rows());
+        prop_assert_eq!(loaded.name.export_names(), bundle.name.export_names());
+        prop_assert_eq!(loaded.content.export_postings(), bundle.content.export_postings());
+        prop_assert_eq!(loaded.group.export_edges(), bundle.group.export_edges());
+        prop_assert_eq!(loaded.tuple.export_replica(), bundle.tuple.export_replica());
+        // Determinism: re-encoding the loaded bundle gives the same bytes.
+        prop_assert_eq!(idm_index::persist::to_bytes(&loaded), bytes);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn persist_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = idm_index::persist::from_bytes(&bytes);
+    }
+}

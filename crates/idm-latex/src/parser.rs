@@ -1,0 +1,828 @@
+//! A pragmatic structural LaTeX parser.
+//!
+//! LaTeX is not a context-free format and a full TeX engine is far out of
+//! scope; like iMeMex's original `LaTeX2iDM` converter, this parser
+//! extracts the *structural* information a dataspace system queries:
+//! document class, title, abstract, the (sub)section tree with labels,
+//! figure/table environments with captions and labels, inline `\ref`
+//! references and plain paragraph text. Unknown commands are stripped;
+//! their braced arguments are inlined as text (so `\emph{really}` reads
+//! "really"); comments and math are handled gracefully.
+
+use std::fmt;
+
+/// Inline content inside a paragraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inline {
+    /// A run of plain text.
+    Text(String),
+    /// A `\ref{label}` reference.
+    Ref(String),
+    /// A `\cite{key}` citation.
+    Cite(String),
+}
+
+/// A block-level element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatexBlock {
+    /// A paragraph of inline content.
+    Paragraph(Vec<Inline>),
+    /// A (sub)section with nested blocks.
+    Section(LatexSection),
+    /// A figure/table environment.
+    Environment(LatexEnv),
+}
+
+/// A `\section` / `\subsection` / `\subsubsection`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatexSection {
+    /// Nesting level: 1 = section, 2 = subsection, 3 = subsubsection.
+    pub level: u8,
+    /// Section title.
+    pub title: String,
+    /// The `\label` attached to the heading, if any.
+    pub label: Option<String>,
+    /// Contained blocks (paragraphs, environments, deeper sections).
+    pub blocks: Vec<LatexBlock>,
+}
+
+/// A `figure`/`table` environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatexEnv {
+    /// Environment kind: `figure` or `table`.
+    pub kind: String,
+    /// The `\caption{…}` text, if any.
+    pub caption: Option<String>,
+    /// The `\label{…}`, if any.
+    pub label: Option<String>,
+    /// Remaining body text (includegraphics args, tabular content, …).
+    pub body_text: String,
+}
+
+/// A parsed LaTeX document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatexDocument {
+    /// The `\documentclass{…}` argument.
+    pub doc_class: Option<String>,
+    /// The `\title{…}` argument.
+    pub title: Option<String>,
+    /// The abstract environment's text.
+    pub abstract_text: Option<String>,
+    /// Top-level blocks of the document body.
+    pub blocks: Vec<LatexBlock>,
+}
+
+impl LatexDocument {
+    /// All sections in document order (pre-order over nesting).
+    pub fn sections(&self) -> Vec<&LatexSection> {
+        fn walk<'a>(blocks: &'a [LatexBlock], out: &mut Vec<&'a LatexSection>) {
+            for block in blocks {
+                if let LatexBlock::Section(s) = block {
+                    out.push(s);
+                    walk(&s.blocks, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.blocks, &mut out);
+        out
+    }
+
+    /// All environments in document order.
+    pub fn environments(&self) -> Vec<&LatexEnv> {
+        fn walk<'a>(blocks: &'a [LatexBlock], out: &mut Vec<&'a LatexEnv>) {
+            for block in blocks {
+                match block {
+                    LatexBlock::Environment(e) => out.push(e),
+                    LatexBlock::Section(s) => walk(&s.blocks, out),
+                    LatexBlock::Paragraph(_) => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.blocks, &mut out);
+        out
+    }
+
+    /// All `\ref` targets in document order.
+    pub fn refs(&self) -> Vec<&str> {
+        fn walk<'a>(blocks: &'a [LatexBlock], out: &mut Vec<&'a str>) {
+            for block in blocks {
+                match block {
+                    LatexBlock::Paragraph(inlines) => {
+                        for inline in inlines {
+                            if let Inline::Ref(label) = inline {
+                                out.push(label);
+                            }
+                        }
+                    }
+                    LatexBlock::Section(s) => walk(&s.blocks, out),
+                    LatexBlock::Environment(_) => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.blocks, &mut out);
+        out
+    }
+}
+
+/// A LaTeX parse error (the parser is tolerant; errors are rare and
+/// signal truncated/unbalanced input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatexError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LatexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaTeX error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LatexError {}
+
+/// Parses LaTeX source into its structural skeleton.
+pub fn parse_latex(input: &str) -> Result<LatexDocument, LatexError> {
+    let cleaned = strip_comments(input);
+    let mut scanner = Scanner {
+        chars: cleaned.chars().collect(),
+        pos: 0,
+    };
+    let mut doc = LatexDocument::default();
+
+    // Section stack: (level, section). Blocks attach to the innermost
+    // open section, or to the document when none is open.
+    let mut stack: Vec<LatexSection> = Vec::new();
+    let mut paragraph: Vec<Inline> = Vec::new();
+    let mut text_run = String::new();
+
+    macro_rules! flush_text {
+        () => {
+            if !text_run.trim().is_empty() {
+                paragraph.push(Inline::Text(std::mem::take(&mut text_run)));
+            } else {
+                text_run.clear();
+            }
+        };
+    }
+    macro_rules! flush_paragraph {
+        ($stack:expr, $doc:expr) => {
+            flush_text!();
+            if !paragraph.is_empty() {
+                let block = LatexBlock::Paragraph(std::mem::take(&mut paragraph));
+                attach(&mut $stack, &mut $doc, block);
+            }
+        };
+    }
+
+    while let Some(c) = scanner.peek() {
+        if c == '\\' {
+            let command = scanner.read_command();
+            match command.as_str() {
+                "documentclass" => {
+                    scanner.skip_bracket_arg();
+                    doc.doc_class = Some(scanner.read_brace_arg()?);
+                }
+                "title" => {
+                    doc.title = Some(flatten_inline_commands(&scanner.read_brace_arg()?));
+                }
+                "section" | "subsection" | "subsubsection" => {
+                    flush_paragraph!(stack, doc);
+                    let level = match command.as_str() {
+                        "section" => 1,
+                        "subsection" => 2,
+                        _ => 3,
+                    };
+                    scanner.skip_star();
+                    let title = flatten_inline_commands(&scanner.read_brace_arg()?);
+                    // Close sections at the same or deeper level.
+                    close_to_level(&mut stack, &mut doc, level);
+                    let label = scanner.peek_label();
+                    stack.push(LatexSection {
+                        level,
+                        title,
+                        label,
+                        blocks: Vec::new(),
+                    });
+                }
+                "begin" => {
+                    let env = scanner.read_brace_arg()?;
+                    match env.as_str() {
+                        "abstract" => {
+                            let body = scanner.read_until_end_env("abstract")?;
+                            doc.abstract_text = Some(flatten_env_text(&body));
+                        }
+                        "document" => { /* transparent wrapper */ }
+                        "figure" | "table" => {
+                            flush_paragraph!(stack, doc);
+                            scanner.skip_bracket_arg(); // [htbp]
+                            let body = scanner.read_until_end_env(&env)?;
+                            let parsed = parse_environment(&env, &body);
+                            attach(&mut stack, &mut doc, LatexBlock::Environment(parsed));
+                        }
+                        other => {
+                            // Unknown environment: keep its text content.
+                            let body = scanner.read_until_end_env(other)?;
+                            text_run.push_str(&flatten_env_text(&body));
+                            text_run.push(' ');
+                        }
+                    }
+                }
+                "end" => {
+                    // Stray \end{document} or an unknown env's end that a
+                    // tolerant scan already consumed: skip its argument.
+                    let _ = scanner.read_brace_arg();
+                }
+                "ref" => {
+                    flush_text!();
+                    paragraph.push(Inline::Ref(scanner.read_brace_arg()?));
+                }
+                "cite" => {
+                    flush_text!();
+                    paragraph.push(Inline::Cite(scanner.read_brace_arg()?));
+                }
+                "label" => {
+                    let label = scanner.read_brace_arg()?;
+                    // A label mid-body attaches to the innermost section
+                    // when that section has none yet.
+                    if let Some(section) = stack.last_mut() {
+                        if section.label.is_none() {
+                            section.label = Some(label);
+                        }
+                    }
+                }
+                "par" => {
+                    flush_paragraph!(stack, doc);
+                }
+                "\\" => { /* forced line break */ }
+                "" => {
+                    // Escaped character like \% or \&: keep it literally.
+                    if let Some(escaped) = scanner.next() {
+                        text_run.push(escaped);
+                    }
+                }
+                _other => {
+                    // Unknown command: inline its braced arguments' text.
+                    scanner.skip_star();
+                    scanner.skip_bracket_arg();
+                    while scanner.peek() == Some('{') {
+                        let arg = scanner.read_brace_arg()?;
+                        text_run.push_str(&flatten_inline_commands(&arg));
+                    }
+                }
+            }
+        } else if c == '$' {
+            // Math: copy verbatim up to the closing '$'.
+            scanner.next();
+            let display = scanner.peek() == Some('$');
+            if display {
+                scanner.next();
+            }
+            let math = scanner.read_until_math_end(display);
+            text_run.push_str(&math);
+        } else if c == '\n' {
+            scanner.next();
+            // Blank line = paragraph break.
+            if scanner.peek_is_blank_line() {
+                flush_paragraph!(stack, doc);
+            } else {
+                text_run.push(' ');
+            }
+        } else if c == '{' || c == '}' {
+            scanner.next(); // grouping braces are transparent
+        } else {
+            text_run.push(c);
+            scanner.next();
+        }
+    }
+    flush_paragraph!(stack, doc);
+    close_to_level(&mut stack, &mut doc, 1);
+    Ok(doc)
+}
+
+fn attach(stack: &mut [LatexSection], doc: &mut LatexDocument, block: LatexBlock) {
+    if let Some(section) = stack.last_mut() {
+        section.blocks.push(block);
+    } else {
+        doc.blocks.push(block);
+    }
+}
+
+fn close_to_level(stack: &mut Vec<LatexSection>, doc: &mut LatexDocument, level: u8) {
+    while stack.last().is_some_and(|s| s.level >= level) {
+        let closed = stack.pop().expect("non-empty");
+        match stack.last_mut() {
+            Some(parent) => parent.blocks.push(LatexBlock::Section(closed)),
+            None => doc.blocks.push(LatexBlock::Section(closed)),
+        }
+    }
+}
+
+/// Extracts caption/label from an environment body; the rest is body text.
+fn parse_environment(kind: &str, body: &str) -> LatexEnv {
+    let mut caption = None;
+    let mut label = None;
+    let mut text = String::new();
+    let mut rest = body;
+    while let Some(backslash) = rest.find('\\') {
+        text.push_str(&rest[..backslash]);
+        rest = &rest[backslash + 1..];
+        let cmd_end = rest
+            .find(|c: char| !c.is_ascii_alphabetic())
+            .unwrap_or(rest.len());
+        let (cmd, after) = rest.split_at(cmd_end);
+        match cmd {
+            "caption" | "label" => {
+                if let Some((arg, remaining)) = read_braced(after) {
+                    if cmd == "caption" {
+                        caption = Some(flatten_inline_commands(&arg));
+                    } else {
+                        label = Some(arg);
+                    }
+                    rest = remaining;
+                } else {
+                    rest = after;
+                }
+            }
+            _ => {
+                // Strip the command, keep one braced arg's text if present.
+                if let Some((arg, remaining)) = read_braced(after) {
+                    text.push_str(&flatten_inline_commands(&arg));
+                    rest = remaining;
+                } else {
+                    rest = after;
+                }
+            }
+        }
+    }
+    text.push_str(rest);
+    LatexEnv {
+        kind: kind.to_owned(),
+        caption,
+        label,
+        body_text: normalize_ws(&text),
+    }
+}
+
+/// Reads `{…}` (with nesting) from the start of `s`, skipping leading
+/// whitespace and one optional `[…]` argument.
+fn read_braced(s: &str) -> Option<(String, &str)> {
+    let mut chars = s.char_indices().peekable();
+    // Skip whitespace and one bracket group.
+    let mut idx = 0;
+    while let Some(&(i, c)) = chars.peek() {
+        idx = i;
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '[' {
+            for (j, d) in chars.by_ref() {
+                if d == ']' {
+                    idx = j + 1;
+                    break;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    let rest = &s[idx..];
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((rest[1..i].to_owned(), &rest[i + 1..]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Drops `%` comments (but keeps escaped `\%`).
+fn strip_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for line in input.lines() {
+        let mut escaped = false;
+        let mut end = line.len();
+        for (i, c) in line.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '%' => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push_str(&line[..end]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Strips inline commands from already-extracted argument text
+/// (`\emph{really} nice` → `really nice`).
+fn flatten_inline_commands(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(backslash) = rest.find('\\') {
+        out.push_str(&rest[..backslash]);
+        rest = &rest[backslash + 1..];
+        let cmd_end = rest
+            .find(|c: char| !c.is_ascii_alphabetic())
+            .unwrap_or(rest.len());
+        if cmd_end == 0 {
+            // Escaped character.
+            let mut chars = rest.chars();
+            if let Some(c) = chars.next() {
+                out.push(c);
+            }
+            rest = chars.as_str();
+        } else {
+            rest = &rest[cmd_end..];
+        }
+    }
+    out.push_str(rest);
+    normalize_ws(&out.replace(['{', '}'], ""))
+}
+
+fn flatten_env_text(body: &str) -> String {
+    flatten_inline_commands(body)
+}
+
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Scanner {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Reads the command name after a `\` (consumes the backslash).
+    fn read_command(&mut self) -> String {
+        debug_assert_eq!(self.peek(), Some('\\'));
+        self.pos += 1;
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            self.pos += 1;
+        }
+        if self.pos == start && self.peek() == Some('\\') {
+            self.pos += 1;
+            return "\\".to_owned();
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn skip_star(&mut self) {
+        if self.peek() == Some('*') {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c == ' ' || c == '\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_bracket_arg(&mut self) {
+        self.skip_ws();
+        if self.peek() == Some('[') {
+            while let Some(c) = self.next() {
+                if c == ']' {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn read_brace_arg(&mut self) -> Result<String, LatexError> {
+        self.skip_ws();
+        if self.peek() != Some('{') {
+            return Err(LatexError {
+                message: "expected '{' after command".into(),
+            });
+        }
+        let mut depth = 0usize;
+        let mut out = String::new();
+        while let Some(c) = self.next() {
+            match c {
+                '{' => {
+                    if depth > 0 {
+                        out.push(c);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(out);
+                    }
+                    out.push(c);
+                }
+                _ => out.push(c),
+            }
+        }
+        Err(LatexError {
+            message: "unbalanced braces".into(),
+        })
+    }
+
+    /// If the next non-whitespace token is `\label{…}`, consume and
+    /// return it (used for labels directly after section headings).
+    fn peek_label(&mut self) -> Option<String> {
+        let save = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+        if self.peek() == Some('\\') {
+            let cmd_save = self.pos;
+            let command = self.read_command();
+            if command == "label" {
+                if let Ok(label) = self.read_brace_arg() {
+                    return Some(label);
+                }
+            }
+            self.pos = cmd_save;
+        }
+        self.pos = save;
+        None
+    }
+
+    /// Reads raw text until `\end{env}` (consumes the end marker).
+    fn read_until_end_env(&mut self, env: &str) -> Result<String, LatexError> {
+        let marker: Vec<char> = format!("\\end{{{env}}}").chars().collect();
+        let hay = &self.chars[self.pos..];
+        let found = hay
+            .windows(marker.len())
+            .position(|window| window == marker.as_slice());
+        match found {
+            Some(i) => {
+                let body: String = hay[..i].iter().collect();
+                self.pos += i + marker.len();
+                Ok(body)
+            }
+            None => Err(LatexError {
+                message: format!("missing \\end{{{env}}}"),
+            }),
+        }
+    }
+
+    fn read_until_math_end(&mut self, display: bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.next() {
+            if c == '$' {
+                if display && self.peek() == Some('$') {
+                    self.next();
+                }
+                break;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// After consuming a '\n': is the upcoming line blank (paragraph gap)?
+    fn peek_is_blank_line(&mut self) -> bool {
+        let mut i = self.pos;
+        while let Some(&c) = self.chars.get(i) {
+            match c {
+                ' ' | '\t' | '\r' => i += 1,
+                '\n' => {
+                    self.pos = i + 1;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_LIKE: &str = r"
+\documentclass[10pt]{article}
+\title{iDM: A Unified Data Model}
+\begin{document}
+\begin{abstract}
+We present a \emph{unified} data model. % inline comment
+\end{abstract}
+
+\section{Introduction} \label{sec:intro}
+Personal information is heterogeneous. See Section~\ref{sec:prelim}.
+
+\subsection{The Problem}
+As shown in Figure~\ref{fig:arch}, queries span boundaries.
+
+\section{Preliminaries} \label{sec:prelim}
+Some definitions with 100\% rigor and $O(n \log n)$ bounds.
+
+\begin{figure}[htbp]
+\includegraphics{arch.pdf}
+\caption{Indexing Time over the iMeMex architecture}
+\label{fig:arch}
+\end{figure}
+
+\end{document}
+";
+
+    #[test]
+    fn parses_preamble() {
+        let doc = parse_latex(PAPER_LIKE).unwrap();
+        assert_eq!(doc.doc_class.as_deref(), Some("article"));
+        assert_eq!(doc.title.as_deref(), Some("iDM: A Unified Data Model"));
+        assert!(doc
+            .abstract_text
+            .as_deref()
+            .unwrap()
+            .contains("unified data model"));
+        assert!(
+            !doc.abstract_text.unwrap().contains("inline comment"),
+            "comments stripped"
+        );
+    }
+
+    #[test]
+    fn section_tree_with_labels() {
+        let doc = parse_latex(PAPER_LIKE).unwrap();
+        let sections = doc.sections();
+        let titles: Vec<&str> = sections.iter().map(|s| s.title.as_str()).collect();
+        assert_eq!(titles, vec!["Introduction", "The Problem", "Preliminaries"]);
+        assert_eq!(sections[0].label.as_deref(), Some("sec:intro"));
+        assert_eq!(sections[0].level, 1);
+        assert_eq!(sections[1].level, 2);
+        // 'The Problem' nests inside 'Introduction'.
+        let intro = sections[0];
+        assert!(intro
+            .blocks
+            .iter()
+            .any(|b| matches!(b, LatexBlock::Section(s) if s.title == "The Problem")));
+    }
+
+    #[test]
+    fn refs_extracted_in_order() {
+        let doc = parse_latex(PAPER_LIKE).unwrap();
+        assert_eq!(doc.refs(), vec!["sec:prelim", "fig:arch"]);
+    }
+
+    #[test]
+    fn figure_environment_with_caption_and_label() {
+        let doc = parse_latex(PAPER_LIKE).unwrap();
+        let envs = doc.environments();
+        assert_eq!(envs.len(), 1);
+        let figure = envs[0];
+        assert_eq!(figure.kind, "figure");
+        assert_eq!(figure.label.as_deref(), Some("fig:arch"));
+        assert!(figure
+            .caption
+            .as_deref()
+            .unwrap()
+            .contains("Indexing Time"));
+        assert!(figure.body_text.contains("arch.pdf"));
+    }
+
+    #[test]
+    fn escaped_percent_is_not_a_comment() {
+        let doc = parse_latex("\\section{S}\nGrowth of 100\\% yearly").unwrap();
+        let section = &doc.sections()[0];
+        let LatexBlock::Paragraph(para) = &section.blocks[0] else {
+            panic!("expected paragraph");
+        };
+        let Inline::Text(text) = &para[0] else {
+            panic!("expected text");
+        };
+        assert!(text.contains("100% yearly"), "{text}");
+    }
+
+    #[test]
+    fn unknown_commands_inline_their_arguments() {
+        let doc = parse_latex("\\section{S}\nA \\textbf{bold \\emph{nested}} word").unwrap();
+        let LatexBlock::Paragraph(para) = &doc.sections()[0].blocks[0] else {
+            panic!();
+        };
+        let text: String = para
+            .iter()
+            .map(|i| match i {
+                Inline::Text(t) => t.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert!(text.contains("bold nested"), "{text}");
+    }
+
+    #[test]
+    fn blank_line_separates_paragraphs() {
+        let doc = parse_latex("\\section{S}\nfirst para\n\nsecond para").unwrap();
+        let paras = doc.sections()[0]
+            .blocks
+            .iter()
+            .filter(|b| matches!(b, LatexBlock::Paragraph(_)))
+            .count();
+        assert_eq!(paras, 2);
+    }
+
+    #[test]
+    fn sections_close_correctly_at_same_level() {
+        let doc =
+            parse_latex("\\section{A}\n\\subsection{A1}\n\\subsection{A2}\n\\section{B}").unwrap();
+        let top: Vec<&str> = doc
+            .blocks
+            .iter()
+            .filter_map(|b| match b {
+                LatexBlock::Section(s) => Some(s.title.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(top, vec!["A", "B"]);
+        let a = doc.sections()[0];
+        let subs: Vec<&str> = a
+            .blocks
+            .iter()
+            .filter_map(|b| match b {
+                LatexBlock::Section(s) => Some(s.title.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(subs, vec!["A1", "A2"]);
+    }
+
+    #[test]
+    fn math_is_kept_as_text() {
+        let doc = parse_latex("\\section{S}\ncomplexity $n^2$ and $$x+y$$ done").unwrap();
+        let LatexBlock::Paragraph(para) = &doc.sections()[0].blocks[0] else {
+            panic!();
+        };
+        let text: String = para
+            .iter()
+            .map(|i| match i {
+                Inline::Text(t) => t.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert!(text.contains("n^2"), "{text}");
+        assert!(text.contains("x+y"), "{text}");
+    }
+
+    #[test]
+    fn unbalanced_braces_error() {
+        assert!(parse_latex("\\section{unclosed").is_err());
+        assert!(parse_latex("\\begin{figure} no end").is_err());
+    }
+
+    #[test]
+    fn cites_extracted() {
+        let doc = parse_latex("\\section{S}\nSee \\cite{codd70} for detail").unwrap();
+        let LatexBlock::Paragraph(para) = &doc.sections()[0].blocks[0] else {
+            panic!();
+        };
+        assert!(para.contains(&Inline::Cite("codd70".into())));
+    }
+
+    #[test]
+    fn table_environment_parsed() {
+        let doc = parse_latex(
+            "\\section{S}\n\\begin{table}\n\\caption{Results}\\label{tab:r}\nbody\n\\end{table}",
+        )
+        .unwrap();
+        let envs = doc.environments();
+        assert_eq!(envs[0].kind, "table");
+        assert_eq!(envs[0].caption.as_deref(), Some("Results"));
+        assert_eq!(envs[0].label.as_deref(), Some("tab:r"));
+    }
+}

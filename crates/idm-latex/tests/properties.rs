@@ -1,0 +1,146 @@
+//! Property-based tests: the LaTeX parser is total (never panics),
+//! structural invariants hold on generated documents, and conversion
+//! respects the section tree.
+
+use idm_latex::parser::{parse_latex, LatexBlock};
+use proptest::prelude::*;
+
+/// A generated well-formed LaTeX document description.
+#[derive(Debug, Clone)]
+struct DocSpec {
+    sections: Vec<(u8, String, Vec<String>)>, // (level, title, paragraphs)
+}
+
+fn arb_doc() -> impl Strategy<Value = DocSpec> {
+    proptest::collection::vec(
+        (
+            1u8..=3,
+            "[A-Z][a-z]{2,8}",
+            proptest::collection::vec("[a-z][a-z ]{3,30}", 0..3),
+        ),
+        0..6,
+    )
+    .prop_map(|sections| DocSpec { sections })
+}
+
+fn render(spec: &DocSpec) -> String {
+    let mut out = String::from("\\documentclass{article}\n\\begin{document}\n");
+    for (level, title, paragraphs) in &spec.sections {
+        let command = match level {
+            1 => "section",
+            2 => "subsection",
+            _ => "subsubsection",
+        };
+        out.push_str(&format!("\\{command}{{{title}}}\n"));
+        for paragraph in paragraphs {
+            out.push_str(paragraph);
+            out.push_str("\n\n");
+        }
+    }
+    out.push_str("\\end{document}\n");
+    out
+}
+
+proptest! {
+    /// The parser is total on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,500}") {
+        let _ = parse_latex(&input);
+    }
+
+    /// The parser is total on "almost LaTeX" (generated doc with random
+    /// mutation applied).
+    #[test]
+    fn parser_never_panics_on_mangled(spec in arb_doc(), cut in 0usize..500) {
+        let mut source = render(&spec);
+        let cut = cut % (source.len() + 1);
+        while !source.is_char_boundary(cut.min(source.len())) {
+            source.pop();
+        }
+        source.truncate(cut.min(source.len()));
+        let _ = parse_latex(&source);
+    }
+
+    /// Every generated section appears exactly once, in order, and the
+    /// nesting respects levels: a section's direct subsections all have
+    /// strictly greater levels.
+    #[test]
+    fn section_structure_preserved(spec in arb_doc()) {
+        let doc = parse_latex(&render(&spec)).expect("well-formed doc parses");
+        let parsed = doc.sections();
+        let titles: Vec<&str> = parsed.iter().map(|s| s.title.as_str()).collect();
+        let expected: Vec<&str> = spec.sections.iter().map(|(_, t, _)| t.as_str()).collect();
+        prop_assert_eq!(titles, expected, "pre-order section titles");
+        for section in &parsed {
+            for block in &section.blocks {
+                if let LatexBlock::Section(nested) = block {
+                    prop_assert!(nested.level > section.level);
+                }
+            }
+        }
+    }
+
+    /// Paragraph text survives into the parse (whitespace-normalized).
+    #[test]
+    fn paragraph_text_preserved(spec in arb_doc()) {
+        let doc = parse_latex(&render(&spec)).expect("parses");
+        let parsed = doc.sections();
+        for (i, (_, _, paragraphs)) in spec.sections.iter().enumerate() {
+            let direct_paragraphs: Vec<String> = parsed[i]
+                .blocks
+                .iter()
+                .filter_map(|b| match b {
+                    LatexBlock::Paragraph(inlines) => Some(
+                        inlines
+                            .iter()
+                            .filter_map(|inline| match inline {
+                                idm_latex::parser::Inline::Text(t) => Some(t.trim().to_owned()),
+                                _ => None,
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(direct_paragraphs.len(), paragraphs.len());
+            for (got, want) in direct_paragraphs.iter().zip(paragraphs) {
+                prop_assert_eq!(got.split_whitespace().collect::<Vec<_>>(),
+                                want.split_whitespace().collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// Conversion mints one latex_section view per parsed section and
+    /// resolves every ref that has a matching label.
+    #[test]
+    fn conversion_counts(spec in arb_doc(), with_figure in any::<bool>()) {
+        use idm_core::prelude::*;
+        let mut source = render(&spec);
+        if with_figure {
+            source.push_str(
+                "\\section{Extra}\n\\begin{figure}\\caption{C}\\label{fig:p}\\end{figure}\n\
+                 See \\ref{fig:p} and \\ref{missing}.\n",
+            );
+        }
+        let store = ViewStore::new();
+        let mapping = idm_latex::convert::text_to_views(&store, &source).expect("convert");
+        let section_class = store.classes().lookup("latex_section").unwrap();
+        let sections = store
+            .vids()
+            .into_iter()
+            .filter(|v| store.class(*v).unwrap() == Some(section_class))
+            .count();
+        let expected = spec.sections.len() + usize::from(with_figure);
+        prop_assert_eq!(sections, expected);
+        if with_figure {
+            // fig:p resolves, 'missing' stays a leaf.
+            let resolved = mapping
+                .refs
+                .iter()
+                .filter(|r| !store.group(**r).unwrap().finite_members().is_empty())
+                .count();
+            prop_assert_eq!(resolved, 1);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Cost-based optimization groundwork (Section 5.1: "cost based
+//! optimization will be explored as another avenue of future work";
+//! Section 8 repeats it).
+//!
+//! The estimator derives cardinalities from index **statistics alone**
+//! — dictionary document frequencies, catalog class counts, column
+//! sizes — without materializing any result, which is what lets a
+//! planner order work before doing it. [`QueryProcessor::estimate`]
+//! exposes the estimator; [`explain_with_estimates`] renders an
+//! annotated plan. The executor's conjunct ordering and join build-side
+//! choice validate against these estimates in the tests below.
+
+use idm_core::prelude::*;
+
+use crate::ast::{Pred, Query};
+use crate::exec::{resolve_attr, QueryProcessor};
+use crate::parser::parse;
+
+/// A cardinality estimate (an upper bound except where noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Estimated number of matching views.
+    pub rows: usize,
+    /// Whether the estimate is exact (computed from a precise statistic,
+    /// e.g. an exact-name posting length) or heuristic.
+    pub exact: bool,
+}
+
+impl Estimate {
+    fn exact(rows: usize) -> Self {
+        Estimate { rows, exact: true }
+    }
+
+    fn guess(rows: usize) -> Self {
+        Estimate { rows, exact: false }
+    }
+}
+
+impl QueryProcessor {
+    /// Total number of catalogued views (the estimator's universe).
+    fn universe(&self) -> usize {
+        self.index_bundle().catalog.len()
+    }
+
+    /// Estimates the cardinality of a predicate from index statistics.
+    pub fn estimate_pred(&self, pred: &Pred) -> Estimate {
+        match pred {
+            Pred::Phrase(phrase) => {
+                // Phrase selectivity is bounded by the rarest term's
+                // document frequency.
+                let terms = idm_index::tokenizer::terms(phrase);
+                let rarest = terms
+                    .iter()
+                    .map(|t| self.index_bundle().content.document_frequency(t))
+                    .min()
+                    .unwrap_or(0);
+                Estimate {
+                    rows: rarest,
+                    exact: terms.len() == 1,
+                }
+            }
+            Pred::Class(class_name) => {
+                let registry = self.view_store().classes();
+                let Some(target) = registry.lookup(class_name) else {
+                    return Estimate::exact(0);
+                };
+                let rows = registry
+                    .subclasses(target)
+                    .into_iter()
+                    .map(|c| self.index_bundle().catalog.by_class(&registry.name(c)).len())
+                    .sum();
+                Estimate::exact(rows)
+            }
+            Pred::Cmp { attr, op, .. } => {
+                // Column size bounds the result; equality assumes a
+                // uniform 10% hit rate, ranges 33%.
+                let column = self
+                    .index_bundle()
+                    .tuple
+                    .has_attribute(&resolve_attr(attr))
+                    .len();
+                let rows = match op {
+                    idm_index::tuple::CompareOp::Eq => column / 10,
+                    idm_index::tuple::CompareOp::Ne => column,
+                    _ => column / 3,
+                };
+                Estimate::guess(rows.max(usize::from(column > 0)))
+            }
+            Pred::And(members) => {
+                // Upper bound: the most selective conjunct.
+                let rows = members
+                    .iter()
+                    .map(|m| self.estimate_pred(m).rows)
+                    .min()
+                    .unwrap_or(0);
+                Estimate::guess(rows)
+            }
+            Pred::Or(members) => {
+                let rows: usize = members.iter().map(|m| self.estimate_pred(m).rows).sum();
+                Estimate::guess(rows.min(self.universe()))
+            }
+            Pred::Not(inner) => {
+                let inner_rows = self.estimate_pred(inner).rows;
+                Estimate::guess(self.universe().saturating_sub(inner_rows))
+            }
+        }
+    }
+
+    /// Estimates one path step's candidate set (name × predicate).
+    fn estimate_step(&self, step: &crate::ast::Step) -> Estimate {
+        let by_name = if step.name.matches_all() {
+            Estimate::guess(self.universe())
+        } else if step.name.is_exact() {
+            Estimate::exact(self.index_bundle().name.exact(step.name.as_str()).len())
+        } else {
+            // Wildcards: assume they hit 5% of distinct names.
+            Estimate::guess((self.index_bundle().name.entry_count() / 20).max(1))
+        };
+        match &step.pred {
+            Some(pred) => {
+                let by_pred = self.estimate_pred(pred);
+                Estimate::guess(by_name.rows.min(by_pred.rows))
+            }
+            None => by_name,
+        }
+    }
+
+    /// Estimates a whole query's result cardinality.
+    pub fn estimate(&self, query: &Query) -> Estimate {
+        match query {
+            Query::Filter(pred) => self.estimate_pred(pred),
+            Query::Path(path) => {
+                // The final step bounds the result; earlier steps only
+                // filter it down (ancestry keeps a fraction, guess 50%
+                // per additional step).
+                let mut estimate = match path.steps.last() {
+                    Some(step) => self.estimate_step(step),
+                    None => Estimate::exact(0),
+                };
+                for _ in 1..path.steps.len() {
+                    estimate = Estimate::guess((estimate.rows / 2).max(1));
+                }
+                estimate
+            }
+            Query::Union(members) => {
+                let rows: usize = members.iter().map(|m| self.estimate(m).rows).sum();
+                Estimate::guess(rows.min(self.universe()))
+            }
+            Query::Join(join) => {
+                let left = self.estimate(&join.left).rows;
+                let right = self.estimate(&join.right).rows;
+                // Keyed equi-join: bounded by the smaller input when the
+                // key is near-unique (names usually are).
+                Estimate::guess(left.min(right))
+            }
+        }
+    }
+
+    /// Parses a query and estimates it.
+    pub fn estimate_iql(&self, iql: &str) -> Result<Estimate> {
+        Ok(self.estimate(&parse(iql)?))
+    }
+}
+
+/// Renders the rule-based plan annotated with cardinality estimates —
+/// the "EXPLAIN (with estimates)" a cost-based optimizer starts from.
+pub fn explain_with_estimates(processor: &QueryProcessor, iql: &str) -> Result<String> {
+    let query = parse(iql)?;
+    let mut out = String::new();
+    render(processor, &query, 0, &mut out);
+    Ok(out)
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render(processor: &QueryProcessor, query: &Query, depth: usize, out: &mut String) {
+    let estimate = processor.estimate(query);
+    indent(depth, out);
+    let kind = match query {
+        Query::Filter(_) => "Filter",
+        Query::Path(_) => "Path",
+        Query::Union(_) => "Union",
+        Query::Join(_) => "HashJoin",
+    };
+    out.push_str(&format!(
+        "{kind}  (est. {} rows{})\n",
+        estimate.rows,
+        if estimate.exact { ", exact" } else { "" }
+    ));
+    match query {
+        Query::Union(members) => {
+            for member in members {
+                render(processor, member, depth + 1, out);
+            }
+        }
+        Query::Join(join) => {
+            let left = processor.estimate(&join.left);
+            let right = processor.estimate(&join.right);
+            indent(depth + 1, out);
+            out.push_str(&format!(
+                "build side: {} (est. {} vs {})\n",
+                if left.rows <= right.rows { "left" } else { "right" },
+                left.rows,
+                right.rows
+            ));
+            render(processor, &join.left, depth + 1, out);
+            render(processor, &join.right, depth + 1, out);
+        }
+        Query::Path(path) => {
+            for (i, step) in path.steps.iter().enumerate() {
+                let est = processor.estimate_step(step);
+                indent(depth + 1, out);
+                out.push_str(&format!(
+                    "step {i} '{}' (est. {} candidates{})\n",
+                    step.name.as_str(),
+                    est.rows,
+                    if est.exact { ", exact" } else { "" }
+                ));
+            }
+        }
+        Query::Filter(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_index::IndexBundle;
+    use std::sync::Arc;
+
+    fn space() -> QueryProcessor {
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+        for i in 0..50 {
+            store
+                .build(format!("doc{i}.txt"))
+                .tuple(TupleComponent::of(vec![("size", Value::Integer(i))]))
+                .text(if i < 5 {
+                    "rare needle here".to_owned()
+                } else {
+                    "common haystack words".to_owned()
+                })
+                .class_named("file")
+                .insert();
+        }
+        store.build("PIM").class_named("folder").insert();
+        for vid in store.vids() {
+            indexes.index_view(&store, vid, "test").unwrap();
+        }
+        QueryProcessor::new(store, indexes)
+    }
+
+    #[test]
+    fn phrase_estimates_match_document_frequency() {
+        let p = space();
+        let est = p.estimate_iql(r#""needle""#).unwrap();
+        assert_eq!(est.rows, 5);
+        assert!(est.exact);
+        let est = p.estimate_iql(r#""haystack""#).unwrap();
+        assert_eq!(est.rows, 45);
+        // Multi-term phrases are bounded by the rarest term.
+        let est = p.estimate_iql(r#""rare needle""#).unwrap();
+        assert_eq!(est.rows, 5);
+        assert!(!est.exact, "phrase adjacency may reduce it further");
+    }
+
+    #[test]
+    fn class_and_name_estimates_are_exact() {
+        let p = space();
+        let est = p.estimate_iql(r#"[class="folder"]"#).unwrap();
+        assert!(est.exact);
+        // folderlink specializes folder; only PIM is registered here.
+        assert_eq!(est.rows, 1);
+        let est = p.estimate_iql("//PIM").unwrap();
+        assert_eq!(est, Estimate::exact(1));
+    }
+
+    #[test]
+    fn estimates_upper_bound_reality_for_index_backed_predicates() {
+        let p = space();
+        for iql in [
+            r#""needle""#,
+            r#"["needle" and "haystack"]"#,
+            r#"[class="file"]"#,
+            r#"union("needle", "haystack")"#,
+            "//PIM",
+        ] {
+            let est = p.estimate_iql(iql).unwrap();
+            let actual = p.execute(iql).unwrap().rows.len();
+            assert!(
+                est.rows >= actual,
+                "estimate {} < actual {actual} for {iql}",
+                est.rows
+            );
+        }
+    }
+
+    #[test]
+    fn and_estimate_takes_most_selective_conjunct() {
+        let p = space();
+        let est = p
+            .estimate_iql(r#"["haystack" and "needle"]"#)
+            .unwrap();
+        assert_eq!(est.rows, 5, "bounded by the rare side");
+    }
+
+    #[test]
+    fn annotated_explain_shows_estimates_and_build_side() {
+        let p = space();
+        let plan = explain_with_estimates(
+            &p,
+            r#"join( "needle" as A, "haystack" as B, A.name = B.name )"#,
+        )
+        .unwrap();
+        assert!(plan.contains("HashJoin"), "{plan}");
+        assert!(plan.contains("build side: left (est. 5 vs 45)"), "{plan}");
+    }
+
+    #[test]
+    fn not_estimate_complements_universe() {
+        let p = space();
+        let est = p.estimate_iql(r#"[not "needle"]"#).unwrap();
+        assert_eq!(est.rows, p.index_bundle().catalog.len() - 5);
+    }
+}

@@ -1,0 +1,759 @@
+//! iQL execution: rule-based planning over the index structures plus
+//! graph expansion strategies.
+//!
+//! The paper's processor "fetches the data via index accesses, \[then\]
+//! obtains indirectly related resource views by **forward expansion**"
+//! (Section 7.2) and names backward/bidirectional expansion \[30\] as the
+//! planned remedy for queries like Q8 where forward expansion processes
+//! many intermediate results. All three strategies are implemented here
+//! and selectable per query, which also powers the expansion-strategy
+//! ablation benchmark.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use idm_core::prelude::*;
+use idm_index::IndexBundle;
+
+use crate::ast::*;
+use crate::parser::parse;
+
+/// How `//` (and `/`) steps relate candidates to the current context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpansionStrategy {
+    /// Expand group edges forward from the context (the paper's
+    /// implemented strategy).
+    #[default]
+    Forward,
+    /// Walk reverse group edges from the candidates towards the context.
+    Backward,
+    /// Choose per step based on frontier sizes (the \[30\]-style hybrid).
+    Bidirectional,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Expansion strategy for path steps.
+    pub expansion: ExpansionStrategy,
+    /// The clock used by `yesterday()`/`today()`/`now()`.
+    pub now: Timestamp,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            expansion: ExpansionStrategy::Forward,
+            // A fixed default clock keeps tests and benchmarks
+            // deterministic; systems pass the wall clock.
+            now: Timestamp::from_ymd(2006, 9, 12).expect("valid date"),
+        }
+    }
+}
+
+/// Execution statistics (the paper discusses Q8's intermediate-result
+/// blow-up; these counters expose it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Graph nodes touched during expansions.
+    pub nodes_expanded: usize,
+    /// Candidate views produced by index accesses before ancestry
+    /// filtering.
+    pub candidates_examined: usize,
+}
+
+/// Result rows: plain views, or pairs for joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultRows {
+    /// Views.
+    Views(Vec<Vid>),
+    /// `(left, right)` pairs from a join.
+    Pairs(Vec<(Vid, Vid)>),
+}
+
+impl ResultRows {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ResultRows::Views(v) => v.len(),
+            ResultRows::Pairs(p) => p.len(),
+        }
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The views of a plain result (left-hand views for pairs).
+    pub fn views(&self) -> Vec<Vid> {
+        match self {
+            ResultRows::Views(v) => v.clone(),
+            ResultRows::Pairs(p) => p.iter().map(|(a, _)| *a).collect(),
+        }
+    }
+}
+
+/// A complete query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The rows.
+    pub rows: ResultRows,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Maps iQL attribute spellings to the `W_FS` attribute names
+/// (`lastmodified` in Q3 refers to the `last modified time` attribute).
+pub fn resolve_attr(attr: &str) -> String {
+    let key: String = attr
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect();
+    match key.as_str() {
+        "lastmodified" | "lastmodifiedtime" | "modified" => "last modified time".to_owned(),
+        "created" | "creationtime" | "creation" => "creation time".to_owned(),
+        _ => attr.to_owned(),
+    }
+}
+
+/// The iQL query processor.
+pub struct QueryProcessor {
+    store: Arc<ViewStore>,
+    indexes: Arc<IndexBundle>,
+    options: ExecOptions,
+}
+
+impl QueryProcessor {
+    /// A processor over a store and its index bundle.
+    pub fn new(store: Arc<ViewStore>, indexes: Arc<IndexBundle>) -> Self {
+        QueryProcessor {
+            store,
+            indexes,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Replaces the execution options.
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The current options.
+    pub fn options(&self) -> ExecOptions {
+        self.options
+    }
+
+    /// Sets the expansion strategy.
+    pub fn set_expansion(&mut self, strategy: ExpansionStrategy) {
+        self.options.expansion = strategy;
+    }
+
+    /// The view store this processor reads from.
+    pub fn view_store(&self) -> &Arc<ViewStore> {
+        &self.store
+    }
+
+    /// The index bundle this processor runs against.
+    pub fn index_bundle(&self) -> &Arc<IndexBundle> {
+        &self.indexes
+    }
+
+    /// Parses and executes an iQL query string.
+    pub fn execute(&self, iql: &str) -> Result<QueryResult> {
+        let query = parse(iql)?;
+        self.execute_ast(&query)
+    }
+
+    /// Executes a parsed query.
+    pub fn execute_ast(&self, query: &Query) -> Result<QueryResult> {
+        let mut stats = ExecStats::default();
+        let rows = self.eval_query(query, &mut stats)?;
+        Ok(QueryResult { rows, stats })
+    }
+
+    fn eval_query(&self, query: &Query, stats: &mut ExecStats) -> Result<ResultRows> {
+        match query {
+            Query::Filter(pred) => {
+                let vids = self.eval_pred(pred, stats)?;
+                Ok(ResultRows::Views(vids))
+            }
+            Query::Path(path) => Ok(ResultRows::Views(self.eval_path(path, stats)?)),
+            Query::Union(members) => {
+                let mut acc: Vec<Vid> = Vec::new();
+                for member in members {
+                    match self.eval_query(member, stats)? {
+                        ResultRows::Views(v) => acc.extend(v),
+                        ResultRows::Pairs(_) => {
+                            return Err(IdmError::Parse {
+                                detail: "iql: union over join results is unsupported".into(),
+                            })
+                        }
+                    }
+                }
+                acc.sort();
+                acc.dedup();
+                Ok(ResultRows::Views(acc))
+            }
+            Query::Join(join) => self.eval_join(join, stats),
+        }
+    }
+
+    // ---- predicates --------------------------------------------------
+
+    fn all_vids(&self) -> Vec<Vid> {
+        self.indexes.catalog.vids()
+    }
+
+    fn eval_pred(&self, pred: &Pred, stats: &mut ExecStats) -> Result<Vec<Vid>> {
+        let vids = match pred {
+            Pred::Phrase(phrase) => {
+                let mut v = self.indexes.content.phrase_query(phrase);
+                v.sort();
+                v
+            }
+            Pred::Class(class_name) => self.class_members(class_name),
+            Pred::Cmp { attr, op, value } => {
+                let constant = self.literal_value(value);
+                self.indexes
+                    .tuple
+                    .compare(&resolve_attr(attr), *op, &constant)
+            }
+            Pred::And(members) => {
+                let mut lists = Vec::with_capacity(members.len());
+                for member in members {
+                    lists.push(self.eval_pred(member, stats)?);
+                }
+                // Rule-based ordering: intersect smallest-first.
+                lists.sort_by_key(Vec::len);
+                let mut iter = lists.into_iter();
+                let mut acc = iter.next().unwrap_or_default();
+                for list in iter {
+                    let set: HashSet<Vid> = list.into_iter().collect();
+                    acc.retain(|v| set.contains(v));
+                }
+                acc
+            }
+            Pred::Or(members) => {
+                let mut acc = Vec::new();
+                for member in members {
+                    acc.extend(self.eval_pred(member, stats)?);
+                }
+                acc.sort();
+                acc.dedup();
+                acc
+            }
+            Pred::Not(inner) => {
+                let exclude: HashSet<Vid> = self.eval_pred(inner, stats)?.into_iter().collect();
+                self.all_vids()
+                    .into_iter()
+                    .filter(|v| !exclude.contains(v))
+                    .collect()
+            }
+        };
+        stats.candidates_examined += vids.len();
+        Ok(vids)
+    }
+
+    fn literal_value(&self, literal: &Literal) -> Value {
+        match literal {
+            Literal::Value(value) => value.clone(),
+            Literal::DateFn(f) => Value::Date(f.eval(self.options.now)),
+        }
+    }
+
+    /// All catalog members of the class or any of its specializations.
+    fn class_members(&self, class_name: &str) -> Vec<Vid> {
+        let registry = self.store.classes();
+        let Some(target) = registry.lookup(class_name) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for class in registry.subclasses(target) {
+            out.extend(self.indexes.catalog.by_class(&registry.name(class)));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    // ---- paths --------------------------------------------------------
+
+    fn step_candidates(&self, step: &Step, stats: &mut ExecStats) -> Result<Vec<Vid>> {
+        let by_name = if step.name.matches_all() {
+            None
+        } else {
+            let mut v = self.indexes.name.matching(&step.name);
+            v.sort();
+            Some(v)
+        };
+        let by_pred = match &step.pred {
+            Some(pred) => Some(self.eval_pred(pred, stats)?),
+            None => None,
+        };
+        let candidates = match (by_name, by_pred) {
+            (Some(a), Some(b)) => {
+                let set: HashSet<Vid> = b.into_iter().collect();
+                a.into_iter().filter(|v| set.contains(v)).collect()
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => self.all_vids(),
+        };
+        stats.candidates_examined += candidates.len();
+        Ok(candidates)
+    }
+
+    fn eval_path(&self, path: &PathExpr, stats: &mut ExecStats) -> Result<Vec<Vid>> {
+        let mut context: Option<Vec<Vid>> = None;
+        for step in &path.steps {
+            let candidates = self.step_candidates(step, stats)?;
+            context = Some(match context {
+                // The first step has no ancestry constraint: `//X`
+                // selects every view matching X anywhere in the graph.
+                None => candidates,
+                Some(ctx) => self.relate(&ctx, candidates, step.axis, stats),
+            });
+        }
+        Ok(context.unwrap_or_default())
+    }
+
+    /// Filters `candidates` down to those related to some context view
+    /// along `axis`, using the configured expansion strategy.
+    fn relate(
+        &self,
+        context: &[Vid],
+        candidates: Vec<Vid>,
+        axis: Axis,
+        stats: &mut ExecStats,
+    ) -> Vec<Vid> {
+        if context.is_empty() || candidates.is_empty() {
+            return Vec::new();
+        }
+        let strategy = match self.options.expansion {
+            ExpansionStrategy::Bidirectional => {
+                if context.len() <= candidates.len() {
+                    ExpansionStrategy::Forward
+                } else {
+                    ExpansionStrategy::Backward
+                }
+            }
+            other => other,
+        };
+        match (strategy, axis) {
+            (ExpansionStrategy::Forward, Axis::Child) => {
+                let mut reachable: HashSet<Vid> = HashSet::new();
+                for &vid in context {
+                    let children = self.indexes.group.children(vid);
+                    stats.nodes_expanded += children.len();
+                    reachable.extend(children);
+                }
+                candidates
+                    .into_iter()
+                    .filter(|v| reachable.contains(v))
+                    .collect()
+            }
+            (ExpansionStrategy::Forward, Axis::Descendant) => {
+                let reachable = self.multi_source_descendants(context, stats);
+                candidates
+                    .into_iter()
+                    .filter(|v| reachable.contains(v))
+                    .collect()
+            }
+            (ExpansionStrategy::Backward, Axis::Child) => {
+                let ctx: HashSet<Vid> = context.iter().copied().collect();
+                candidates
+                    .into_iter()
+                    .filter(|v| {
+                        let parents = self.indexes.group.parents(*v);
+                        stats.nodes_expanded += parents.len();
+                        parents.iter().any(|p| ctx.contains(p))
+                    })
+                    .collect()
+            }
+            (ExpansionStrategy::Backward, Axis::Descendant) => {
+                let ctx: HashSet<Vid> = context.iter().copied().collect();
+                // Positive cache: nodes known to reach the context.
+                let mut reaches_ctx: HashSet<Vid> = HashSet::new();
+                candidates
+                    .into_iter()
+                    .filter(|v| {
+                        self.reverse_reaches(*v, &ctx, &mut reaches_ctx, stats)
+                    })
+                    .collect()
+            }
+            (ExpansionStrategy::Bidirectional, _) => unreachable!("resolved above"),
+        }
+    }
+
+    fn multi_source_descendants(&self, sources: &[Vid], stats: &mut ExecStats) -> HashSet<Vid> {
+        let mut visited: HashSet<Vid> = HashSet::new();
+        let mut queue: VecDeque<Vid> = sources.iter().copied().collect();
+        while let Some(vid) = queue.pop_front() {
+            for child in self.indexes.group.children(vid) {
+                stats.nodes_expanded += 1;
+                if visited.insert(child) {
+                    queue.push_back(child);
+                }
+            }
+        }
+        visited
+    }
+
+    /// Reverse BFS from `start` towards the context set, with a shared
+    /// positive cache across candidates.
+    fn reverse_reaches(
+        &self,
+        start: Vid,
+        ctx: &HashSet<Vid>,
+        reaches_ctx: &mut HashSet<Vid>,
+        stats: &mut ExecStats,
+    ) -> bool {
+        let mut visited: HashSet<Vid> = HashSet::new();
+        let mut queue: VecDeque<Vid> = [start].into();
+        let mut path_nodes: Vec<Vid> = Vec::new();
+        let mut found = false;
+        'bfs: while let Some(vid) = queue.pop_front() {
+            for parent in self.indexes.group.parents(vid) {
+                stats.nodes_expanded += 1;
+                if ctx.contains(&parent) || reaches_ctx.contains(&parent) {
+                    found = true;
+                    break 'bfs;
+                }
+                if visited.insert(parent) {
+                    path_nodes.push(parent);
+                    queue.push_back(parent);
+                }
+            }
+        }
+        if found {
+            // Everything visited on this search reaches the context via
+            // the found node only if it lies on a path — conservatively
+            // cache only the start, which is definitely connected.
+            reaches_ctx.insert(start);
+        }
+        found
+    }
+
+    // ---- joins ---------------------------------------------------------
+
+    fn field_key(&self, vid: Vid, field: &Field) -> Option<String> {
+        match field {
+            Field::Name => {
+                let entry = self.indexes.catalog.entry(vid)?;
+                (!entry.name.is_empty()).then_some(entry.name)
+            }
+            Field::Class => self.indexes.catalog.entry(vid)?.class,
+            Field::TupleAttr(attr) => self
+                .indexes
+                .tuple
+                .value_of(vid, &resolve_attr(attr))
+                .map(|v| v.to_string()),
+        }
+    }
+
+    fn eval_join(&self, join: &JoinExpr, stats: &mut ExecStats) -> Result<ResultRows> {
+        // Validate binding references.
+        for (field_ref, expected) in [
+            (&join.condition.left, &join.left_binding),
+            (&join.condition.right, &join.right_binding),
+        ] {
+            if &field_ref.binding != expected
+                && field_ref.binding != join.left_binding
+                && field_ref.binding != join.right_binding
+            {
+                return Err(IdmError::Parse {
+                    detail: format!(
+                        "iql: unknown join binding '{}' (have '{}' and '{}')",
+                        field_ref.binding, join.left_binding, join.right_binding
+                    ),
+                });
+            }
+        }
+        let left_rows = self.eval_query(&join.left, stats)?.views();
+        let right_rows = self.eval_query(&join.right, stats)?.views();
+
+        // Orient the condition fields to their sides.
+        let (left_field, right_field) = if join.condition.left.binding == join.left_binding {
+            (&join.condition.left.field, &join.condition.right.field)
+        } else {
+            (&join.condition.right.field, &join.condition.left.field)
+        };
+
+        // Hash join: build on the smaller input.
+        let (build_rows, probe_rows, build_field, probe_field, build_is_left) =
+            if left_rows.len() <= right_rows.len() {
+                (&left_rows, &right_rows, left_field, right_field, true)
+            } else {
+                (&right_rows, &left_rows, right_field, left_field, false)
+            };
+
+        let mut table: HashMap<String, Vec<Vid>> = HashMap::with_capacity(build_rows.len());
+        for &vid in build_rows {
+            if let Some(key) = self.field_key(vid, build_field) {
+                table.entry(key).or_default().push(vid);
+            }
+        }
+        let mut pairs = Vec::new();
+        for &vid in probe_rows {
+            if let Some(key) = self.field_key(vid, probe_field) {
+                if let Some(matches) = table.get(&key) {
+                    for &m in matches {
+                        pairs.push(if build_is_left { (m, vid) } else { (vid, m) });
+                    }
+                }
+            }
+        }
+        pairs.sort();
+        pairs.dedup();
+        Ok(ResultRows::Pairs(pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_core::class::builtin::names;
+
+    /// A small dataspace shaped like the paper's examples.
+    fn dataspace() -> (Arc<ViewStore>, Arc<IndexBundle>) {
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+
+        let fs_tuple = |size: i64, day: u32| {
+            TupleComponent::of(vec![
+                ("size", Value::Integer(size)),
+                (
+                    "creation time",
+                    Value::Date(Timestamp::from_ymd(2005, 1, 1).unwrap()),
+                ),
+                (
+                    "last modified time",
+                    Value::Date(Timestamp::from_ymd(2005, 6, day).unwrap()),
+                ),
+            ])
+        };
+
+        // /papers/vision.tex → section "A Dataspace Vision" → text.
+        let vision_text = store
+            .build_unnamed()
+            .text("a grand vision by Mike Franklin")
+            .class_named(names::TEXT)
+            .insert();
+        let vision_section = store
+            .build("A Dataspace Vision")
+            .sequence(vec![vision_text])
+            .class_named(names::LATEX_SECTION)
+            .insert();
+        let conclusion_text = store
+            .build_unnamed()
+            .text("future systems will unify dataspaces")
+            .class_named(names::TEXT)
+            .insert();
+        let conclusions = store
+            .build("Conclusions")
+            .sequence(vec![conclusion_text])
+            .class_named(names::LATEX_SECTION)
+            .insert();
+        let vision_tex = store
+            .build("vision.tex")
+            .tuple(fs_tuple(500_000, 1))
+            .text("\\section{A Dataspace Vision}")
+            .children(vec![vision_section, conclusions])
+            .class_named(names::FILE)
+            .insert();
+        let papers = store
+            .build("papers")
+            .tuple(fs_tuple(4096, 20))
+            .children(vec![vision_tex])
+            .class_named(names::FOLDER)
+            .insert();
+
+        // An email with a .tex attachment named vision.tex (for Q8-style
+        // joins across subsystems).
+        let attachment = store
+            .build("vision.tex")
+            .tuple(fs_tuple(1000, 2))
+            .text("\\section{Attached}")
+            .class_named(names::ATTACHMENT)
+            .insert();
+        let email = store
+            .build("paper draft")
+            .tuple(TupleComponent::of(vec![
+                ("from", Value::Text("jens@ethz".into())),
+                ("size", Value::Integer(2000)),
+            ]))
+            .text("please review the attached database tuning draft")
+            .children(vec![attachment])
+            .class_named(names::EMAILMESSAGE)
+            .insert();
+
+        for vid in store.vids() {
+            let source = if vid == email || vid == attachment {
+                "imap"
+            } else {
+                "filesystem"
+            };
+            indexes.index_view(&store, vid, source).unwrap();
+        }
+        let _ = papers;
+        (store, indexes)
+    }
+
+    fn processor(strategy: ExpansionStrategy) -> QueryProcessor {
+        let (store, indexes) = dataspace();
+        let mut p = QueryProcessor::new(store, indexes);
+        p.set_expansion(strategy);
+        p
+    }
+
+    #[test]
+    fn phrase_query() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p.execute(r#""Mike Franklin""#).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn boolean_keywords() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p.execute(r#""database" and "tuning""#).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = p.execute(r#""database" and "nonexistent""#).unwrap();
+        assert!(r.rows.is_empty());
+        let r = p
+            .execute(r#""database" or "dataspaces""#)
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn attribute_predicate_with_alias() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p
+            .execute("[size > 420000 and lastmodified < @12.06.2005]")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1, "only vision.tex is big and old");
+    }
+
+    #[test]
+    fn date_function_against_context_clock() {
+        let p = processor(ExpansionStrategy::Forward);
+        // options.now defaults to 2006-09-12; everything was modified
+        // before yesterday().
+        let r = p.execute("[lastmodified < yesterday()]").unwrap();
+        assert!(r.rows.len() >= 3);
+    }
+
+    #[test]
+    fn path_with_class_and_phrase() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p
+            .execute(r#"//papers//*[class="latex_section"]"#)
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "both sections under /papers");
+
+        let r = p
+            .execute(r#"//papers//*Vision[class="latex_section"]"#)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn child_step_restricts_to_direct_relation() {
+        let p = processor(ExpansionStrategy::Forward);
+        // text node is a direct child of the Vision section.
+        let r = p.execute(r#"//papers//*Vision/*["Franklin"]"#).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // But not a direct child of papers.
+        let r = p.execute(r#"//papers/*["Franklin"]"#).unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let queries = [
+            r#"//papers//*[class="latex_section"]"#,
+            r#"//papers//*Vision/*["Franklin"]"#,
+            r#"//papers//?onclusion*"#,
+            r#"//papers//*["systems"]"#,
+        ];
+        let forward = processor(ExpansionStrategy::Forward);
+        let backward = processor(ExpansionStrategy::Backward);
+        let bidi = processor(ExpansionStrategy::Bidirectional);
+        for q in queries {
+            let f = forward.execute(q).unwrap().rows;
+            let b = backward.execute(q).unwrap().rows;
+            let i = bidi.execute(q).unwrap().rows;
+            assert_eq!(f, b, "forward vs backward on {q}");
+            assert_eq!(f, i, "forward vs bidirectional on {q}");
+        }
+    }
+
+    #[test]
+    fn union_dedups() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p
+            .execute(r#"union( //papers//*["systems"], //papers//?onclusion* )"#)
+            .unwrap();
+        // The conclusion text matches "systems"; Conclusions matches the
+        // name pattern; they are different views.
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn join_across_subsystems_like_q8() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p
+            .execute(
+                r#"join ( //*[class = "emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )"#,
+            )
+            .unwrap();
+        let ResultRows::Pairs(pairs) = &r.rows else {
+            panic!()
+        };
+        assert_eq!(pairs.len(), 1, "attachment vision.tex = file vision.tex");
+        let (a, b) = pairs[0];
+        assert_ne!(a, b);
+        assert_eq!(p.store.name(a).unwrap(), p.store.name(b).unwrap());
+    }
+
+    #[test]
+    fn join_rejects_unknown_binding() {
+        let p = processor(ExpansionStrategy::Forward);
+        let err = p
+            .execute(r#"join( //a as A, //b as B, C.name = B.name )"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("binding"), "{err}");
+    }
+
+    #[test]
+    fn not_complements_catalog() {
+        let p = processor(ExpansionStrategy::Forward);
+        let all = p.execute(r#"[not class="no-such-class"]"#).unwrap();
+        assert_eq!(all.rows.len(), p.indexes.catalog.len());
+        let none = p
+            .execute(r#"[class="file" and not class="file"]"#)
+            .unwrap();
+        assert!(none.rows.is_empty());
+    }
+
+    #[test]
+    fn class_predicate_includes_subclasses() {
+        let p = processor(ExpansionStrategy::Forward);
+        // `attachment` specializes `file`: class="file" finds both the
+        // filesystem file and the attachment.
+        let r = p.execute(r#"[class="file"]"#).unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_expansion_work() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p.execute(r#"//papers//*"#).unwrap();
+        assert!(r.stats.nodes_expanded > 0);
+        assert!(r.stats.candidates_examined > 0);
+    }
+}

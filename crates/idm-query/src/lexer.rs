@@ -1,0 +1,250 @@
+//! The iQL lexer.
+//!
+//! Words are maximal runs of name-pattern characters (letters, digits,
+//! `_ * ? . : -`), which uniformly covers identifiers (`size`), keywords
+//! (`union`), wildcard name patterns (`?onclusion*`, `*.tex`,
+//! `VLDB200?`) and dotted field references (`B.tuple.label`, split by
+//! the parser). Strings are double-quoted phrases; `@` introduces a date
+//! literal (`@12.06.2005`).
+
+use idm_core::prelude::{IdmError, Result, Timestamp};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `//`
+    DoubleSlash,
+    /// `/`
+    Slash,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// A double-quoted phrase (quotes stripped).
+    Phrase(String),
+    /// A date literal `@dd.mm.yyyy`.
+    Date(Timestamp),
+    /// A word: identifier, keyword, number or name pattern.
+    Word(String),
+}
+
+/// Tokenizes an iQL query string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+
+    fn is_word_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '_' | '*' | '?' | '.' | ':' | '-' | '\'')
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    tokens.push(Token::DoubleSlash);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(IdmError::Parse {
+                        detail: "iql: lone '!' (did you mean '!=' or 'not'?)".into(),
+                    });
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                if j == chars.len() {
+                    return Err(IdmError::Parse {
+                        detail: "iql: unterminated string".into(),
+                    });
+                }
+                tokens.push(Token::Phrase(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                tokens.push(Token::Date(Timestamp::parse_dmy(&text)?));
+                i = j;
+            }
+            c if is_word_char(c) => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && is_word_char(chars[j]) {
+                    j += 1;
+                }
+                tokens.push(Token::Word(chars[start..j].iter().collect()));
+                i = j;
+            }
+            other => {
+                return Err(IdmError::Parse {
+                    detail: format!("iql: unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_q3_from_table_4() {
+        let tokens = lex("[size > 420000 and lastmodified < @12.06.2005]").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LBracket,
+                Token::Word("size".into()),
+                Token::Gt,
+                Token::Word("420000".into()),
+                Token::Word("and".into()),
+                Token::Word("lastmodified".into()),
+                Token::Lt,
+                Token::Date(Timestamp::from_ymd(2005, 6, 12).unwrap()),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_paths_and_wildcards() {
+        let tokens = lex("//VLDB200?//?onclusion*/*[\"systems\"]").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::DoubleSlash,
+                Token::Word("VLDB200?".into()),
+                Token::DoubleSlash,
+                Token::Word("?onclusion*".into()),
+                Token::Slash,
+                Token::Word("*".into()),
+                Token::LBracket,
+                Token::Phrase("systems".into()),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_join_with_dotted_refs() {
+        let tokens = lex("join( //a as A, //b as B, A.name=B.tuple.label)").unwrap();
+        assert!(tokens.contains(&Token::Word("A.name".into())));
+        assert!(tokens.contains(&Token::Word("B.tuple.label".into())));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let tokens = lex("a = b != c < d <= e > f >= g").unwrap();
+        let ops: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t, Token::Word(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Eq, &Token::Ne, &Token::Lt, &Token::Le, &Token::Gt, &Token::Ge]
+        );
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("#hash").is_err());
+        assert!(lex("@99.99.9999").is_err());
+    }
+
+    #[test]
+    fn filenames_with_spaces_need_quotes_but_patterns_allow_dots() {
+        let tokens = lex("//papers//vldb-2006.tex").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::DoubleSlash,
+                Token::Word("papers".into()),
+                Token::DoubleSlash,
+                Token::Word("vldb-2006.tex".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # idm-query — iQL, the iMeMex Query Language (Section 5.1)
+//!
+//! iQL is an end-user language extending IR keyword search with path
+//! expressions and attribute predicates over the resource view graph.
+//! The evaluation queries of Table 4 all run through this crate:
+//!
+//! ```text
+//! Q1  "database"
+//! Q2  "database tuning"
+//! Q3  [size > 420000 and lastmodified < @12.06.2005]
+//! Q4  //papers//*Vision/*["Franklin"]
+//! Q5  //VLDB200?//?onclusion*/*["systems"]
+//! Q6  union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])
+//! Q7  join( //VLDB2006//*[class="texref"] as A,
+//!           //VLDB2006//*[class="environment"]//figure* as B,
+//!           A.name=B.tuple.label)
+//! Q8  join ( //*[class = "emailmessage"]//*.tex as A,
+//!            //papers//*.tex as B, A.name = B.name )
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`exec::QueryProcessor`] running
+//! rule-based plans ([`plan::explain`] renders them) against the
+//! [`idm_index::IndexBundle`]. Path steps relate to their context via
+//! forward, backward or bidirectional expansion
+//! ([`exec::ExpansionStrategy`]) — forward is what the paper's
+//! prototype shipped; the others are its stated future work, included
+//! here for the ablation benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cost;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod rank;
+pub mod update;
+
+pub use ast::Query;
+pub use exec::{ExecOptions, ExecStats, ExpansionStrategy, QueryProcessor, QueryResult, ResultRows};
+pub use cost::{explain_with_estimates, Estimate};
+pub use parser::parse;
+pub use plan::explain;
+pub use rank::{RankWeights, RankedResult};
+pub use update::{parse_update, UpdateAction, UpdateOutcome, UpdateStatement};

@@ -1,0 +1,520 @@
+//! The iQL parser: tokens → [`Query`] AST.
+
+use idm_core::prelude::{IdmError, Result, Value};
+use idm_index::name::NamePattern;
+use idm_index::tuple::CompareOp;
+
+use crate::ast::*;
+use crate::lexer::{lex, Token};
+
+/// Parses an iQL query string.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("trailing tokens after query"));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+fn is_keyword(token: &Token, keyword: &str) -> bool {
+    matches!(token, Token::Word(w) if w.eq_ignore_ascii_case(keyword))
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> IdmError {
+        IdmError::Parse {
+            detail: format!(
+                "iql: {} (at token {} of {})",
+                message.into(),
+                self.pos,
+                self.tokens.len()
+            ),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<()> {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        match self.peek() {
+            Some(t) if is_keyword(t, "union") && self.peek2() == Some(&Token::LParen) => {
+                self.parse_union()
+            }
+            Some(t) if is_keyword(t, "join") && self.peek2() == Some(&Token::LParen) => {
+                self.parse_join()
+            }
+            Some(Token::DoubleSlash | Token::Slash) => {
+                Ok(Query::Path(self.parse_path()?))
+            }
+            Some(Token::LBracket) => {
+                self.next();
+                let pred = self.parse_pred_or()?;
+                self.expect(&Token::RBracket, "']'")?;
+                Ok(Query::Filter(pred))
+            }
+            Some(Token::Phrase(_) | Token::Word(_)) => Ok(Query::Filter(self.parse_pred_or()?)),
+            _ => Err(self.error("expected a query")),
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<Query> {
+        self.next(); // union
+        self.expect(&Token::LParen, "'(' after union")?;
+        let mut members = vec![self.parse_query_until_comma_or_rparen()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            members.push(self.parse_query_until_comma_or_rparen()?);
+        }
+        self.expect(&Token::RParen, "')' closing union")?;
+        if members.len() < 2 {
+            return Err(self.error("union needs at least two members"));
+        }
+        Ok(Query::Union(members))
+    }
+
+    /// Parses a nested query argument; stops at ',' or ')' at depth 0.
+    fn parse_query_until_comma_or_rparen(&mut self) -> Result<Query> {
+        // Sub-queries are themselves well-formed; recursive descent
+        // naturally stops before ',' / ')'.
+        self.parse_query_inner()
+    }
+
+    fn parse_query_inner(&mut self) -> Result<Query> {
+        match self.peek() {
+            Some(t) if is_keyword(t, "union") && self.peek2() == Some(&Token::LParen) => {
+                self.parse_union()
+            }
+            Some(t) if is_keyword(t, "join") && self.peek2() == Some(&Token::LParen) => {
+                self.parse_join()
+            }
+            Some(Token::DoubleSlash | Token::Slash) => Ok(Query::Path(self.parse_path()?)),
+            Some(Token::LBracket) => {
+                self.next();
+                let pred = self.parse_pred_or()?;
+                self.expect(&Token::RBracket, "']'")?;
+                Ok(Query::Filter(pred))
+            }
+            Some(Token::Phrase(_)) => Ok(Query::Filter(self.parse_pred_or()?)),
+            _ => Err(self.error("expected a subquery")),
+        }
+    }
+
+    fn parse_join(&mut self) -> Result<Query> {
+        self.next(); // join
+        self.expect(&Token::LParen, "'(' after join")?;
+        let left = self.parse_query_inner()?;
+        let left_binding = self.parse_as_binding()?;
+        self.expect(&Token::Comma, "',' after first join input")?;
+        let right = self.parse_query_inner()?;
+        let right_binding = self.parse_as_binding()?;
+        self.expect(&Token::Comma, "',' after second join input")?;
+        let left_ref = self.parse_field_ref()?;
+        self.expect(&Token::Eq, "'=' in join condition")?;
+        let right_ref = self.parse_field_ref()?;
+        self.expect(&Token::RParen, "')' closing join")?;
+        Ok(Query::Join(Box::new(JoinExpr {
+            left,
+            left_binding,
+            right,
+            right_binding,
+            condition: JoinCondition {
+                left: left_ref,
+                right: right_ref,
+            },
+        })))
+    }
+
+    fn parse_as_binding(&mut self) -> Result<String> {
+        match self.next() {
+            Some(ref t) if is_keyword(t, "as") => {}
+            _ => return Err(self.error("expected 'as <binding>'")),
+        }
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            _ => Err(self.error("expected a binding name after 'as'")),
+        }
+    }
+
+    fn parse_field_ref(&mut self) -> Result<FieldRef> {
+        let word = match self.next() {
+            Some(Token::Word(w)) => w,
+            _ => return Err(self.error("expected a field reference like A.name")),
+        };
+        let mut parts = word.split('.');
+        let binding = parts
+            .next()
+            .filter(|b| !b.is_empty())
+            .ok_or_else(|| self.error("field reference misses a binding"))?
+            .to_owned();
+        let field = match parts.next() {
+            Some("name") => Field::Name,
+            Some("class") => Field::Class,
+            Some("tuple") => {
+                let attr: Vec<&str> = parts.collect();
+                if attr.is_empty() {
+                    return Err(self.error("tuple field reference misses an attribute"));
+                }
+                Field::TupleAttr(attr.join("."))
+            }
+            Some(other) => {
+                return Err(self.error(format!(
+                    "unknown field '{other}' (expected name, class or tuple.<attr>)"
+                )))
+            }
+            None => return Err(self.error("field reference misses a field")),
+        };
+        Ok(FieldRef { binding, field })
+    }
+
+    fn parse_path(&mut self) -> Result<PathExpr> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = match self.peek() {
+                Some(Token::DoubleSlash) => Axis::Descendant,
+                Some(Token::Slash) => Axis::Child,
+                _ => break,
+            };
+            self.next();
+            // Optional name pattern (absent before a bare predicate:
+            // `//OLAP//[class="figure"]`).
+            let name = match self.peek() {
+                Some(Token::Word(w))
+                    if !is_keyword(self.peek().unwrap(), "and")
+                        && !is_keyword(self.peek().unwrap(), "or") =>
+                {
+                    let w = w.clone();
+                    self.next();
+                    NamePattern::new(w)
+                }
+                _ => NamePattern::new("*"),
+            };
+            let pred = if self.peek() == Some(&Token::LBracket) {
+                self.next();
+                let pred = self.parse_pred_or()?;
+                self.expect(&Token::RBracket, "']' closing step predicate")?;
+                Some(pred)
+            } else {
+                None
+            };
+            steps.push(Step { axis, name, pred });
+        }
+        if steps.is_empty() {
+            return Err(self.error("empty path expression"));
+        }
+        Ok(PathExpr { steps })
+    }
+
+    fn parse_pred_or(&mut self) -> Result<Pred> {
+        let mut members = vec![self.parse_pred_and()?];
+        while self.peek().is_some_and(|t| is_keyword(t, "or")) {
+            self.next();
+            members.push(self.parse_pred_and()?);
+        }
+        Ok(if members.len() == 1 {
+            members.pop().expect("non-empty")
+        } else {
+            Pred::Or(members)
+        })
+    }
+
+    fn parse_pred_and(&mut self) -> Result<Pred> {
+        let mut members = vec![self.parse_pred_atom()?];
+        while self.peek().is_some_and(|t| is_keyword(t, "and")) {
+            self.next();
+            members.push(self.parse_pred_atom()?);
+        }
+        Ok(if members.len() == 1 {
+            members.pop().expect("non-empty")
+        } else {
+            Pred::And(members)
+        })
+    }
+
+    fn parse_pred_atom(&mut self) -> Result<Pred> {
+        match self.peek() {
+            Some(Token::Phrase(p)) => {
+                let p = p.clone();
+                self.next();
+                Ok(Pred::Phrase(p))
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let pred = self.parse_pred_or()?;
+                self.expect(&Token::RParen, "')' closing group")?;
+                Ok(pred)
+            }
+            Some(t) if is_keyword(t, "not") => {
+                self.next();
+                Ok(Pred::Not(Box::new(self.parse_pred_atom()?)))
+            }
+            Some(Token::Word(attr)) => {
+                let attr = attr.clone();
+                self.next();
+                let op = match self.next() {
+                    Some(Token::Eq) => CompareOp::Eq,
+                    Some(Token::Ne) => CompareOp::Ne,
+                    Some(Token::Lt) => CompareOp::Lt,
+                    Some(Token::Le) => CompareOp::Le,
+                    Some(Token::Gt) => CompareOp::Gt,
+                    Some(Token::Ge) => CompareOp::Ge,
+                    _ => return Err(self.error(format!("expected an operator after '{attr}'"))),
+                };
+                let value = self.parse_literal()?;
+                if attr.eq_ignore_ascii_case("class") {
+                    // class="latex_section" is a class-conformance test.
+                    return match (op, value) {
+                        (CompareOp::Eq, Literal::Value(Value::Text(class))) => {
+                            Ok(Pred::Class(class))
+                        }
+                        (CompareOp::Ne, Literal::Value(Value::Text(class))) => {
+                            Ok(Pred::Not(Box::new(Pred::Class(class))))
+                        }
+                        _ => Err(self.error("class predicates support = and != with a string")),
+                    };
+                }
+                Ok(Pred::Cmp { attr, op, value })
+            }
+            _ => Err(self.error("expected a predicate")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        match self.next() {
+            Some(Token::Phrase(s)) => Ok(Literal::Value(Value::Text(s))),
+            Some(Token::Date(t)) => Ok(Literal::Value(Value::Date(t))),
+            Some(Token::Word(w)) => {
+                // Date function call?
+                if self.peek() == Some(&Token::LParen) && self.peek2() == Some(&Token::RParen) {
+                    let date_fn = match w.to_ascii_lowercase().as_str() {
+                        "yesterday" => Some(DateFn::Yesterday),
+                        "today" => Some(DateFn::Today),
+                        "now" => Some(DateFn::Now),
+                        _ => None,
+                    };
+                    if let Some(date_fn) = date_fn {
+                        self.next();
+                        self.next();
+                        return Ok(Literal::DateFn(date_fn));
+                    }
+                    return Err(self.error(format!("unknown function '{w}()'")));
+                }
+                // Number?
+                if let Ok(i) = w.parse::<i64>() {
+                    return Ok(Literal::Value(Value::Integer(i)));
+                }
+                if let Ok(f) = w.parse::<f64>() {
+                    return Ok(Literal::Value(Value::Float(f)));
+                }
+                if w.eq_ignore_ascii_case("true") || w.eq_ignore_ascii_case("false") {
+                    return Ok(Literal::Value(Value::Boolean(
+                        w.eq_ignore_ascii_case("true"),
+                    )));
+                }
+                // Bare word: treat as text.
+                Ok(Literal::Value(Value::Text(w)))
+            }
+            _ => Err(self.error("expected a literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_core::prelude::Timestamp;
+
+    #[test]
+    fn q1_bare_phrase() {
+        let q = parse(r#""database""#).unwrap();
+        assert_eq!(q, Query::Filter(Pred::Phrase("database".into())));
+    }
+
+    #[test]
+    fn boolean_keyword_query() {
+        let q = parse(r#""Donald" and "Knuth""#).unwrap();
+        assert_eq!(
+            q,
+            Query::Filter(Pred::And(vec![
+                Pred::Phrase("Donald".into()),
+                Pred::Phrase("Knuth".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn q3_attribute_predicate() {
+        let q = parse("[size > 420000 and lastmodified < @12.06.2005]").unwrap();
+        let Query::Filter(Pred::And(members)) = q else {
+            panic!("expected top-level AND filter");
+        };
+        assert_eq!(members.len(), 2);
+        assert_eq!(
+            members[0],
+            Pred::Cmp {
+                attr: "size".into(),
+                op: CompareOp::Gt,
+                value: Literal::Value(Value::Integer(420_000))
+            }
+        );
+        assert_eq!(
+            members[1],
+            Pred::Cmp {
+                attr: "lastmodified".into(),
+                op: CompareOp::Lt,
+                value: Literal::Value(Value::Date(Timestamp::from_ymd(2005, 6, 12).unwrap()))
+            }
+        );
+    }
+
+    #[test]
+    fn yesterday_function() {
+        let q = parse("[size > 42000 and lastmodified < yesterday()]").unwrap();
+        let Query::Filter(Pred::And(members)) = q else {
+            panic!()
+        };
+        assert_eq!(
+            members[1],
+            Pred::Cmp {
+                attr: "lastmodified".into(),
+                op: CompareOp::Lt,
+                value: Literal::DateFn(DateFn::Yesterday)
+            }
+        );
+    }
+
+    #[test]
+    fn q4_path_with_child_step() {
+        let q = parse(r#"//papers//*Vision/*["Franklin"]"#).unwrap();
+        let Query::Path(path) = q else { panic!() };
+        assert_eq!(path.steps.len(), 3);
+        assert_eq!(path.steps[0].axis, Axis::Descendant);
+        assert_eq!(path.steps[0].name.as_str(), "papers");
+        assert_eq!(path.steps[1].name.as_str(), "*Vision");
+        assert_eq!(path.steps[2].axis, Axis::Child);
+        assert_eq!(path.steps[2].name.as_str(), "*");
+        assert_eq!(path.steps[2].pred, Some(Pred::Phrase("Franklin".into())));
+    }
+
+    #[test]
+    fn section_5_1_mike_franklin_query() {
+        let q =
+            parse(r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#).unwrap();
+        let Query::Path(path) = q else { panic!() };
+        assert_eq!(path.steps.len(), 2);
+        assert_eq!(
+            path.steps[1].pred,
+            Some(Pred::And(vec![
+                Pred::Class("latex_section".into()),
+                Pred::Phrase("Mike Franklin".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn olap_query_with_bare_predicate_step() {
+        let q = parse(r#"//OLAP//[class="figure" and "Indexing time"]"#).unwrap();
+        let Query::Path(path) = q else { panic!() };
+        assert_eq!(path.steps.len(), 2);
+        assert_eq!(path.steps[1].name.as_str(), "*");
+        assert!(path.steps[1].pred.is_some());
+    }
+
+    #[test]
+    fn q6_union() {
+        let q = parse(r#"union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])"#)
+            .unwrap();
+        let Query::Union(members) = q else { panic!() };
+        assert_eq!(members.len(), 2);
+        assert!(matches!(members[0], Query::Path(_)));
+    }
+
+    #[test]
+    fn q7_join_on_tuple_attr() {
+        let q = parse(
+            r#"join( //VLDB2006//*[class="texref"] as A,
+                     //VLDB2006//*[class="environment"]//figure* as B,
+                     A.name=B.tuple.label)"#,
+        )
+        .unwrap();
+        let Query::Join(join) = q else { panic!() };
+        assert_eq!(join.left_binding, "A");
+        assert_eq!(join.right_binding, "B");
+        assert_eq!(join.condition.left.field, Field::Name);
+        assert_eq!(
+            join.condition.right.field,
+            Field::TupleAttr("label".into())
+        );
+        let Query::Path(right) = &join.right else { panic!() };
+        assert_eq!(right.steps.len(), 3);
+        assert_eq!(right.steps[2].name.as_str(), "figure*");
+    }
+
+    #[test]
+    fn q8_join_on_names() {
+        let q = parse(
+            r#"join ( //*[class = "emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )"#,
+        )
+        .unwrap();
+        let Query::Join(join) = q else { panic!() };
+        assert_eq!(join.condition.left.field, Field::Name);
+        assert_eq!(join.condition.right.field, Field::Name);
+        let Query::Path(left) = &join.left else { panic!() };
+        assert_eq!(left.steps[0].name.as_str(), "*");
+        assert_eq!(
+            left.steps[0].pred,
+            Some(Pred::Class("emailmessage".into()))
+        );
+        assert_eq!(left.steps[1].name.as_str(), "*.tex");
+    }
+
+    #[test]
+    fn not_and_parens() {
+        let q = parse(r#"["a" and not ("b" or class="file")]"#).unwrap();
+        let Query::Filter(Pred::And(members)) = q else { panic!() };
+        assert_eq!(members[0], Pred::Phrase("a".into()));
+        let Pred::Not(inner) = &members[1] else { panic!() };
+        let Pred::Or(ors) = inner.as_ref() else { panic!() };
+        assert_eq!(ors.len(), 2);
+        assert_eq!(ors[1], Pred::Class("file".into()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("//a trailing").is_err());
+        assert!(parse("union(//a)").is_err());
+        assert!(parse("join(//a as A, //b as B, A.bogus = B.name)").is_err());
+        assert!(parse("[size >]").is_err());
+        assert!(parse("[class > \"file\"]").is_err());
+        assert!(parse("[size = unknownfn()]").is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Rule-based plan rendering (`EXPLAIN` for iQL).
+//!
+//! The paper's query processor uses rule-based optimization
+//! (Section 5.1; cost-based optimization is future work). The rules
+//! applied by the executor are deterministic:
+//!
+//! 1. every step predicate conjunct is mapped to its index (phrases →
+//!    content index, comparisons → tuple index, `class=` → catalog,
+//!    name patterns → name index),
+//! 2. conjunctions intersect smallest-first,
+//! 3. path steps relate to their context via the configured expansion
+//!    strategy (forward / backward / bidirectional),
+//! 4. joins build the hash table on the smaller input.
+//!
+//! [`explain`] renders the resulting plan as text.
+
+use idm_core::prelude::Result;
+
+use crate::ast::*;
+use crate::exec::ExpansionStrategy;
+use crate::parser::parse;
+
+/// Renders the execution plan of an iQL query as indented text.
+pub fn explain(iql: &str, strategy: ExpansionStrategy) -> Result<String> {
+    let query = parse(iql)?;
+    let mut out = String::new();
+    render_query(&query, strategy, 0, &mut out);
+    Ok(out)
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_query(query: &Query, strategy: ExpansionStrategy, depth: usize, out: &mut String) {
+    match query {
+        Query::Filter(pred) => {
+            indent(depth, out);
+            out.push_str("Filter (dataspace-wide)\n");
+            render_pred(pred, depth + 1, out);
+        }
+        Query::Path(path) => {
+            indent(depth, out);
+            out.push_str(&format!("Path ({} steps)\n", path.steps.len()));
+            for (i, step) in path.steps.iter().enumerate() {
+                indent(depth + 1, out);
+                let axis = match step.axis {
+                    Axis::Descendant => "indirectly-related (//)",
+                    Axis::Child => "directly-related (/)",
+                };
+                let relate = if i == 0 {
+                    "index-only".to_owned()
+                } else {
+                    format!("{strategy:?} expansion over the group replica")
+                };
+                let access = if step.name.matches_all() {
+                    "scan".to_owned()
+                } else if step.name.is_exact() {
+                    format!("NameIndex exact '{}'", step.name.as_str())
+                } else {
+                    format!("NameIndex wildcard '{}'", step.name.as_str())
+                };
+                out.push_str(&format!("Step {i}: {axis}, {access}, relate: {relate}\n"));
+                if let Some(pred) = &step.pred {
+                    render_pred(pred, depth + 2, out);
+                }
+            }
+        }
+        Query::Union(members) => {
+            indent(depth, out);
+            out.push_str(&format!("Union ({} inputs, dedup)\n", members.len()));
+            for member in members {
+                render_query(member, strategy, depth + 1, out);
+            }
+        }
+        Query::Join(join) => {
+            indent(depth, out);
+            out.push_str(&format!(
+                "HashJoin on {}.{} = {}.{} (build on smaller input)\n",
+                join.condition.left.binding,
+                field_name(&join.condition.left.field),
+                join.condition.right.binding,
+                field_name(&join.condition.right.field),
+            ));
+            render_query(&join.left, strategy, depth + 1, out);
+            render_query(&join.right, strategy, depth + 1, out);
+        }
+    }
+}
+
+fn field_name(field: &Field) -> String {
+    match field {
+        Field::Name => "name".to_owned(),
+        Field::Class => "class".to_owned(),
+        Field::TupleAttr(attr) => format!("tuple.{attr}"),
+    }
+}
+
+fn render_pred(pred: &Pred, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match pred {
+        Pred::And(members) => {
+            out.push_str("And (intersect smallest-first)\n");
+            for member in members {
+                render_pred(member, depth + 1, out);
+            }
+        }
+        Pred::Or(members) => {
+            out.push_str("Or (union)\n");
+            for member in members {
+                render_pred(member, depth + 1, out);
+            }
+        }
+        Pred::Not(inner) => {
+            out.push_str("Not (complement against catalog)\n");
+            render_pred(inner, depth + 1, out);
+        }
+        Pred::Phrase(phrase) => {
+            out.push_str(&format!("ContentIndex phrase \"{phrase}\"\n"));
+        }
+        Pred::Class(class) => {
+            out.push_str(&format!("Catalog class '{class}' (+ specializations)\n"));
+        }
+        Pred::Cmp { attr, op, value } => {
+            out.push_str(&format!("TupleIndex {attr} {op:?} {value:?}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explains_q7_shape() {
+        let plan = explain(
+            r#"join( //VLDB2006//*[class="texref"] as A,
+                     //VLDB2006//*[class="environment"]//figure* as B,
+                     A.name=B.tuple.label)"#,
+            ExpansionStrategy::Forward,
+        )
+        .unwrap();
+        assert!(plan.contains("HashJoin on A.name = B.tuple.label"));
+        assert!(plan.contains("NameIndex exact 'VLDB2006'"));
+        assert!(plan.contains("NameIndex wildcard 'figure*'"));
+        assert!(plan.contains("Catalog class 'texref'"));
+        assert!(plan.contains("Forward expansion"));
+    }
+
+    #[test]
+    fn explains_filters_and_unions() {
+        let plan = explain(
+            r#"union( //A//*["x" and size > 3], "y" )"#,
+            ExpansionStrategy::Backward,
+        )
+        .unwrap();
+        assert!(plan.contains("Union (2 inputs"));
+        assert!(plan.contains("ContentIndex phrase \"x\""));
+        assert!(plan.contains("TupleIndex size"));
+        assert!(plan.contains("Backward expansion"));
+        assert!(plan.contains("Filter (dataspace-wide)"));
+    }
+
+    #[test]
+    fn explain_propagates_parse_errors() {
+        assert!(explain("[size >", ExpansionStrategy::Forward).is_err());
+        assert!(explain("", ExpansionStrategy::Forward).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests: the iQL pipeline is total, predicates obey
+//! boolean algebra over the catalog, and expansion strategies agree on
+//! random graphs.
+
+use std::sync::Arc;
+
+use idm_core::prelude::*;
+use idm_index::IndexBundle;
+use idm_query::{parse, ExpansionStrategy, QueryProcessor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lexer + parser never panic on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Everything the parser accepts, the executor evaluates without
+    /// panicking (against an empty dataspace).
+    #[test]
+    fn executor_total_on_parsed_queries(input in "[a-zA-Z0-9/\\[\\]\"*?<>=. ]{0,80}") {
+        if parse(&input).is_ok() {
+            let store = Arc::new(ViewStore::new());
+            let indexes = Arc::new(IndexBundle::new());
+            let processor = QueryProcessor::new(store, indexes);
+            let _ = processor.execute(&input);
+        }
+    }
+}
+
+/// A random small dataspace: named views with content words, sizes and
+/// random group edges.
+#[derive(Debug, Clone)]
+struct SpaceSpec {
+    views: Vec<(String, String, i64)>, // (name, content word, size)
+    edges: Vec<(usize, usize)>,
+}
+
+fn arb_space() -> impl Strategy<Value = SpaceSpec> {
+    (
+        proptest::collection::vec(("[ab]{1,4}", "[cd]{1,3}", 0i64..100), 1..12),
+        proptest::collection::vec((0usize..12, 0usize..12), 0..25),
+    )
+        .prop_map(|(views, edges)| SpaceSpec { views, edges })
+}
+
+fn build_space(spec: &SpaceSpec) -> (Arc<ViewStore>, Arc<IndexBundle>) {
+    let store = Arc::new(ViewStore::new());
+    let indexes = Arc::new(IndexBundle::new());
+    let vids: Vec<Vid> = spec
+        .views
+        .iter()
+        .map(|(name, word, size)| {
+            store
+                .build(name.clone())
+                .tuple(TupleComponent::of(vec![("size", Value::Integer(*size))]))
+                .text(word.clone())
+                .insert()
+        })
+        .collect();
+    let mut adjacency: std::collections::HashMap<Vid, Vec<Vid>> = Default::default();
+    for (a, b) in &spec.edges {
+        let (a, b) = (a % vids.len(), b % vids.len());
+        adjacency.entry(vids[a]).or_default().push(vids[b]);
+    }
+    for (parent, children) in adjacency {
+        store.set_group(parent, Group::of_set(children)).unwrap();
+    }
+    for vid in store.vids() {
+        indexes.index_view(&store, vid, "test").unwrap();
+    }
+    (store, indexes)
+}
+
+proptest! {
+    /// De Morgan over the catalog: NOT (a OR b) == (NOT a) AND (NOT b).
+    #[test]
+    fn de_morgan(space in arb_space(), w1 in "[cd]{1,3}", w2 in "[cd]{1,3}") {
+        let (store, indexes) = build_space(&space);
+        let processor = QueryProcessor::new(store, indexes);
+        let lhs = processor
+            .execute(&format!(r#"[not ("{w1}" or "{w2}")]"#))
+            .unwrap()
+            .rows;
+        let rhs = processor
+            .execute(&format!(r#"[not "{w1}" and not "{w2}"]"#))
+            .unwrap()
+            .rows;
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// AND is commutative; OR is idempotent.
+    #[test]
+    fn boolean_algebra(space in arb_space(), w1 in "[cd]{1,3}", w2 in "[cd]{1,3}") {
+        let (store, indexes) = build_space(&space);
+        let processor = QueryProcessor::new(store, indexes);
+        let ab = processor.execute(&format!(r#"["{w1}" and "{w2}"]"#)).unwrap().rows;
+        let ba = processor.execute(&format!(r#"["{w2}" and "{w1}"]"#)).unwrap().rows;
+        prop_assert_eq!(ab, ba);
+        let a = processor.execute(&format!(r#""{w1}""#)).unwrap().rows;
+        let aa = processor.execute(&format!(r#"["{w1}" or "{w1}"]"#)).unwrap().rows;
+        prop_assert_eq!(a, aa);
+    }
+
+    /// All three expansion strategies agree on random graphs for both
+    /// descendant and child steps.
+    #[test]
+    fn strategies_agree_on_random_graphs(space in arb_space(),
+                                         ctx in "[ab]{1,4}", target in "[ab]{1,4}") {
+        let (store, indexes) = build_space(&space);
+        for query in [
+            format!("//{ctx}//{target}"),
+            format!("//{ctx}/{target}"),
+            format!("//{ctx}//*"),
+            format!("//{ctx}/*"),
+        ] {
+            let mut results = Vec::new();
+            for strategy in [
+                ExpansionStrategy::Forward,
+                ExpansionStrategy::Backward,
+                ExpansionStrategy::Bidirectional,
+            ] {
+                let mut processor =
+                    QueryProcessor::new(Arc::clone(&store), Arc::clone(&indexes));
+                processor.set_expansion(strategy);
+                results.push(processor.execute(&query).unwrap().rows);
+            }
+            prop_assert_eq!(&results[0], &results[1], "fwd vs bwd on {}", query);
+            prop_assert_eq!(&results[0], &results[2], "fwd vs bidi on {}", query);
+        }
+    }
+
+    /// `//a//b` results are exactly the b-named views reachable from
+    /// some a-named view (checked against core graph traversal).
+    #[test]
+    fn descendant_step_semantics(space in arb_space(), ctx in "[ab]{1,4}", target in "[ab]{1,4}") {
+        let (store, indexes) = build_space(&space);
+        let processor = QueryProcessor::new(Arc::clone(&store), Arc::clone(&indexes));
+        let got = processor
+            .execute(&format!("//{ctx}//{target}"))
+            .unwrap()
+            .rows
+            .views();
+
+        let mut want: Vec<Vid> = Vec::new();
+        for vid in store.vids() {
+            if store.name(vid).unwrap().as_deref() != Some(target.as_str()) {
+                continue;
+            }
+            let reachable = store.vids().into_iter().any(|src| {
+                store.name(src).unwrap().as_deref() == Some(ctx.as_str())
+                    && idm_core::graph::is_indirectly_related(&store, src, vid).unwrap()
+            });
+            if reachable {
+                want.push(vid);
+            }
+        }
+        want.sort();
+        let mut got = got;
+        got.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Union over subqueries equals the set union of their results.
+    #[test]
+    fn union_semantics(space in arb_space(), w1 in "[cd]{1,3}", w2 in "[cd]{1,3}") {
+        let (store, indexes) = build_space(&space);
+        let processor = QueryProcessor::new(store, indexes);
+        let union = processor
+            .execute(&format!(r#"union( "{w1}", "{w2}" )"#))
+            .unwrap()
+            .rows
+            .views();
+        let mut manual: Vec<Vid> = processor
+            .execute(&format!(r#""{w1}""#))
+            .unwrap()
+            .rows
+            .views();
+        manual.extend(processor.execute(&format!(r#""{w2}""#)).unwrap().rows.views());
+        manual.sort();
+        manual.dedup();
+        prop_assert_eq!(union, manual);
+    }
+}

@@ -1,0 +1,242 @@
+//! Push-based stream operators (Section 4.4.2).
+//!
+//! Operators register with a [`PushEngine`] attached to a [`ViewStore`].
+//! Incoming change events on any resource view — a new email message, a
+//! new tuple on a data stream — are passed to all subscribed operators,
+//! which process them immediately, like the data-driven operators of
+//! specialized data stream management systems.
+//!
+//! Dispatch is explicit ([`PushEngine::pump`]) so tests and benchmarks
+//! are deterministic; [`PushEngine::spawn_pump`] provides a background
+//! dispatcher thread for live use.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use idm_core::prelude::*;
+use parking_lot::Mutex;
+
+/// A push operator: receives change events the moment they occur.
+pub trait PushOperator: Send + Sync {
+    /// Which change kinds this operator wants (`None` = all).
+    fn interests(&self) -> Option<Vec<ChangeKind>> {
+        None
+    }
+
+    /// Processes one event. `store` gives access to the changed view's
+    /// components.
+    fn on_event(&self, store: &ViewStore, event: &ChangeEvent);
+}
+
+/// The push engine: fans change events out to registered operators.
+pub struct PushEngine {
+    store: Arc<ViewStore>,
+    rx: Receiver<ChangeEvent>,
+    operators: Mutex<Vec<Arc<dyn PushOperator>>>,
+}
+
+impl PushEngine {
+    /// Attaches an engine to a store. Only events after attachment flow.
+    pub fn attach(store: Arc<ViewStore>) -> Self {
+        let rx = store.subscribe();
+        PushEngine {
+            store,
+            rx,
+            operators: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers an operator.
+    pub fn register(&self, operator: Arc<dyn PushOperator>) {
+        self.operators.lock().push(operator);
+    }
+
+    /// Dispatches all pending events; returns how many were processed.
+    pub fn pump(&self) -> usize {
+        let mut count = 0;
+        while let Ok(event) = self.rx.try_recv() {
+            self.dispatch(&event);
+            count += 1;
+        }
+        count
+    }
+
+    fn dispatch(&self, event: &ChangeEvent) {
+        let operators = self.operators.lock().clone();
+        for op in operators {
+            let interested = op
+                .interests()
+                .is_none_or(|kinds| kinds.contains(&event.kind));
+            if interested {
+                op.on_event(&self.store, event);
+            }
+        }
+    }
+
+    /// Spawns a background thread that dispatches events as they arrive
+    /// until the returned guard is dropped.
+    pub fn spawn_pump(self: Arc<Self>) -> PumpGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let engine = Arc::clone(&self);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match engine
+                    .rx
+                    .recv_timeout(std::time::Duration::from_millis(10))
+                {
+                    Ok(event) => engine.dispatch(&event),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        PumpGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background pump when dropped.
+pub struct PumpGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for PumpGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A ready-made operator: collects the vids of created views whose
+/// content contains a phrase (a standing keyword filter — the
+/// information-filter use case the paper cites).
+pub struct KeywordFilter {
+    phrase: String,
+    matches: Mutex<Vec<Vid>>,
+}
+
+impl KeywordFilter {
+    /// A filter for `phrase` (case-insensitive substring).
+    pub fn new(phrase: impl Into<String>) -> Self {
+        KeywordFilter {
+            phrase: phrase.into().to_lowercase(),
+            matches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Vids matched so far.
+    pub fn matches(&self) -> Vec<Vid> {
+        self.matches.lock().clone()
+    }
+}
+
+impl PushOperator for KeywordFilter {
+    fn interests(&self) -> Option<Vec<ChangeKind>> {
+        Some(vec![ChangeKind::Created, ChangeKind::Content])
+    }
+
+    fn on_event(&self, store: &ViewStore, event: &ChangeEvent) {
+        let Ok(content) = store.content(event.vid) else {
+            return;
+        };
+        if content.is_empty() || !content.is_finite() {
+            return;
+        }
+        if let Ok(text) = content.text_lossy() {
+            if text.to_lowercase().contains(&self.phrase) {
+                self.matches.lock().push(event.vid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Counter {
+        kinds: Option<Vec<ChangeKind>>,
+        seen: AtomicUsize,
+    }
+
+    impl PushOperator for Counter {
+        fn interests(&self) -> Option<Vec<ChangeKind>> {
+            self.kinds.clone()
+        }
+        fn on_event(&self, _store: &ViewStore, _event: &ChangeEvent) {
+            self.seen.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn events_reach_interested_operators_only() {
+        let store = Arc::new(ViewStore::new());
+        let engine = PushEngine::attach(Arc::clone(&store));
+        let all = Arc::new(Counter {
+            kinds: None,
+            seen: AtomicUsize::new(0),
+        });
+        let only_names = Arc::new(Counter {
+            kinds: Some(vec![ChangeKind::Name]),
+            seen: AtomicUsize::new(0),
+        });
+        engine.register(Arc::clone(&all) as Arc<dyn PushOperator>);
+        engine.register(Arc::clone(&only_names) as Arc<dyn PushOperator>);
+
+        let vid = store.build("a").insert();
+        store.set_name(vid, Some("b".into())).unwrap();
+        store.set_content(vid, Content::text("x")).unwrap();
+
+        assert_eq!(engine.pump(), 3);
+        assert_eq!(all.seen.load(Ordering::SeqCst), 3);
+        assert_eq!(only_names.seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn keyword_filter_matches_immediately() {
+        let store = Arc::new(ViewStore::new());
+        let engine = PushEngine::attach(Arc::clone(&store));
+        let filter = Arc::new(KeywordFilter::new("Mike Franklin"));
+        engine.register(Arc::clone(&filter) as Arc<dyn PushOperator>);
+
+        let hit = store.build("intro").text("... with Mike Franklin ...").insert();
+        let _miss = store.build("other").text("nothing relevant").insert();
+        engine.pump();
+        assert_eq!(filter.matches(), vec![hit]);
+
+        // A content update can turn a miss into a hit.
+        store
+            .set_content(_miss, Content::text("now mike franklin appears"))
+            .unwrap();
+        engine.pump();
+        assert_eq!(filter.matches().len(), 2);
+    }
+
+    #[test]
+    fn background_pump_processes_live_events() {
+        let store = Arc::new(ViewStore::new());
+        let engine = Arc::new(PushEngine::attach(Arc::clone(&store)));
+        let filter = Arc::new(KeywordFilter::new("stream"));
+        engine.register(Arc::clone(&filter) as Arc<dyn PushOperator>);
+        let guard = Arc::clone(&engine).spawn_pump();
+
+        store.build("m").text("a new tuple on a data stream").insert();
+        // Wait (bounded) for the background thread to process it.
+        for _ in 0..200 {
+            if !filter.matches().is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        drop(guard);
+        assert_eq!(filter.matches().len(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Infinite view-sequence sources: tuple streams, RSS polling streams
+//! and the generic state-to-pseudo-stream polling facility.
+
+use std::sync::Arc;
+
+use idm_core::class::builtin::names;
+use idm_core::prelude::*;
+use idm_xml::rss::FeedServer;
+use parking_lot::Mutex;
+
+/// A generator-backed infinite **tuple stream** (Table 1, `tupstream`):
+/// element `n` of the sequence is the tuple produced by the generator
+/// for `n`. Pulling mints a `tuple`-classed view.
+pub struct GeneratorTupleStream {
+    schema: Schema,
+    generator: Box<dyn Fn(u64) -> Vec<Value> + Send + Sync>,
+    next: Mutex<u64>,
+}
+
+impl GeneratorTupleStream {
+    /// Creates a stream over `schema` with the given element generator.
+    pub fn new(
+        schema: Schema,
+        generator: impl Fn(u64) -> Vec<Value> + Send + Sync + 'static,
+    ) -> Self {
+        GeneratorTupleStream {
+            schema,
+            generator: Box::new(generator),
+            next: Mutex::new(0),
+        }
+    }
+
+    /// Builds the `tupstream` view carrying this infinite group.
+    pub fn into_stream_view(self, store: &ViewStore) -> Result<Vid> {
+        let class = store.classes().require(names::TUPSTREAM)?;
+        Ok(store
+            .build_unnamed()
+            .group(Group::infinite(Arc::new(self)))
+            .class(class)
+            .insert())
+    }
+}
+
+impl ViewSequenceSource for GeneratorTupleStream {
+    fn try_next(&self, store: &ViewStore) -> Result<Option<Vid>> {
+        let mut next = self.next.lock();
+        let n = *next;
+        *next += 1;
+        let values = (self.generator)(n);
+        let tau = TupleComponent::new(self.schema.clone(), values)?;
+        let class = store.classes().require(names::TUPLE)?;
+        Ok(Some(store.build_unnamed().tuple(tau).class(class).insert()))
+    }
+}
+
+/// An RSS/ATOM polling pseudo-stream (`rssatom`).
+///
+/// RSS servers publish a plain XML document and offer no notifications
+/// (paper footnote 5), so the state is converted into a pseudo data
+/// stream by polling: each poll fetches the feed document, and items not
+/// seen before are delivered as `xmldoc` views, forming the infinite
+/// `⟨V_1^xmldoc, …⟩` sequence of Table 1.
+pub struct RssStreamSource {
+    server: Arc<FeedServer>,
+    url: String,
+    seen: Mutex<usize>,
+}
+
+impl RssStreamSource {
+    /// Creates a polling stream over `url` at `server`.
+    pub fn new(server: Arc<FeedServer>, url: impl Into<String>) -> Self {
+        RssStreamSource {
+            server,
+            url: url.into(),
+            seen: Mutex::new(0),
+        }
+    }
+
+    /// Builds the `rssatom` view carrying this infinite group.
+    pub fn into_stream_view(self, store: &ViewStore) -> Result<Vid> {
+        let class = store.classes().require(names::RSSATOM)?;
+        let name = self.url.clone();
+        Ok(store
+            .build(name)
+            .group(Group::infinite(Arc::new(self)))
+            .class(class)
+            .insert())
+    }
+}
+
+impl ViewSequenceSource for RssStreamSource {
+    fn try_next(&self, store: &ViewStore) -> Result<Option<Vid>> {
+        let mut seen = self.seen.lock();
+        let xml = self.server.fetch(&self.url)?;
+        let feed = idm_xml::rss::Feed::from_xml(&xml)?;
+        if *seen >= feed.items.len() {
+            return Ok(None);
+        }
+        let item = &feed.items[*seen];
+        *seen += 1;
+        // Each delivered element is an XML document view over the item.
+        let item_xml = format!(
+            "<item published=\"{}\"><title>{}</title><author>{}</author><description>{}</description></item>",
+            item.published.0,
+            escape(&item.title),
+            escape(&item.author),
+            escape(&item.body),
+        );
+        let (doc, _) = idm_xml::convert::text_to_views(store, &item_xml)?;
+        Ok(Some(doc))
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// State-snapshot function of a [`PollingStream`].
+pub type PollFn<T> = Box<dyn Fn() -> Result<Vec<T>> + Send + Sync>;
+/// Per-item view builder of a [`PollingStream`].
+pub type MaterializeFn<T> = Box<dyn Fn(&ViewStore, &T) -> Result<Vid> + Send + Sync>;
+
+/// The generic polling facility (Section 4.4.1): converts any stateful
+/// source into a pseudo data stream. The closure reports *all* items of
+/// the current state in a stable order; the stream delivers each item
+/// once, as views built by the `materialize` callback.
+pub struct PollingStream<T> {
+    poll: PollFn<T>,
+    materialize: MaterializeFn<T>,
+    delivered: Mutex<usize>,
+}
+
+impl<T> PollingStream<T> {
+    /// Creates a polling stream from a state snapshot function and a
+    /// per-item view builder.
+    pub fn new(
+        poll: impl Fn() -> Result<Vec<T>> + Send + Sync + 'static,
+        materialize: impl Fn(&ViewStore, &T) -> Result<Vid> + Send + Sync + 'static,
+    ) -> Self {
+        PollingStream {
+            poll: Box::new(poll),
+            materialize: Box::new(materialize),
+            delivered: Mutex::new(0),
+        }
+    }
+}
+
+impl<T: Send + Sync> ViewSequenceSource for PollingStream<T> {
+    fn try_next(&self, store: &ViewStore) -> Result<Option<Vid>> {
+        let mut delivered = self.delivered.lock();
+        let state = (self.poll)()?;
+        if *delivered >= state.len() {
+            return Ok(None);
+        }
+        let item = &state[*delivered];
+        *delivered += 1;
+        Ok(Some((self.materialize)(store, item)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_core::validate::{validate, ValidationMode};
+    use idm_xml::rss::{Feed, FeedItem};
+
+    #[test]
+    fn tuple_stream_mints_valid_tuple_views() {
+        let store = ViewStore::new();
+        let schema = Schema::of(&[("seq", Domain::Integer), ("reading", Domain::Float)]);
+        let stream = GeneratorTupleStream::new(schema, |n| {
+            vec![Value::Integer(n as i64), Value::Float(n as f64 * 0.5)]
+        });
+        let vid = stream.into_stream_view(&store).unwrap();
+        validate(&store, vid, ValidationMode::Deep).unwrap();
+        assert!(store.conforms_to(vid, names::TUPSTREAM).unwrap());
+        assert!(
+            store.conforms_to(vid, names::DATSTREAM).unwrap(),
+            "tupstream ⊑ datstream"
+        );
+
+        let GroupSnapshot::Infinite(source) = store.group(vid).unwrap() else {
+            panic!("expected infinite group");
+        };
+        for expect in 0..5i64 {
+            let element = source.try_next(&store).unwrap().unwrap();
+            let tuple = store.tuple(element).unwrap().unwrap();
+            assert_eq!(tuple.get("seq"), Some(&Value::Integer(expect)));
+            validate(&store, element, ValidationMode::Deep).unwrap();
+        }
+    }
+
+    #[test]
+    fn rss_pseudo_stream_delivers_new_items_once() {
+        let server = Arc::new(FeedServer::new());
+        let url = "http://feeds.example.org/db-group";
+        server.publish(url, Feed::new("db group"));
+        server.append_item(
+            url,
+            FeedItem {
+                title: "VLDB accepted".into(),
+                author: "jens".into(),
+                published: Timestamp(100),
+                body: "iDM paper accepted".into(),
+            },
+        );
+
+        let store = ViewStore::new();
+        let stream = RssStreamSource::new(Arc::clone(&server), url)
+            .into_stream_view(&store)
+            .unwrap();
+        assert!(store.conforms_to(stream, names::RSSATOM).unwrap());
+        let GroupSnapshot::Infinite(source) = store.group(stream).unwrap() else {
+            panic!()
+        };
+
+        let doc = source.try_next(&store).unwrap().unwrap();
+        assert!(store.conforms_to(doc, names::XMLDOC).unwrap());
+        // Item delivered once; the stream is dry until the server changes.
+        assert!(source.try_next(&store).unwrap().is_none());
+
+        server.append_item(
+            url,
+            FeedItem {
+                title: "Second post".into(),
+                author: "marcos".into(),
+                published: Timestamp(200),
+                body: "body".into(),
+            },
+        );
+        let doc2 = source.try_next(&store).unwrap().unwrap();
+        let root = store.group(doc2).unwrap().finite_members()[0];
+        assert_eq!(store.name(root).unwrap().as_deref(), Some("item"));
+        assert!(source.try_next(&store).unwrap().is_none());
+    }
+
+    #[test]
+    fn rss_items_with_markup_survive_escaping() {
+        let server = Arc::new(FeedServer::new());
+        server.publish("u", Feed::new("t"));
+        server.append_item(
+            "u",
+            FeedItem {
+                title: "a < b & c".into(),
+                author: "x".into(),
+                published: Timestamp(1),
+                body: "<script>".into(),
+            },
+        );
+        let store = ViewStore::new();
+        let source = RssStreamSource::new(server, "u");
+        let doc = source.try_next(&store).unwrap().unwrap();
+        let all = idm_core::graph::descendants(&store, doc, usize::MAX).unwrap();
+        let texts: Vec<String> = all
+            .iter()
+            .filter(|v| store.conforms_to(**v, names::XMLTEXT).unwrap())
+            .map(|v| store.content(*v).unwrap().text_lossy().unwrap())
+            .collect();
+        assert!(texts.contains(&"a < b & c".to_owned()));
+        assert!(texts.contains(&"<script>".to_owned()));
+    }
+
+    #[test]
+    fn generic_polling_stream() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let state = Arc::new(Mutex::new(vec!["a".to_owned()]));
+        let polls = Arc::new(AtomicUsize::new(0));
+        let state2 = Arc::clone(&state);
+        let polls2 = Arc::clone(&polls);
+        let stream = PollingStream::new(
+            move || {
+                polls2.fetch_add(1, Ordering::SeqCst);
+                Ok(state2.lock().clone())
+            },
+            |store, item: &String| Ok(store.build(item.clone()).insert()),
+        );
+
+        let store = ViewStore::new();
+        let v = stream.try_next(&store).unwrap().unwrap();
+        assert_eq!(store.name(v).unwrap().as_deref(), Some("a"));
+        assert!(stream.try_next(&store).unwrap().is_none());
+
+        state.lock().push("b".to_owned());
+        let v = stream.try_next(&store).unwrap().unwrap();
+        assert_eq!(store.name(v).unwrap().as_deref(), Some("b"));
+        assert!(polls.load(Ordering::SeqCst) >= 3, "polled each pull");
+    }
+}

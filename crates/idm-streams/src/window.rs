@@ -1,0 +1,165 @@
+//! Stream windows over infinite group components (Section 5.2).
+//!
+//! An infinite group sequence can never be materialized; the
+//! Replica&Indexes module instead manages it through a bounded window of
+//! the most recent elements. [`StreamWindow`] pulls from a
+//! [`ViewSequenceSource`] and retains the last `capacity` element vids.
+
+use std::collections::VecDeque;
+
+use idm_core::prelude::*;
+use parking_lot::Mutex;
+
+/// A bounded window over an infinite view sequence.
+pub struct StreamWindow {
+    capacity: usize,
+    inner: Mutex<WindowInner>,
+}
+
+struct WindowInner {
+    elements: VecDeque<Vid>,
+    /// Total elements ever pulled (including evicted ones).
+    total: u64,
+}
+
+impl StreamWindow {
+    /// A window keeping the most recent `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        StreamWindow {
+            capacity,
+            inner: Mutex::new(WindowInner {
+                elements: VecDeque::new(),
+                total: 0,
+            }),
+        }
+    }
+
+    /// Pulls all currently available elements from `source` into the
+    /// window; returns how many arrived.
+    pub fn pull_available(
+        &self,
+        store: &ViewStore,
+        source: &dyn ViewSequenceSource,
+    ) -> Result<usize> {
+        let mut arrived = 0;
+        while let Some(vid) = source.try_next(store)? {
+            self.push(vid);
+            arrived += 1;
+        }
+        Ok(arrived)
+    }
+
+    /// Pulls at most `n` elements.
+    pub fn pull_n(
+        &self,
+        store: &ViewStore,
+        source: &dyn ViewSequenceSource,
+        n: usize,
+    ) -> Result<usize> {
+        let mut arrived = 0;
+        while arrived < n {
+            match source.try_next(store)? {
+                Some(vid) => {
+                    self.push(vid);
+                    arrived += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(arrived)
+    }
+
+    fn push(&self, vid: Vid) {
+        let mut inner = self.inner.lock();
+        if inner.elements.len() == self.capacity {
+            inner.elements.pop_front();
+        }
+        inner.elements.push_back(vid);
+        inner.total += 1;
+    }
+
+    /// The current window contents, oldest first.
+    pub fn contents(&self) -> Vec<Vid> {
+        self.inner.lock().elements.iter().copied().collect()
+    }
+
+    /// Number of elements currently in the window.
+    pub fn len(&self) -> usize {
+        self.inner.lock().elements.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total elements ever observed (≥ window length once eviction began).
+    pub fn total_observed(&self) -> u64 {
+        self.inner.lock().total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A source minting numbered views forever (a true infinite source,
+    /// throttled here by pull_n).
+    struct NumberSource {
+        next: AtomicU64,
+    }
+
+    impl ViewSequenceSource for NumberSource {
+        fn try_next(&self, store: &ViewStore) -> Result<Option<Vid>> {
+            let n = self.next.fetch_add(1, Ordering::SeqCst);
+            Ok(Some(store.build(format!("item{n}")).insert()))
+        }
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let store = ViewStore::new();
+        let source = NumberSource {
+            next: AtomicU64::new(0),
+        };
+        let window = StreamWindow::new(3);
+        window.pull_n(&store, &source, 5).unwrap();
+        assert_eq!(window.len(), 3);
+        assert_eq!(window.total_observed(), 5);
+        let names: Vec<String> = window
+            .contents()
+            .iter()
+            .map(|v| store.name(*v).unwrap().unwrap())
+            .collect();
+        assert_eq!(names, vec!["item2", "item3", "item4"]);
+    }
+
+    #[test]
+    fn pull_available_drains_dry_sources() {
+        struct DryAfter(AtomicU64);
+        impl ViewSequenceSource for DryAfter {
+            fn try_next(&self, store: &ViewStore) -> Result<Option<Vid>> {
+                let n = self.0.fetch_add(1, Ordering::SeqCst);
+                if n < 2 {
+                    Ok(Some(store.build(format!("x{n}")).insert()))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+        let store = ViewStore::new();
+        let window = StreamWindow::new(10);
+        let source = DryAfter(AtomicU64::new(0));
+        assert_eq!(window.pull_available(&store, &source).unwrap(), 2);
+        assert_eq!(window.len(), 2);
+        assert_eq!(window.pull_available(&store, &source).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = StreamWindow::new(0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Networks of iMeMex instances (Section 8: "we are planning to extend
+//! our system to enable networks of P2P instances" — this module is
+//! that extension, in-process).
+//!
+//! A [`Federation`] is a set of named peers, each a complete [`Pdsms`]
+//! over its own dataspace. Queries fan out to every peer (iDM's single
+//! model means the *same* iQL runs everywhere) and results come back
+//! per-peer or merged; ranked federation merges by score, which is what
+//! a multi-device personal dataspace UI would show.
+
+use idm_core::prelude::*;
+use idm_query::{ExpansionStrategy, RankedResult};
+
+use crate::Pdsms;
+
+/// A result row tagged with the peer that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedRow {
+    /// The peer name.
+    pub peer: String,
+    /// The view id *within that peer's store*.
+    pub vid: Vid,
+    /// Relevance score (0 for unranked queries).
+    pub score: f64,
+}
+
+/// A federation of iMeMex instances.
+#[derive(Default)]
+pub struct Federation {
+    peers: Vec<(String, Pdsms)>,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Federation::default()
+    }
+
+    /// Adds a peer. Names must be unique.
+    pub fn add_peer(&mut self, name: impl Into<String>, system: Pdsms) -> Result<()> {
+        let name = name.into();
+        if self.peers.iter().any(|(n, _)| *n == name) {
+            return Err(IdmError::Parse {
+                detail: format!("federation: peer '{name}' already registered"),
+            });
+        }
+        self.peers.push((name, system));
+        Ok(())
+    }
+
+    /// The registered peer names.
+    pub fn peer_names(&self) -> Vec<&str> {
+        self.peers.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The system of one peer.
+    pub fn peer(&self, name: &str) -> Option<&Pdsms> {
+        self.peers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Runs a query on every peer; rows are tagged with their peer.
+    ///
+    /// Peers that fail to execute the query (e.g. a class unknown to
+    /// that peer's registry) contribute no rows rather than failing the
+    /// federation — availability over completeness, as in any P2P
+    /// setting. Parse errors, which would fail identically everywhere,
+    /// are reported.
+    pub fn query(&self, iql: &str) -> Result<Vec<FederatedRow>> {
+        // Validate the syntax once, up front.
+        idm_query::parse(iql)?;
+        let mut rows = Vec::new();
+        for (name, system) in &self.peers {
+            if let Ok(result) = system.query(iql) {
+                for vid in result.rows.views() {
+                    rows.push(FederatedRow {
+                        peer: name.clone(),
+                        vid,
+                        score: 0.0,
+                    });
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Runs a ranked query on every peer and merges by score (global
+    /// ranking across the federation).
+    pub fn query_ranked(&self, iql: &str) -> Result<Vec<FederatedRow>> {
+        idm_query::parse(iql)?;
+        let mut rows = Vec::new();
+        for (name, system) in &self.peers {
+            let mut processor = system.query_processor();
+            processor.set_expansion(ExpansionStrategy::Forward);
+            if let Ok(ranked) = processor.execute_ranked(iql) {
+                for RankedResult { vid, score } in ranked {
+                    rows.push(FederatedRow {
+                        peer: name.clone(),
+                        vid,
+                        score,
+                    });
+                }
+            }
+        }
+        rows.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.peer.cmp(&b.peer))
+                .then(a.vid.cmp(&b.vid))
+        });
+        Ok(rows)
+    }
+
+    /// Per-peer result counts for a query (the P2P dashboard number).
+    pub fn count_by_peer(&self, iql: &str) -> Result<Vec<(String, usize)>> {
+        idm_query::parse(iql)?;
+        let mut out = Vec::with_capacity(self.peers.len());
+        for (name, system) in &self.peers {
+            let count = system.query(iql).map(|r| r.rows.len()).unwrap_or(0);
+            out.push((name.clone(), count));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FsPlugin;
+    use idm_vfs::{NodeId, VirtualFs};
+    use std::sync::Arc;
+
+    fn t() -> Timestamp {
+        Timestamp::from_ymd(2006, 9, 12).unwrap()
+    }
+
+    fn peer_with(doc_name: &str, body: &str) -> Pdsms {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let dir = fs.mkdir_p("/notes", t()).unwrap();
+        fs.create_file(dir, doc_name, body.to_owned(), t()).unwrap();
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(fs, NodeId::ROOT)));
+        system.index_all().unwrap();
+        system
+    }
+
+    fn federation() -> Federation {
+        let mut fed = Federation::new();
+        fed.add_peer("laptop", peer_with("a.txt", "database tuning notes"))
+            .unwrap();
+        fed.add_peer("desktop", peer_with("b.txt", "database lectures"))
+            .unwrap();
+        fed.add_peer("server", peer_with("c.txt", "totally unrelated"))
+            .unwrap();
+        fed
+    }
+
+    #[test]
+    fn queries_fan_out_and_tag_peers() {
+        let fed = federation();
+        let rows = fed.query(r#""database""#).unwrap();
+        let mut peers: Vec<&str> = rows.iter().map(|r| r.peer.as_str()).collect();
+        peers.sort();
+        peers.dedup();
+        assert_eq!(peers, vec!["desktop", "laptop"]);
+
+        let counts = fed.count_by_peer(r#""database""#).unwrap();
+        assert_eq!(
+            counts,
+            vec![
+                ("laptop".to_owned(), 1),
+                ("desktop".to_owned(), 1),
+                ("server".to_owned(), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn ranked_federation_merges_globally() {
+        let mut fed = Federation::new();
+        fed.add_peer("light", peer_with("x.txt", "database once")).unwrap();
+        fed.add_peer(
+            "heavy",
+            peer_with("y.txt", "database database database database"),
+        )
+        .unwrap();
+        let rows = fed.query_ranked(r#""database""#).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].peer, "heavy", "higher TF ranks first globally");
+        assert!(rows[0].score > rows[1].score);
+    }
+
+    #[test]
+    fn duplicate_peer_names_rejected() {
+        let mut fed = Federation::new();
+        fed.add_peer("a", Pdsms::new()).unwrap();
+        assert!(fed.add_peer("a", Pdsms::new()).is_err());
+        assert_eq!(fed.peer_names(), vec!["a"]);
+        assert!(fed.peer("a").is_some());
+        assert!(fed.peer("b").is_none());
+    }
+
+    #[test]
+    fn parse_errors_fail_fast() {
+        let fed = federation();
+        assert!(fed.query("[size >").is_err());
+        assert!(fed.count_by_peer("[size >").is_err());
+    }
+
+    #[test]
+    fn empty_federation_returns_empty() {
+        let fed = Federation::new();
+        assert!(fed.query(r#""anything""#).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! # idm-system — the iMeMex Personal Dataspace Management System
+//!
+//! The architecture of Figure 4, Section 5: a logical **Resource View
+//! Layer** abstracting over the underlying subsystems, composed of the
+//! iQL Query Processor (in `idm-query`) and the **Resource View
+//! Manager** built here from four parts:
+//!
+//! 1. **Data Source Proxy** ([`source`]) — plugins representing each
+//!    subsystem (filesystem, IMAP email server, RSS feeds) as an
+//!    initial iDM graph,
+//! 2. **Content2iDM Converters** ([`converter`]) — enrich that graph by
+//!    converting content components (XML, LaTeX) into resource view
+//!    subgraphs,
+//! 3. **Replica&Indexes Module** (`idm-index`) — driven by the RVM
+//!    ([`rvm`]) with the Figure 5 phase accounting (catalog insert /
+//!    component indexing / data source access),
+//! 4. **Synchronization Manager** ([`sync`]) — observes data sources
+//!    (notifications where available, polling otherwise) and keeps
+//!    catalog, replicas and indexes current.
+//!
+//! [`Pdsms`] is the user-facing facade tying everything together.
+
+#![warn(missing_docs)]
+
+pub mod converter;
+pub mod federation;
+pub mod rvm;
+pub mod source;
+pub mod sync;
+
+pub use converter::{Content2IdmConverter, ConverterRegistry};
+pub use federation::{FederatedRow, Federation};
+pub use rvm::{ResourceViewManager, SourceIngestStats};
+pub use source::{DataSourcePlugin, FsPlugin, ImapPlugin, Ingestion, RssPlugin};
+pub use sync::{ImapSynchronizationManager, SynchronizationManager};
+
+use std::sync::Arc;
+
+use idm_core::prelude::*;
+use idm_index::IndexBundle;
+use idm_query::{ExpansionStrategy, QueryProcessor, QueryResult};
+
+/// The iMeMex Personal Dataspace Management System facade.
+///
+/// Owns one resource view store, its index bundle, the resource view
+/// manager and a query processor.
+pub struct Pdsms {
+    store: Arc<ViewStore>,
+    indexes: Arc<IndexBundle>,
+    rvm: ResourceViewManager,
+}
+
+impl Pdsms {
+    /// A fresh, empty dataspace system with the default converter set
+    /// (XML and LaTeX).
+    pub fn new() -> Self {
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+        let rvm = ResourceViewManager::new(Arc::clone(&store), Arc::clone(&indexes));
+        Pdsms {
+            store,
+            indexes,
+            rvm,
+        }
+    }
+
+    /// The resource view store.
+    pub fn store(&self) -> &Arc<ViewStore> {
+        &self.store
+    }
+
+    /// The index bundle.
+    pub fn indexes(&self) -> &Arc<IndexBundle> {
+        &self.indexes
+    }
+
+    /// The resource view manager.
+    pub fn rvm(&self) -> &ResourceViewManager {
+        &self.rvm
+    }
+
+    /// Mutable access to the resource view manager (plugin registration).
+    pub fn rvm_mut(&mut self) -> &mut ResourceViewManager {
+        &mut self.rvm
+    }
+
+    /// Registers a data source plugin.
+    pub fn register_source(&mut self, plugin: Arc<dyn DataSourcePlugin>) {
+        self.rvm.register_source(plugin);
+    }
+
+    /// Ingests and indexes every registered data source; returns the
+    /// per-source statistics (the Figure 5 / Table 2 numbers).
+    pub fn index_all(&self) -> Result<Vec<SourceIngestStats>> {
+        self.rvm.ingest_all()
+    }
+
+    /// A query processor over this dataspace (cheap to construct).
+    pub fn query_processor(&self) -> QueryProcessor {
+        QueryProcessor::new(Arc::clone(&self.store), Arc::clone(&self.indexes))
+    }
+
+    /// Parses and executes an iQL query with the default (forward
+    /// expansion) options.
+    pub fn query(&self, iql: &str) -> Result<QueryResult> {
+        self.query_processor().execute(iql)
+    }
+
+    /// Renders the execution plan of a query.
+    pub fn explain(&self, iql: &str) -> Result<String> {
+        idm_query::explain(iql, ExpansionStrategy::Forward)
+    }
+}
+
+impl Default for Pdsms {
+    fn default() -> Self {
+        Pdsms::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idm_email::message::{Attachment, EmailMessage};
+    use idm_email::ImapServer;
+    use idm_vfs::{NodeId, VirtualFs};
+
+    fn t() -> Timestamp {
+        Timestamp::from_ymd(2005, 6, 1).unwrap()
+    }
+
+    /// End-to-end: Example 1 from the paper — a query bridging the
+    /// inside-outside file boundary.
+    #[test]
+    fn example_1_inside_outside_files() {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let pim = fs.mkdir_p("/Projects/PIM", t()).unwrap();
+        fs.create_file(
+            pim,
+            "vldb2006.tex",
+            "\\documentclass{vldb}\n\\section{Introduction}\nDataspaces by Mike Franklin.\n\\section{Related Work}\nOther systems.",
+            t(),
+        )
+        .unwrap();
+        let olap = fs.mkdir_p("/Projects/OLAP", t()).unwrap();
+        fs.create_file(
+            olap,
+            "olap.tex",
+            "\\section{Introduction}\nNo Franklin here.",
+            t(),
+        )
+        .unwrap();
+
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(Arc::clone(&fs), NodeId::ROOT)));
+        let stats = system.index_all().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].derived_latex > 0, "LaTeX converter ran");
+
+        // Query 1: LaTeX Introduction sections in project PIM containing
+        // 'Mike Franklin'.
+        let result = system
+            .query(r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#)
+            .unwrap();
+        assert_eq!(result.rows.len(), 1);
+
+        // Without the PIM constraint both Introductions match the name.
+        let result = system
+            .query(r#"//Introduction[class="latex_section"]"#)
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+    }
+
+    /// End-to-end: Example 2 — files versus email attachments.
+    #[test]
+    fn example_2_files_vs_attachments() {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let olap_dir = fs.mkdir_p("/Projects/OLAP", t()).unwrap();
+        fs.create_file(
+            olap_dir,
+            "eval.tex",
+            "\\section{Evaluation}\n\\begin{figure}\\caption{Indexing Time per source}\\label{fig:a}\\end{figure}",
+            t(),
+        )
+        .unwrap();
+
+        let server = Arc::new(ImapServer::in_process());
+        let olap_mbox = server.create_mailbox(server.inbox(), "OLAP").unwrap();
+        server
+            .append(
+                olap_mbox,
+                &EmailMessage {
+                    subject: "figures".into(),
+                    from: "a@b".into(),
+                    to: "c@d".into(),
+                    date: t(),
+                    body: "see attachment".into(),
+                    attachments: vec![Attachment {
+                        filename: "more.tex".into(),
+                        content: "\\begin{figure}\\caption{Indexing Time again}\\label{fig:b}\\end{figure}".into(),
+                    }],
+                },
+            )
+            .unwrap();
+
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(Arc::clone(&fs), NodeId::ROOT)));
+        system.register_source(Arc::new(ImapPlugin::new(Arc::clone(&server))));
+        system.index_all().unwrap();
+
+        // Query 2: documents pertaining to project OLAP with a figure
+        // whose label (caption) contains 'Indexing Time' — matches one
+        // figure on disk AND one inside an email attachment.
+        let result = system
+            .query(r#"//OLAP//*[class="figure" and "Indexing Time"]"#)
+            .unwrap();
+        assert_eq!(result.rows.len(), 2, "boundary between subsystems gone");
+    }
+
+    #[test]
+    fn explain_renders_plans() {
+        let system = Pdsms::new();
+        let plan = system.explain(r#"//PIM//Introduction["Mike Franklin"]"#).unwrap();
+        assert!(plan.contains("Forward expansion"));
+    }
+}

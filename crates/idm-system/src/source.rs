@@ -1,0 +1,243 @@
+//! The Data Source Proxy: plugins that represent each subsystem as an
+//! initial iDM graph (Section 5.2, part 1). The paper's prototype
+//! shipped plugins for file systems, IMAP email servers and RSS feeds —
+//! exactly the three provided here.
+
+use std::sync::Arc;
+
+use idm_core::prelude::*;
+use idm_email::convert::{materialize_mailbox_mapped, MailboxMapping, MailboxStats};
+use idm_email::{ImapServer, MailboxId, Uid};
+use idm_streams::sources::RssStreamSource;
+use idm_vfs::convert::{materialize, FsMapping};
+use idm_vfs::{NodeId, VirtualFs};
+use idm_xml::rss::FeedServer;
+use parking_lot::Mutex;
+
+/// The result of representing a data source as an initial iDM graph.
+#[derive(Debug, Clone, Default)]
+pub struct Ingestion {
+    /// The root views of the source's graph.
+    pub roots: Vec<Vid>,
+    /// All views created for *base items* (files, folders, emails,
+    /// attachments, stream heads) — Table 2's "Base Items" column.
+    pub base_views: Vec<Vid>,
+}
+
+/// A data source plugin.
+pub trait DataSourcePlugin: Send + Sync {
+    /// The source name used in catalog rows and reports
+    /// (`"filesystem"`, `"imap"`, `"rss"`).
+    fn name(&self) -> &str;
+
+    /// Builds the initial iDM graph for this source's current state.
+    fn ingest(&self, store: &ViewStore) -> Result<Ingestion>;
+}
+
+/// Filesystem plugin over a [`VirtualFs`].
+pub struct FsPlugin {
+    fs: Arc<VirtualFs>,
+    root: NodeId,
+    /// Node→view mapping of the latest ingestion, used by the
+    /// synchronization manager to resolve change notifications.
+    mapping: Mutex<Option<FsMapping>>,
+}
+
+impl FsPlugin {
+    /// A plugin for the subtree rooted at `root`.
+    pub fn new(fs: Arc<VirtualFs>, root: NodeId) -> Self {
+        FsPlugin {
+            fs,
+            root,
+            mapping: Mutex::new(None),
+        }
+    }
+
+    /// The backing filesystem.
+    pub fn fs(&self) -> &Arc<VirtualFs> {
+        &self.fs
+    }
+
+    /// The view of a filesystem node, from the latest ingestion.
+    pub fn view_of(&self, node: NodeId) -> Option<Vid> {
+        self.mapping.lock().as_ref().and_then(|m| m.view_of(node))
+    }
+
+    /// Records a mapping added after ingestion (sync manager use).
+    pub fn record_mapping(&self, node: NodeId, vid: Vid) {
+        if let Some(mapping) = self.mapping.lock().as_mut() {
+            mapping.by_node.insert(node, vid);
+        }
+    }
+}
+
+impl DataSourcePlugin for FsPlugin {
+    fn name(&self) -> &str {
+        "filesystem"
+    }
+
+    fn ingest(&self, store: &ViewStore) -> Result<Ingestion> {
+        let mapping = materialize(&self.fs, store, self.root)?;
+        let base_views: Vec<Vid> = mapping.by_node.values().copied().collect();
+        let roots = vec![mapping.root];
+        *self.mapping.lock() = Some(mapping);
+        Ok(Ingestion { roots, base_views })
+    }
+}
+
+/// IMAP plugin over a simulated [`ImapServer`].
+pub struct ImapPlugin {
+    server: Arc<ImapServer>,
+    mapping: Mutex<MailboxMapping>,
+}
+
+impl ImapPlugin {
+    /// A plugin ingesting the whole mailbox tree (Option 1: the state).
+    pub fn new(server: Arc<ImapServer>) -> Self {
+        ImapPlugin {
+            server,
+            mapping: Mutex::new(MailboxMapping::default()),
+        }
+    }
+
+    /// The backing server.
+    pub fn server(&self) -> &Arc<ImapServer> {
+        &self.server
+    }
+
+    /// Folder/message/attachment counts of the latest ingestion.
+    pub fn last_stats(&self) -> MailboxStats {
+        self.mapping.lock().stats
+    }
+
+    /// The mailfolder view of a mailbox, from the latest ingestion.
+    pub fn folder_view(&self, mailbox: MailboxId) -> Option<Vid> {
+        self.mapping.lock().folders.get(&mailbox).copied()
+    }
+
+    /// The emailmessage view of a message uid.
+    pub fn message_view(&self, uid: Uid) -> Option<Vid> {
+        self.mapping.lock().messages.get(&uid).copied()
+    }
+
+    /// Records a message view created after ingestion (sync manager).
+    pub fn record_message(&self, uid: Uid, vid: Vid) {
+        self.mapping.lock().messages.insert(uid, vid);
+    }
+
+    /// Forgets a message after deletion (sync manager).
+    pub fn forget_message(&self, uid: Uid) -> Option<Vid> {
+        self.mapping.lock().messages.remove(&uid)
+    }
+}
+
+impl DataSourcePlugin for ImapPlugin {
+    fn name(&self) -> &str {
+        "imap"
+    }
+
+    fn ingest(&self, store: &ViewStore) -> Result<Ingestion> {
+        let before: std::collections::HashSet<Vid> = store.vids().into_iter().collect();
+        let mapping = materialize_mailbox_mapped(&self.server, store, self.server.inbox())?;
+        let root = mapping.root;
+        *self.mapping.lock() = mapping;
+        let base_views: Vec<Vid> = store
+            .vids()
+            .into_iter()
+            .filter(|v| !before.contains(v))
+            .collect();
+        Ok(Ingestion {
+            roots: vec![root],
+            base_views,
+        })
+    }
+}
+
+/// RSS plugin: registers one `rssatom` stream view per feed URL.
+pub struct RssPlugin {
+    server: Arc<FeedServer>,
+    urls: Vec<String>,
+}
+
+impl RssPlugin {
+    /// A plugin over the given feed URLs.
+    pub fn new(server: Arc<FeedServer>, urls: Vec<String>) -> Self {
+        RssPlugin { server, urls }
+    }
+}
+
+impl DataSourcePlugin for RssPlugin {
+    fn name(&self) -> &str {
+        "rss"
+    }
+
+    fn ingest(&self, store: &ViewStore) -> Result<Ingestion> {
+        let mut roots = Vec::with_capacity(self.urls.len());
+        for url in &self.urls {
+            let source = RssStreamSource::new(Arc::clone(&self.server), url.clone());
+            roots.push(source.into_stream_view(store)?);
+        }
+        Ok(Ingestion {
+            roots: roots.clone(),
+            base_views: roots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timestamp {
+        Timestamp::from_ymd(2005, 6, 1).unwrap()
+    }
+
+    #[test]
+    fn fs_plugin_ingests_and_maps() {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let dir = fs.mkdir_p("/docs", t()).unwrap();
+        let file = fs.create_file(dir, "a.txt", "hello", t()).unwrap();
+
+        let store = ViewStore::new();
+        let plugin = FsPlugin::new(Arc::clone(&fs), NodeId::ROOT);
+        let ingestion = plugin.ingest(&store).unwrap();
+        assert_eq!(ingestion.base_views.len(), 3); // root, docs, a.txt
+        assert!(plugin.view_of(file).is_some());
+        assert_eq!(plugin.name(), "filesystem");
+    }
+
+    #[test]
+    fn imap_plugin_counts_base_views() {
+        use idm_email::message::EmailMessage;
+        let server = Arc::new(ImapServer::in_process());
+        server
+            .append(
+                server.inbox(),
+                &EmailMessage {
+                    subject: "s".into(),
+                    date: t(),
+                    ..EmailMessage::default()
+                },
+            )
+            .unwrap();
+        let store = ViewStore::new();
+        let plugin = ImapPlugin::new(server);
+        let ingestion = plugin.ingest(&store).unwrap();
+        assert_eq!(ingestion.base_views.len(), 2); // INBOX + message
+        assert_eq!(plugin.last_stats().messages, 1);
+    }
+
+    #[test]
+    fn rss_plugin_creates_stream_views() {
+        let server = Arc::new(FeedServer::new());
+        server.publish("u1", idm_xml::rss::Feed::new("one"));
+        server.publish("u2", idm_xml::rss::Feed::new("two"));
+        let store = ViewStore::new();
+        let plugin = RssPlugin::new(server, vec!["u1".into(), "u2".into()]);
+        let ingestion = plugin.ingest(&store).unwrap();
+        assert_eq!(ingestion.roots.len(), 2);
+        for root in ingestion.roots {
+            assert!(store.conforms_to(root, "rssatom").unwrap());
+        }
+    }
+}

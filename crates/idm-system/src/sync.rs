@@ -1,0 +1,609 @@
+//! The Synchronization Manager (Section 5.2, part 4).
+//!
+//! Observes registered data sources for updates. Where the source
+//! supports notification events (our [`VirtualFs`] does, standing in
+//! for the paper's Mac OS X file events), the manager subscribes and
+//! applies updates immediately at the next sync round; for updates done
+//! bypassing the RVM layer it also supports a full polling pass that
+//! diffs the source against the catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use idm_core::prelude::*;
+use idm_index::IndexBundle;
+use idm_vfs::{FsEvent, NodeId, NodeKind, VirtualFs};
+use parking_lot::Mutex;
+
+use crate::converter::ConverterRegistry;
+use crate::source::{FsPlugin, ImapPlugin};
+
+/// What one sync round did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Views created (base + derived).
+    pub created: usize,
+    /// Base views re-indexed after modification.
+    pub modified: usize,
+    /// Views removed (base + derived).
+    pub removed: usize,
+}
+
+/// A synchronization manager for one filesystem source.
+pub struct SynchronizationManager {
+    store: Arc<ViewStore>,
+    indexes: Arc<IndexBundle>,
+    fs: Arc<VirtualFs>,
+    plugin: Arc<FsPlugin>,
+    events: Receiver<FsEvent>,
+    converters: ConverterRegistry,
+    /// Path → base view, maintained across events (needed because a
+    /// removal notification arrives after the node is gone).
+    paths: Mutex<HashMap<String, Vid>>,
+}
+
+impl SynchronizationManager {
+    /// Attaches to a filesystem plugin **after** its initial ingestion,
+    /// seeding the path map from the plugin's node mapping.
+    pub fn attach(
+        plugin: Arc<FsPlugin>,
+        store: Arc<ViewStore>,
+        indexes: Arc<IndexBundle>,
+    ) -> Result<Self> {
+        let fs = Arc::clone(plugin.fs());
+        let events = fs.subscribe();
+        let mut paths = HashMap::new();
+        for (node, _depth) in fs.walk(NodeId::ROOT)? {
+            if let Some(vid) = plugin.view_of(node) {
+                paths.insert(fs.path_of(node)?, vid);
+            }
+        }
+        Ok(SynchronizationManager {
+            store,
+            indexes,
+            fs,
+            plugin,
+            events,
+            converters: ConverterRegistry::with_defaults(),
+            paths: Mutex::new(paths),
+        })
+    }
+
+    /// Processes all pending notifications; returns what changed.
+    pub fn sync_round(&self) -> Result<SyncReport> {
+        let mut report = SyncReport::default();
+        while let Ok(event) = self.events.try_recv() {
+            match event {
+                FsEvent::Created(path) => report.created += self.on_created(&path)?,
+                FsEvent::Modified(path) => report.modified += self.on_modified(&path)?,
+                FsEvent::Removed(path) => report.removed += self.on_removed(&path)?,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Full polling pass: finds filesystem nodes that bypassed
+    /// notifications (e.g. created before attachment) and ingests them.
+    pub fn poll_filesystem(&self) -> Result<SyncReport> {
+        let mut report = SyncReport::default();
+        for (node, _depth) in self.fs.walk(NodeId::ROOT)? {
+            let path = self.fs.path_of(node)?;
+            if !self.paths.lock().contains_key(&path) {
+                report.created += self.create_node(node, &path)?;
+            }
+        }
+        Ok(report)
+    }
+
+    fn parent_view(&self, path: &str) -> Option<Vid> {
+        let dir = match path.rsplit_once('/') {
+            Some(("", _)) => "/".to_owned(),
+            Some((dir, _)) => dir.to_owned(),
+            None => return None,
+        };
+        self.paths.lock().get(&dir).copied()
+    }
+
+    fn on_created(&self, path: &str) -> Result<usize> {
+        if self.paths.lock().contains_key(path) {
+            return Ok(0);
+        }
+        let node = self.fs.resolve(path)?;
+        self.create_node(node, path)
+    }
+
+    fn create_node(&self, node: NodeId, path: &str) -> Result<usize> {
+        let name = self.fs.name(node)?;
+        let meta = self.fs.metadata(node)?;
+        let kind = self.fs.kind(node)?;
+
+        let vid = match kind {
+            NodeKind::File => {
+                let fs = Arc::clone(&self.fs);
+                let provider = Arc::new(move || fs.read_file(node));
+                self.store
+                    .build(name)
+                    .tuple(meta.to_tuple())
+                    .content(Content::lazy(provider))
+                    .class_named("file")
+                    .insert()
+            }
+            NodeKind::Folder => self
+                .store
+                .build(name)
+                .tuple(meta.to_tuple())
+                .class_named("folder")
+                .insert(),
+            NodeKind::FolderLink => {
+                let target_vid = self
+                    .fs
+                    .link_target(node)?
+                    .and_then(|t| self.plugin.view_of(t));
+                let mut builder = self
+                    .store
+                    .build(name)
+                    .tuple(meta.to_tuple())
+                    .class_named("folderlink");
+                if let Some(target) = target_vid {
+                    builder = builder.children(vec![target]);
+                }
+                builder.insert()
+            }
+        };
+
+        // Wire into the parent folder's group.
+        if let Some(parent) = self.parent_view(path) {
+            self.store.add_group_member(parent, vid, false)?;
+            self.indexes
+                .group
+                .index(parent, &self.store.group(parent)?.finite_members());
+        }
+        self.paths.lock().insert(path.to_owned(), vid);
+        self.plugin.record_mapping(node, vid);
+
+        // Convert + index the new subtree.
+        let mut created = 1;
+        self.converters.convert_view(&self.store, vid)?;
+        let mut subtree = vec![vid];
+        subtree.extend(idm_core::graph::descendants(&self.store, vid, usize::MAX)?);
+        subtree.sort();
+        subtree.dedup();
+        for &member in &subtree {
+            if !self.indexes.catalog.contains(member) {
+                self.indexes.index_view(&self.store, member, "filesystem")?;
+                if member != vid {
+                    created += 1;
+                }
+            }
+        }
+        Ok(created)
+    }
+
+    fn on_modified(&self, path: &str) -> Result<usize> {
+        let Some(vid) = self.paths.lock().get(path).copied() else {
+            return Ok(0);
+        };
+        let node = self.fs.resolve(path)?;
+        let meta = self.fs.metadata(node)?;
+
+        // Drop the stale derived subgraph.
+        self.remove_derived_subtree(vid)?;
+
+        // Fresh tuple and content (the old lazy handle caches old bytes).
+        self.store.set_tuple(vid, Some(meta.to_tuple()))?;
+        if self.fs.kind(node)? == NodeKind::File {
+            let fs = Arc::clone(&self.fs);
+            let provider = Arc::new(move || fs.read_file(node));
+            self.store.set_content(vid, Content::lazy(provider))?;
+        }
+        self.store.set_group(vid, Group::Empty)?;
+        if let Some(class) = self.store.classes().lookup("file") {
+            self.store.set_class(vid, Some(class))?;
+        }
+
+        // Reconvert and reindex.
+        self.converters.convert_view(&self.store, vid)?;
+        self.indexes.remove_view(vid);
+        self.indexes.index_view(&self.store, vid, "filesystem")?;
+        for member in idm_core::graph::descendants(&self.store, vid, usize::MAX)? {
+            if !self.indexes.catalog.contains(member) {
+                self.indexes.index_view(&self.store, member, "filesystem")?;
+            }
+        }
+        Ok(1)
+    }
+
+    fn on_removed(&self, path: &str) -> Result<usize> {
+        let vid = {
+            let mut paths = self.paths.lock();
+            let Some(vid) = paths.remove(path) else {
+                return Ok(0);
+            };
+            // Sub-paths disappear with their parent.
+            let prefix = format!("{path}/");
+            paths.retain(|p, _| !p.starts_with(&prefix));
+            vid
+        };
+        let removed = self.remove_derived_subtree(vid)? + 1;
+        // Detach from the parent's group.
+        if let Some(parent) = self.parent_view(path) {
+            if let Ok(snapshot) = self.store.group(parent) {
+                let members: Vec<Vid> = snapshot
+                    .finite_members()
+                    .into_iter()
+                    .filter(|m| *m != vid)
+                    .collect();
+                self.store.set_group(parent, Group::of_set(members.clone()))?;
+                self.indexes.group.index(parent, &members);
+            }
+        }
+        self.indexes.remove_view(vid);
+        if self.store.contains(vid) {
+            self.store.remove(vid)?;
+        }
+        Ok(removed)
+    }
+
+    /// Removes every view derived from `vid`'s content (its descendant
+    /// subgraph), from store and indexes. Returns how many were removed.
+    fn remove_derived_subtree(&self, vid: Vid) -> Result<usize> {
+        let mut removed = 0;
+        let base: Vec<Vid> = self.paths.lock().values().copied().collect();
+        for member in idm_core::graph::descendants(&self.store, vid, usize::MAX)? {
+            // Never remove other *base* views reachable via folder links.
+            if member == vid || base.contains(&member) {
+                continue;
+            }
+            self.indexes.remove_view(member);
+            if self.store.contains(member) {
+                self.store.remove(member)?;
+            }
+            removed += 1;
+        }
+        Ok(removed)
+    }
+}
+
+/// A synchronization manager for one IMAP source: subscribes to the
+/// server's delivery/deletion notifications and keeps the mailbox
+/// views, converted attachment subgraphs and indexes current.
+pub struct ImapSynchronizationManager {
+    store: Arc<ViewStore>,
+    indexes: Arc<IndexBundle>,
+    plugin: Arc<ImapPlugin>,
+    events: Receiver<idm_email::imap::MailEvent>,
+    converters: ConverterRegistry,
+}
+
+impl ImapSynchronizationManager {
+    /// Attaches to an IMAP plugin **after** its initial ingestion.
+    pub fn attach(
+        plugin: Arc<ImapPlugin>,
+        store: Arc<ViewStore>,
+        indexes: Arc<IndexBundle>,
+    ) -> Self {
+        let events = plugin.server().subscribe();
+        ImapSynchronizationManager {
+            store,
+            indexes,
+            plugin,
+            events,
+            converters: ConverterRegistry::with_defaults(),
+        }
+    }
+
+    /// Processes all pending mail notifications.
+    pub fn sync_round(&self) -> Result<SyncReport> {
+        use idm_email::imap::MailEvent;
+        let mut report = SyncReport::default();
+        while let Ok(event) = self.events.try_recv() {
+            match event {
+                MailEvent::Delivered(mailbox, uid) => {
+                    report.created += self.on_delivered(mailbox, uid)?;
+                }
+                MailEvent::Deleted(_mailbox, uid) => {
+                    report.removed += self.on_deleted(uid)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn on_delivered(&self, mailbox: idm_email::MailboxId, uid: idm_email::Uid) -> Result<usize> {
+        if self.plugin.message_view(uid).is_some() {
+            return Ok(0); // already known (e.g. ingested)
+        }
+        let message = self.plugin.server().fetch(uid)?;
+        let vid = idm_email::convert::message_to_views(&self.store, &message)?;
+        self.plugin.record_message(uid, vid);
+
+        // Wire into the mailbox folder view, if the folder is known.
+        if let Some(folder) = self.plugin.folder_view(mailbox) {
+            self.store.add_group_member(folder, vid, false)?;
+            self.indexes
+                .group
+                .index(folder, &self.store.group(folder)?.finite_members());
+        }
+
+        // Convert structured attachments, then index the whole subtree.
+        let mut created = 0;
+        let attachments = self.store.group(vid)?.finite_members();
+        for attachment in attachments {
+            self.converters.convert_view(&self.store, attachment)?;
+        }
+        let mut subtree = vec![vid];
+        subtree.extend(idm_core::graph::descendants(&self.store, vid, usize::MAX)?);
+        subtree.sort();
+        subtree.dedup();
+        for member in subtree {
+            if !self.indexes.catalog.contains(member) {
+                self.indexes.index_view(&self.store, member, "imap")?;
+                created += 1;
+            }
+        }
+        Ok(created)
+    }
+
+    fn on_deleted(&self, uid: idm_email::Uid) -> Result<usize> {
+        let Some(vid) = self.plugin.forget_message(uid) else {
+            return Ok(0);
+        };
+        let mut removed = 0;
+        // Remove the message and its derived subtree (attachments and
+        // their converted views belong exclusively to this message).
+        let mut subtree = vec![vid];
+        subtree.extend(idm_core::graph::descendants(&self.store, vid, usize::MAX)?);
+        subtree.sort();
+        subtree.dedup();
+        for member in subtree {
+            self.indexes.remove_view(member);
+            if self.store.contains(member) {
+                self.store.remove(member)?;
+                removed += 1;
+            }
+        }
+        // Detach the dangling reference from the parent folder.
+        for folder_vid in self.indexes.catalog.by_class("mailfolder") {
+            let members = self.store.group(folder_vid)?.finite_members();
+            if members.contains(&vid) {
+                let kept: Vec<Vid> = members.into_iter().filter(|m| *m != vid).collect();
+                self.store.set_group(folder_vid, Group::of_set(kept.clone()))?;
+                self.indexes.group.index(folder_vid, &kept);
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rvm::ResourceViewManager;
+    use idm_query::QueryProcessor;
+
+    fn t() -> Timestamp {
+        Timestamp::from_ymd(2005, 6, 1).unwrap()
+    }
+
+    struct World {
+        fs: Arc<VirtualFs>,
+        store: Arc<ViewStore>,
+        indexes: Arc<IndexBundle>,
+        sync: SynchronizationManager,
+    }
+
+    fn world() -> World {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let dir = fs.mkdir_p("/papers", t()).unwrap();
+        fs.create_file(dir, "a.tex", "\\section{Alpha}\nalpha text", t())
+            .unwrap();
+
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+        let rvm = ResourceViewManager::new(Arc::clone(&store), Arc::clone(&indexes));
+        let plugin = Arc::new(FsPlugin::new(Arc::clone(&fs), NodeId::ROOT));
+        rvm.register_source(Arc::clone(&plugin) as Arc<dyn crate::source::DataSourcePlugin>);
+        rvm.ingest_all().unwrap();
+
+        let sync =
+            SynchronizationManager::attach(plugin, Arc::clone(&store), Arc::clone(&indexes))
+                .unwrap();
+        World {
+            fs,
+            store,
+            indexes,
+            sync,
+        }
+    }
+
+    fn query(w: &World, iql: &str) -> usize {
+        QueryProcessor::new(Arc::clone(&w.store), Arc::clone(&w.indexes))
+            .execute(iql)
+            .unwrap()
+            .rows
+            .len()
+    }
+
+    #[test]
+    fn new_file_becomes_queryable_after_sync() {
+        let w = world();
+        assert_eq!(query(&w, r#""bravo""#), 0);
+        let dir = w.fs.resolve("/papers").unwrap();
+        w.fs
+            .create_file(dir, "b.tex", "\\section{Bravo}\nbravo text", t())
+            .unwrap();
+        let report = w.sync.sync_round().unwrap();
+        assert!(report.created >= 3, "file + derived views: {report:?}");
+        // The raw file bytes, the section's region content and the text
+        // view all contain the word.
+        assert_eq!(query(&w, r#""bravo""#), 3, "file + section + text");
+        assert_eq!(query(&w, r#"//papers//Bravo[class="latex_section"]"#), 1);
+    }
+
+    #[test]
+    fn modified_file_reindexes_and_drops_stale_views() {
+        let w = world();
+        assert_eq!(query(&w, r#"//papers//Alpha"#), 1);
+        let file = w.fs.resolve("/papers/a.tex").unwrap();
+        w.fs
+            .write_file(file, "\\section{Omega}\nomega text", t().plus_days(1))
+            .unwrap();
+        let report = w.sync.sync_round().unwrap();
+        assert_eq!(report.modified, 1);
+        assert_eq!(query(&w, r#"//papers//Alpha"#), 0, "stale section gone");
+        assert_eq!(query(&w, r#"//papers//Omega"#), 1);
+        assert_eq!(query(&w, r#""alpha""#), 0);
+    }
+
+    #[test]
+    fn removed_file_disappears_everywhere() {
+        let w = world();
+        let file = w.fs.resolve("/papers/a.tex").unwrap();
+        w.fs.remove(file).unwrap();
+        let report = w.sync.sync_round().unwrap();
+        assert!(report.removed >= 2, "{report:?}");
+        assert_eq!(query(&w, r#"//papers//Alpha"#), 0);
+        assert_eq!(query(&w, r#"//a.tex"#), 0);
+        // The folder's group no longer references it.
+        let papers = w.indexes.name.exact("papers")[0];
+        assert!(w.indexes.group.children(papers).is_empty());
+    }
+
+    #[test]
+    fn polling_catches_bypassed_updates() {
+        let w = world();
+        // Simulate a change that raced past the subscription by draining
+        // events without processing.
+        let dir = w.fs.resolve("/papers").unwrap();
+        w.fs
+            .create_file(dir, "quiet.tex", "\\section{Quiet}\nquiet text", t())
+            .unwrap();
+        while w.sync.events.try_recv().is_ok() {}
+        assert_eq!(query(&w, r#""quiet""#), 0);
+
+        let report = w.sync.poll_filesystem().unwrap();
+        assert!(report.created >= 1);
+        assert_eq!(query(&w, r#"//papers//Quiet"#), 1);
+    }
+
+    #[test]
+    fn imap_sync_delivers_and_deletes() {
+        use crate::source::{DataSourcePlugin, ImapPlugin};
+        use idm_email::message::{Attachment, EmailMessage};
+        use idm_email::ImapServer;
+
+        let server = Arc::new(ImapServer::in_process());
+        let olap = server.create_mailbox(server.inbox(), "OLAP").unwrap();
+        server
+            .append(
+                olap,
+                &EmailMessage {
+                    subject: "seed".into(),
+                    date: t(),
+                    ..EmailMessage::default()
+                },
+            )
+            .unwrap();
+
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+        let rvm = ResourceViewManager::new(Arc::clone(&store), Arc::clone(&indexes));
+        let plugin = Arc::new(ImapPlugin::new(Arc::clone(&server)));
+        rvm.register_source(Arc::clone(&plugin) as Arc<dyn DataSourcePlugin>);
+        rvm.ingest_all().unwrap();
+
+        let sync = ImapSynchronizationManager::attach(
+            Arc::clone(&plugin),
+            Arc::clone(&store),
+            Arc::clone(&indexes),
+        );
+        let q = |iql: &str| {
+            QueryProcessor::new(Arc::clone(&store), Arc::clone(&indexes))
+                .execute(iql)
+                .unwrap()
+                .rows
+                .len()
+        };
+
+        // A new message with a structured attachment arrives.
+        let uid = server
+            .append(
+                olap,
+                &EmailMessage {
+                    subject: "fresh figures".into(),
+                    date: t(),
+                    body: "see the attached evaluation".into(),
+                    attachments: vec![Attachment {
+                        filename: "eval.tex".into(),
+                        content: "\\begin{figure}\\caption{Indexing Time v2}\\label{f}\\end{figure}"
+                            .into(),
+                    }],
+                    ..EmailMessage::default()
+                },
+            )
+            .unwrap();
+        let report = sync.sync_round().unwrap();
+        assert!(report.created >= 3, "{report:?}");
+        assert_eq!(q(r#"//OLAP//*[class="figure" and "Indexing Time"]"#), 1);
+        assert_eq!(q(r#"//fresh*"#), 1);
+
+        // Deleting it removes everything again.
+        server.delete(olap, uid).unwrap();
+        let report = sync.sync_round().unwrap();
+        assert!(report.removed >= 2, "{report:?}");
+        assert_eq!(q(r#"//OLAP//*[class="figure" and "Indexing Time"]"#), 0);
+        assert_eq!(q(r#"//fresh*"#), 0);
+        // The folder group no longer references the dead view.
+        let folder = plugin.folder_view(olap).unwrap();
+        assert_eq!(store.group(folder).unwrap().finite_members().len(), 1);
+    }
+
+    #[test]
+    fn imap_sync_ignores_already_ingested_messages() {
+        use crate::source::{DataSourcePlugin, ImapPlugin};
+        use idm_email::message::EmailMessage;
+        use idm_email::ImapServer;
+
+        let server = Arc::new(ImapServer::in_process());
+        // Subscribe BEFORE ingest so the seed delivery is also queued.
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+        let plugin = Arc::new(ImapPlugin::new(Arc::clone(&server)));
+        let sync = ImapSynchronizationManager::attach(
+            Arc::clone(&plugin),
+            Arc::clone(&store),
+            Arc::clone(&indexes),
+        );
+        server
+            .append(
+                server.inbox(),
+                &EmailMessage {
+                    subject: "seed".into(),
+                    date: t(),
+                    ..EmailMessage::default()
+                },
+            )
+            .unwrap();
+        let rvm = ResourceViewManager::new(Arc::clone(&store), Arc::clone(&indexes));
+        rvm.register_source(Arc::clone(&plugin) as Arc<dyn DataSourcePlugin>);
+        rvm.ingest_all().unwrap();
+
+        // The queued delivery event refers to an already-mapped message.
+        let report = sync.sync_round().unwrap();
+        assert_eq!(report.created, 0, "no duplicates: {report:?}");
+    }
+
+    #[test]
+    fn duplicate_create_events_are_idempotent() {
+        let w = world();
+        let dir = w.fs.resolve("/papers").unwrap();
+        w.fs.create_file(dir, "c.txt", "plain", t()).unwrap();
+        w.sync.sync_round().unwrap();
+        let count_before = w.indexes.catalog.len();
+        // A second poll finds nothing new.
+        let report = w.sync.poll_filesystem().unwrap();
+        assert_eq!(report.created, 0);
+        assert_eq!(w.indexes.catalog.len(), count_before);
+    }
+}

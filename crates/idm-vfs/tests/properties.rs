@@ -1,0 +1,127 @@
+//! Model-based property test: the virtual filesystem against a naive
+//! path→content map model under random operation sequences.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use idm_core::prelude::Timestamp;
+use idm_vfs::{NodeId, NodeKind, VirtualFs};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir { parent: usize, name: String },
+    CreateFile { parent: usize, name: String, content: String },
+    WriteFile { index: usize, content: String },
+    Remove { index: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..20, "[a-c]{1,3}").prop_map(|(parent, name)| Op::Mkdir { parent, name }),
+        (0usize..20, "[d-f]{1,3}", "[a-z ]{0,20}").prop_map(|(parent, name, content)| {
+            Op::CreateFile {
+                parent,
+                name,
+                content,
+            }
+        }),
+        (0usize..20, "[a-z ]{0,20}").prop_map(|(index, content)| Op::WriteFile { index, content }),
+        (0usize..20).prop_map(|index| Op::Remove { index }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn fs_matches_path_map_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let t = Timestamp::from_ymd(2005, 6, 1).unwrap();
+        let fs = Arc::new(VirtualFs::new(t));
+
+        // The model: path → Some(content) for files, None for folders.
+        let mut model: HashMap<String, Option<String>> = HashMap::new();
+        model.insert("/".into(), None);
+        // Live nodes for indexing ops deterministically.
+        let mut nodes: Vec<(NodeId, String)> = vec![(NodeId::ROOT, "/".into())];
+
+        for op in ops {
+            match op {
+                Op::Mkdir { parent, name } => {
+                    let (pid, ppath) = nodes[parent % nodes.len()].clone();
+                    let result = fs.mkdir(pid, &name, t);
+                    let is_folder = model.get(&ppath).is_some_and(Option::is_none);
+                    let child_path = join(&ppath, &name);
+                    let fresh = !model.contains_key(&child_path);
+                    prop_assert_eq!(result.is_ok(), is_folder && fresh,
+                        "mkdir {} under {}", &name, &ppath);
+                    if let Ok(id) = result {
+                        model.insert(child_path.clone(), None);
+                        nodes.push((id, child_path));
+                    }
+                }
+                Op::CreateFile { parent, name, content } => {
+                    let (pid, ppath) = nodes[parent % nodes.len()].clone();
+                    let result = fs.create_file(pid, &name, content.clone(), t);
+                    let is_folder = model.get(&ppath).is_some_and(Option::is_none);
+                    let child_path = join(&ppath, &name);
+                    let fresh = !model.contains_key(&child_path);
+                    prop_assert_eq!(result.is_ok(), is_folder && fresh);
+                    if let Ok(id) = result {
+                        model.insert(child_path.clone(), Some(content));
+                        nodes.push((id, child_path));
+                    }
+                }
+                Op::WriteFile { index, content } => {
+                    let (id, path) = nodes[index % nodes.len()].clone();
+                    let is_live_file =
+                        model.get(&path).is_some_and(|c| c.is_some());
+                    let result = fs.write_file(id, content.clone(), t);
+                    prop_assert_eq!(result.is_ok(), is_live_file, "write {}", &path);
+                    if result.is_ok() {
+                        model.insert(path, Some(content));
+                    }
+                }
+                Op::Remove { index } => {
+                    let (id, path) = nodes[index % nodes.len()].clone();
+                    let live = model.contains_key(&path);
+                    let result = fs.remove(id);
+                    if path == "/" {
+                        prop_assert!(result.is_err(), "root is irremovable");
+                        continue;
+                    }
+                    prop_assert_eq!(result.is_ok(), live, "remove {}", &path);
+                    if result.is_ok() {
+                        let prefix = format!("{path}/");
+                        model.retain(|p, _| p != &path && !p.starts_with(&prefix));
+                        nodes.retain(|(_, p)| p != &path && !p.starts_with(&prefix));
+                    }
+                }
+            }
+        }
+
+        // Final state agreement: every model path resolves with the right
+        // kind and content; the node count matches.
+        for (path, content) in &model {
+            let id = fs.resolve(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+            match content {
+                Some(text) => {
+                    prop_assert_eq!(fs.kind(id).unwrap(), NodeKind::File);
+                    prop_assert_eq!(
+                        String::from_utf8_lossy(&fs.read_file(id).unwrap()).into_owned(),
+                        text.clone()
+                    );
+                }
+                None => prop_assert_eq!(fs.kind(id).unwrap(), NodeKind::Folder),
+            }
+        }
+        prop_assert_eq!(fs.node_count(), model.len());
+    }
+}
+
+fn join(parent: &str, name: &str) -> String {
+    if parent == "/" {
+        format!("/{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}

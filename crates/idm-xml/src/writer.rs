@@ -1,0 +1,118 @@
+//! Serializing XML trees back to text (used by the ActiveXML service
+//! simulation, the RSS feed server and the synthetic dataset generator).
+
+use crate::parser::{XmlDocument, XmlElement, XmlNode};
+
+/// Serializes a document with an XML declaration.
+pub fn to_xml_string(doc: &XmlDocument) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    write_element(&doc.root, &mut out);
+    out
+}
+
+/// Serializes a lone element (no declaration).
+pub fn element_to_string(element: &XmlElement) -> String {
+    let mut out = String::new();
+    write_element(element, &mut out);
+    out
+}
+
+fn write_element(element: &XmlElement, out: &mut String) {
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        escape_into(value, true, out);
+        out.push('"');
+    }
+    if element.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &element.children {
+        match child {
+            XmlNode::Element(e) => write_element(e, out),
+            XmlNode::Text(t) => escape_into(t, false, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push('>');
+}
+
+fn escape_into(text: &str, in_attribute: bool, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let input = r#"<article year="2005"><title>Data &amp; Spaces</title><e/></article>"#;
+        let doc = parse(input).unwrap();
+        let serialized = to_xml_string(&doc);
+        let reparsed = parse(&serialized).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut e = XmlElement::new("a");
+        e.attributes.push(("x".into(), "a\"b<c".into()));
+        e.children.push(XmlNode::Text("1 < 2 & 3 > 2".into()));
+        let s = element_to_string(&e);
+        assert_eq!(s, r#"<a x="a&quot;b&lt;c">1 &lt; 2 &amp; 3 &gt; 2</a>"#);
+        // And it survives a reparse.
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.root.attr("x"), Some("a\"b<c"));
+        assert_eq!(doc.root.direct_text(), "1 < 2 & 3 > 2");
+    }
+
+    #[test]
+    fn proptest_style_roundtrip_of_nested_docs() {
+        // Deterministic pseudo-random nested documents.
+        for seed in 0..25u64 {
+            let doc = synth_doc(seed);
+            let reparsed = parse(&to_xml_string(&doc)).unwrap();
+            assert_eq!(doc, reparsed, "seed {seed}");
+        }
+    }
+
+    fn synth_doc(seed: u64) -> XmlDocument {
+        fn build(depth: usize, state: &mut u64) -> XmlElement {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n_children = if depth >= 3 { 0 } else { (*state >> 33) as usize % 4 };
+            let mut e = XmlElement::new(format!("e{}", (*state >> 20) % 10));
+            if (*state).is_multiple_of(2) {
+                e.attributes
+                    .push((format!("a{}", *state % 5), format!("v&{}", *state % 100)));
+            }
+            for i in 0..n_children {
+                if (*state >> i).is_multiple_of(3) {
+                    e.children
+                        .push(XmlNode::Text(format!("text<{}>", *state % 50)));
+                }
+                e.children.push(XmlNode::Element(build(depth + 1, state)));
+            }
+            e
+        }
+        let mut state = seed.wrapping_add(17);
+        XmlDocument {
+            root: build(0, &mut state),
+        }
+    }
+}

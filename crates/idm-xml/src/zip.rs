@@ -1,0 +1,311 @@
+//! A from-scratch, store-only ZIP codec (PKZIP local headers, central
+//! directory, EOCD, CRC-32).
+//!
+//! Why a ZIP codec in a dataspace system? The paper's footnote 1: "Open
+//! Office has stored documents in XML since version 1.0. MS Office 12
+//! appearing end of 2006 will also enable storage of files using zipped
+//! XML." — office documents are ZIP containers of XML parts, and the
+//! Content2iDM converter for them must open the container first. Only
+//! the `stored` (uncompressed) method is implemented; that is enough
+//! for a faithful container model and keeps the codec dependency-free.
+
+use idm_core::prelude::{IdmError, Result};
+
+const LOCAL_MAGIC: u32 = 0x0403_4B50; // PK\x03\x04
+const CENTRAL_MAGIC: u32 = 0x0201_4B50; // PK\x01\x02
+const EOCD_MAGIC: u32 = 0x0605_4B50; // PK\x05\x06
+
+/// One archive member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipEntry {
+    /// Member path, e.g. `word/document.xml`.
+    pub name: String,
+    /// Uncompressed (= stored) bytes.
+    pub data: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    fn table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    // Computed once; the table is tiny and the const-fn form keeps this
+    // allocation-free.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(table);
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = table[((crc ^ u32::from(byte)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Builds a ZIP archive (stored method) from entries.
+pub fn write_zip(entries: &[ZipEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut central = Vec::new();
+    for entry in entries {
+        let offset = out.len() as u32;
+        let crc = crc32(&entry.data);
+        let name = entry.name.as_bytes();
+        let size = entry.data.len() as u32;
+
+        // Local file header.
+        put_u32(&mut out, LOCAL_MAGIC);
+        put_u16(&mut out, 20); // version needed
+        put_u16(&mut out, 0); // flags
+        put_u16(&mut out, 0); // method: stored
+        put_u16(&mut out, 0); // mod time
+        put_u16(&mut out, 0); // mod date
+        put_u32(&mut out, crc);
+        put_u32(&mut out, size); // compressed
+        put_u32(&mut out, size); // uncompressed
+        put_u16(&mut out, name.len() as u16);
+        put_u16(&mut out, 0); // extra len
+        out.extend_from_slice(name);
+        out.extend_from_slice(&entry.data);
+
+        // Central directory record.
+        put_u32(&mut central, CENTRAL_MAGIC);
+        put_u16(&mut central, 20); // version made by
+        put_u16(&mut central, 20); // version needed
+        put_u16(&mut central, 0);
+        put_u16(&mut central, 0);
+        put_u16(&mut central, 0);
+        put_u16(&mut central, 0);
+        put_u32(&mut central, crc);
+        put_u32(&mut central, size);
+        put_u32(&mut central, size);
+        put_u16(&mut central, name.len() as u16);
+        put_u16(&mut central, 0); // extra
+        put_u16(&mut central, 0); // comment
+        put_u16(&mut central, 0); // disk
+        put_u16(&mut central, 0); // internal attrs
+        put_u32(&mut central, 0); // external attrs
+        put_u32(&mut central, offset);
+        central.extend_from_slice(name);
+    }
+    let central_offset = out.len() as u32;
+    out.extend_from_slice(&central);
+    // End of central directory.
+    put_u32(&mut out, EOCD_MAGIC);
+    put_u16(&mut out, 0); // disk
+    put_u16(&mut out, 0); // cd disk
+    put_u16(&mut out, entries.len() as u16);
+    put_u16(&mut out, entries.len() as u16);
+    put_u32(&mut out, central.len() as u32);
+    put_u32(&mut out, central_offset);
+    put_u16(&mut out, 0); // comment len
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(message: &str) -> IdmError {
+        IdmError::Parse {
+            detail: format!("zip: {message}"),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(Self::err("truncated archive"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let bytes = self.take(2)?;
+        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+}
+
+/// Reads a stored-method ZIP archive.
+pub fn read_zip(bytes: &[u8]) -> Result<Vec<ZipEntry>> {
+    let mut cursor = Cursor { buf: bytes, pos: 0 };
+    let mut entries = Vec::new();
+    loop {
+        let start = cursor.pos;
+        let magic = match cursor.u32() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        if magic != LOCAL_MAGIC {
+            // Central directory (or EOCD) reached — done with members.
+            if magic == CENTRAL_MAGIC || magic == EOCD_MAGIC {
+                break;
+            }
+            return Err(Cursor::err(&format!(
+                "unexpected record at offset {start}"
+            )));
+        }
+        let _version = cursor.u16()?;
+        let flags = cursor.u16()?;
+        if flags & 0x0008 != 0 {
+            return Err(Cursor::err("streaming data descriptors unsupported"));
+        }
+        let method = cursor.u16()?;
+        if method != 0 {
+            return Err(Cursor::err(&format!(
+                "compression method {method} unsupported (stored only)"
+            )));
+        }
+        let _time = cursor.u16()?;
+        let _date = cursor.u16()?;
+        let crc = cursor.u32()?;
+        let compressed = cursor.u32()? as usize;
+        let uncompressed = cursor.u32()? as usize;
+        if compressed != uncompressed {
+            return Err(Cursor::err("stored entry with mismatched sizes"));
+        }
+        let name_len = cursor.u16()? as usize;
+        let extra_len = cursor.u16()? as usize;
+        let name = String::from_utf8_lossy(cursor.take(name_len)?).into_owned();
+        cursor.take(extra_len)?;
+        let data = cursor.take(compressed)?.to_vec();
+        if crc32(&data) != crc {
+            return Err(Cursor::err(&format!("CRC mismatch in '{name}'")));
+        }
+        entries.push(ZipEntry { name, data });
+    }
+    Ok(entries)
+}
+
+/// Whether bytes look like a ZIP archive.
+pub fn is_zip(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == LOCAL_MAGIC.to_le_bytes()
+}
+
+/// Builds an Office-12-style document container: `word/document.xml`
+/// plus a content-types part, exactly the "zipped XML" shape the
+/// paper's footnote 1 describes.
+pub fn office_document(document_xml: &str) -> Vec<u8> {
+    write_zip(&[
+        ZipEntry {
+            name: "[Content_Types].xml".into(),
+            data: br#"<?xml version="1.0"?><Types><Default Extension="xml" ContentType="application/xml"/></Types>"#.to_vec(),
+        },
+        ZipEntry {
+            name: "word/document.xml".into(),
+            data: document_xml.as_bytes().to_vec(),
+        },
+    ])
+}
+
+/// Extracts the main document part of an Office-style container
+/// (`word/document.xml`, or OpenOffice's `content.xml`).
+pub fn office_document_xml(bytes: &[u8]) -> Result<String> {
+    let entries = read_zip(bytes)?;
+    for candidate in ["word/document.xml", "content.xml"] {
+        if let Some(entry) = entries.iter().find(|e| e.name == candidate) {
+            return Ok(String::from_utf8_lossy(&entry.data).into_owned());
+        }
+    }
+    Err(IdmError::Parse {
+        detail: "zip: no document part (word/document.xml or content.xml)".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn zip_roundtrip() {
+        let entries = vec![
+            ZipEntry {
+                name: "a.txt".into(),
+                data: b"hello".to_vec(),
+            },
+            ZipEntry {
+                name: "dir/b.xml".into(),
+                data: b"<x/>".to_vec(),
+            },
+            ZipEntry {
+                name: "empty".into(),
+                data: vec![],
+            },
+        ];
+        let bytes = write_zip(&entries);
+        assert!(is_zip(&bytes));
+        let read = read_zip(&bytes).unwrap();
+        assert_eq!(read, entries);
+    }
+
+    #[test]
+    fn corrupt_archives_error_cleanly() {
+        let entries = vec![ZipEntry {
+            name: "a".into(),
+            data: b"payload".to_vec(),
+        }];
+        let mut bytes = write_zip(&entries);
+        // Flip a payload byte (local header is 30 bytes + 1 name byte,
+        // so the payload starts at offset 31): CRC must catch it.
+        bytes[33] ^= 0xFF;
+        assert!(read_zip(&bytes).is_err());
+        assert!(read_zip(b"PK\x03\x04trunc").is_err());
+        assert!(read_zip(b"garbage").is_err());
+        assert!(read_zip(b"").unwrap().is_empty());
+    }
+
+    #[test]
+    fn office_container_shape() {
+        let bytes = office_document("<doc><p>Grant proposal text</p></doc>");
+        assert!(is_zip(&bytes));
+        let xml = office_document_xml(&bytes).unwrap();
+        assert!(xml.contains("Grant proposal"));
+        // The container is NOT texty: the binary-content heuristic of
+        // the content index must skip it... actually stored zips of text
+        // have no NUL in header+ascii names+xml; check what matters:
+        // office_document_xml finds the part regardless.
+        let entries = read_zip(&bytes).unwrap();
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn missing_document_part_errors() {
+        let bytes = write_zip(&[ZipEntry {
+            name: "other.xml".into(),
+            data: b"<x/>".to_vec(),
+        }]);
+        assert!(office_document_xml(&bytes).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the XML parser/writer and the iDM converter.
+
+use idm_xml::parser::{parse, XmlDocument, XmlElement, XmlNode};
+use idm_xml::writer::to_xml_string;
+use proptest::prelude::*;
+
+/// Arbitrary XML names (subset the parser accepts).
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+/// Text without leading/trailing whitespace ambiguity (the default
+/// parse options drop whitespace-only runs, and the writer/parser pair
+/// normalizes nothing else).
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' ]{1,20}".prop_filter("not ws-only", |s| !s.trim().is_empty())
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<XmlElement> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
+        |(name, attrs)| {
+            let mut e = XmlElement::new(name);
+            // Attribute names must be unique per element.
+            let mut seen = std::collections::HashSet::new();
+            for (n, v) in attrs {
+                if seen.insert(n.clone()) {
+                    e.attributes.push((n, v));
+                }
+            }
+            e
+        },
+    );
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (
+        leaf,
+        proptest::collection::vec(
+            prop_oneof![
+                arb_element(depth - 1).prop_map(XmlNode::Element),
+                arb_text().prop_map(XmlNode::Text),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(mut e, children)| {
+            // Merge adjacent text nodes like the parser does, so the
+            // roundtrip comparison is well-defined.
+            for child in children {
+                match (&child, e.children.last_mut()) {
+                    (XmlNode::Text(t), Some(XmlNode::Text(prev))) => prev.push_str(t),
+                    _ => e.children.push(child),
+                }
+            }
+            e
+        })
+        .boxed()
+}
+
+proptest! {
+    /// write → parse is the identity on arbitrary trees (with escaping).
+    #[test]
+    fn roundtrip(root in arb_element(3)) {
+        let doc = XmlDocument { root };
+        let xml = to_xml_string(&doc);
+        let reparsed = parse(&xml).expect("writer output is well-formed");
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    /// The parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn no_panic_on_garbage(input in ".{0,300}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser never panics on "almost XML" either.
+    #[test]
+    fn no_panic_on_mangled_xml(root in arb_element(2), cut in 0usize..200, flip in 0usize..200) {
+        let mut xml = to_xml_string(&XmlDocument { root });
+        if !xml.is_empty() {
+            let cut = cut % xml.len();
+            while !xml.is_char_boundary(cut) && !xml.is_empty() {
+                xml.pop();
+            }
+            xml.truncate(cut.min(xml.len()));
+            if !xml.is_empty() {
+                let pos = flip % xml.len();
+                if xml.is_char_boundary(pos) {
+                    xml.insert(pos, '<');
+                }
+            }
+        }
+        let _ = parse(&xml);
+    }
+
+    /// item_count equals the number of views the converter derives.
+    #[test]
+    fn item_count_matches_derived_views(root in arb_element(3)) {
+        let doc = XmlDocument { root };
+        let xml = to_xml_string(&doc);
+        let store = idm_core::prelude::ViewStore::new();
+        let (_vid, derived) =
+            idm_xml::convert::text_to_views(&store, &xml).expect("convert");
+        prop_assert_eq!(derived, doc.item_count());
+    }
+
+    /// Feeds roundtrip through their XML serialization.
+    #[test]
+    fn feed_roundtrip(
+        title in "[a-zA-Z0-9 &<]{0,20}"
+            .prop_filter("not blank", |s| s.is_empty() || !s.trim().is_empty()),
+        items in proptest::collection::vec(
+            (
+                // Whitespace-only strings are legitimately lossy (the
+                // parser drops whitespace-only text nodes), so exclude
+                // them while keeping "" and internal/trailing spaces.
+                "[a-zA-Z0-9 ]{0,15}".prop_filter("not blank", |s| s.is_empty() || !s.trim().is_empty()),
+                "[a-z]{0,8}",
+                any::<i32>(),
+                "[a-zA-Z0-9 .,&]{0,40}".prop_filter("not blank", |s| s.is_empty() || !s.trim().is_empty()),
+            ),
+            0..6,
+        )
+    ) {
+        use idm_xml::rss::{Feed, FeedItem};
+        use idm_core::prelude::Timestamp;
+        let mut feed = Feed::new(title);
+        for (t, a, p, b) in items {
+            feed.items.push(FeedItem {
+                title: t,
+                author: a,
+                published: Timestamp(i64::from(p)),
+                body: b,
+            });
+        }
+        let parsed = Feed::from_xml(&feed.to_xml()).expect("roundtrip parse");
+        prop_assert_eq!(parsed, feed);
+    }
+}

@@ -1,0 +1,74 @@
+//! ActiveXML as an iDM use-case (Section 4.3.1): intensional data.
+//!
+//! An AXML element carries a web service call in its group component;
+//! calling the service inserts the result view into the document —
+//! exactly the `<dep>`/`GetDepartments()` example from the paper. iDM
+//! represents the result's XML as a resource view subgraph, so the
+//! intensional data becomes queryable like everything else.
+//!
+//! ```sh
+//! cargo run --example active_xml
+//! ```
+
+use std::sync::Arc;
+
+use imemex::core::axml::{build_axml_element, has_result, materialize_result, ServiceRegistry};
+use imemex::core::prelude::*;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let store = ViewStore::new();
+
+    // A simulated remote web service.
+    let registry = ServiceRegistry::new();
+    registry.register(
+        "web.server.com/GetDepartments",
+        Arc::new(|_args: &str| {
+            Ok("<deplist>\
+                  <entry><name>Accounting</name></entry>\
+                  <entry><name>Research</name></entry>\
+                </deplist>"
+                .to_owned())
+        }),
+    );
+
+    // The paper's document:  <dep><sc>web.server.com/GetDepartments()</sc></dep>
+    let dep = build_axml_element(&store, "dep", "web.server.com/GetDepartments()")?;
+    println!("before the call: has result = {}", has_result(&store, dep)?);
+    println!(
+        "group = ⟨{} member(s)⟩ (just the service call)",
+        store.group(dep)?.finite_members().len()
+    );
+
+    // Lazy materialization: the service runs on demand, the result view
+    // is inserted into the element's sequence.
+    let result = materialize_result(&store, &registry, dep)?;
+    println!(
+        "\nafter the call: has result = {}, group = ⟨{} members⟩",
+        has_result(&store, dep)?,
+        store.group(dep)?.finite_members().len()
+    );
+
+    // The result's XML becomes an iDM subgraph via the XML converter.
+    let (doc, derived) = imemex::xml::convert::text_to_views(
+        &store,
+        &store.content(result)?.text_lossy()?,
+    )?;
+    store.add_group_member(result, doc, true)?;
+    println!("converted the service result into {derived} resource views");
+
+    // Now the intensional data is ordinary graph data: find the
+    // department names by walking the views.
+    let names: Vec<String> = imemex::core::graph::descendants(&store, dep, usize::MAX)?
+        .into_iter()
+        .filter(|v| store.conforms_to(*v, "xmltext").unwrap_or(false))
+        .map(|v| store.content(v).unwrap().text_lossy().unwrap())
+        .collect();
+    println!("departments found in the dataspace graph: {names:?}");
+    assert_eq!(names, vec!["Accounting", "Research"]);
+
+    // Idempotence: a second materialization does not re-call the service.
+    let again = materialize_result(&store, &registry, dep)?;
+    assert_eq!(again, result);
+    println!("\nsecond materialization reused the cached result view {result}");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! A network of iMeMex instances (the paper's Section 8 P2P outlook):
+//! laptop, desktop and a home server each run their own dataspace; one
+//! iQL query fans out to all of them and merges globally ranked.
+//!
+//! ```sh
+//! cargo run --example federation
+//! ```
+
+use std::sync::Arc;
+
+use imemex::system::{Federation, FsPlugin, Pdsms};
+use imemex::vfs::{NodeId, VirtualFs};
+use imemex::Timestamp;
+
+fn peer(files: &[(&str, &str)]) -> Result<Pdsms, Box<dyn std::error::Error>> {
+    let now = Timestamp::from_ymd(2006, 9, 12)?;
+    let fs = Arc::new(VirtualFs::new(now));
+    let dir = fs.mkdir_p("/docs", now)?;
+    for (name, body) in files {
+        fs.create_file(dir, name, body.to_string(), now)?;
+    }
+    let mut system = Pdsms::new();
+    system.register_source(Arc::new(FsPlugin::new(fs, NodeId::ROOT)));
+    system.index_all()?;
+    Ok(system)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut federation = Federation::new();
+    federation.add_peer(
+        "laptop",
+        peer(&[
+            ("draft.tex", "\\section{Intro}\nnotes on database tuning for the course"),
+            ("todo.txt", "buy milk, fix the bike"),
+        ])?,
+    )?;
+    federation.add_peer(
+        "desktop",
+        peer(&[
+            (
+                "tuning-guide.tex",
+                "\\section{Guide}\ndatabase tuning database tuning database tuning",
+            ),
+            ("photos-index.txt", "holiday pictures list"),
+        ])?,
+    )?;
+    federation.add_peer(
+        "homeserver",
+        peer(&[("backup-log.txt", "nightly backups are fine")])?,
+    )?;
+
+    println!("peers: {:?}\n", federation.peer_names());
+
+    // The same iQL runs on every peer because every peer speaks iDM.
+    let query = r#""database tuning""#;
+    println!("federated query: {query}");
+    for (peer, count) in federation.count_by_peer(query)? {
+        println!("  {peer:<12} {count} result(s)");
+    }
+
+    // Global ranking across the federation: the TF-heavy guide on the
+    // desktop outranks the laptop's passing mention.
+    println!("\nglobally ranked:");
+    let ranked = federation.query_ranked(query)?;
+    for row in &ranked {
+        let name = federation
+            .peer(&row.peer)
+            .unwrap()
+            .store()
+            .name(row.vid)?
+            .unwrap_or_default();
+        println!("  {:>7.3}  {:<12} {}", row.score, row.peer, name);
+    }
+    assert_eq!(ranked.first().map(|r| r.peer.as_str()), Some("desktop"));
+
+    // Structural queries federate too.
+    let sections = federation.query(r#"//docs//*[class="latex_section"]"#)?;
+    println!("\nlatex sections across the network: {}", sections.len());
+    Ok(())
+}

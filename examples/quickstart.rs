@@ -1,0 +1,92 @@
+//! Quickstart: build a tiny personal dataspace, index it, and query it
+//! with iQL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! This walks the core loop of the iMeMex PDSMS: create a (virtual)
+//! filesystem, register it as a data source, let the Resource View
+//! Manager ingest + convert + index it, then ask questions that cross
+//! the boundary between folder hierarchy and file *content*.
+
+use std::sync::Arc;
+
+use imemex::system::{FsPlugin, Pdsms};
+use imemex::vfs::{NodeId, VirtualFs};
+use imemex::Timestamp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let now = Timestamp::from_ymd(2006, 9, 12)?;
+
+    // 1. A small personal filesystem: two projects, three documents.
+    let fs = Arc::new(VirtualFs::new(now));
+    let pim = fs.mkdir_p("/Projects/PIM", now)?;
+    fs.create_file(
+        pim,
+        "vldb2006.tex",
+        "\\documentclass{vldb}\n\
+         \\title{iDM: A Unified and Versatile Data Model}\n\
+         \\begin{document}\n\
+         \\section{Introduction}\nDataspaces, as proposed by Mike Franklin,\n\
+         unify personal information management.\n\
+         \\section{Data Model}\nA resource view has four components.\n\
+         \\end{document}",
+        now,
+    )?;
+    let olap = fs.mkdir_p("/Projects/OLAP", now)?;
+    fs.create_file(
+        olap,
+        "eval.tex",
+        "\\section{Evaluation}\nNumbers and graphs.\n\
+         \\begin{figure}\\caption{Indexing Time per source}\\label{fig:idx}\\end{figure}",
+        now,
+    )?;
+    fs.create_file(olap, "readme.txt", "Notes about database tuning.", now)?;
+
+    // 2. The PDSMS: register the source and index everything.
+    let mut system = Pdsms::new();
+    system.register_source(Arc::new(FsPlugin::new(Arc::clone(&fs), NodeId::ROOT)));
+    let stats = system.index_all()?;
+    for s in &stats {
+        println!(
+            "indexed source '{}': {} base views, {} derived (XML: {}, LaTeX: {})",
+            s.source,
+            s.base_views,
+            s.derived_views(),
+            s.derived_xml,
+            s.derived_latex
+        );
+    }
+
+    // 3. Queries that bridge the inside/outside-file boundary.
+    for iql in [
+        // keyword search over every content component
+        r#""database tuning""#,
+        // structural: LaTeX Introduction sections inside project PIM
+        r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#,
+        // figures with a caption phrase, anywhere under OLAP
+        r#"//OLAP//*[class="figure" and "Indexing Time"]"#,
+        // attribute predicates over the filesystem schema W_FS
+        r#"[size > 100 and lastmodified < yesterday()]"#,
+    ] {
+        let result = system.query(iql)?;
+        println!("\niQL> {iql}");
+        println!("  -> {} result(s)", result.rows.len());
+        for vid in result.rows.views().iter().take(5) {
+            let store = system.store();
+            println!(
+                "     {} (class {:?})",
+                store.name(*vid)?.unwrap_or_else(|| "<unnamed>".into()),
+                store.class_name(*vid)?.unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+
+    // 4. EXPLAIN a plan.
+    println!(
+        "\nplan for the PIM query:\n{}",
+        system.explain(r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#)?
+    );
+    Ok(())
+}

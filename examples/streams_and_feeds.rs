@@ -1,0 +1,130 @@
+//! Infinite components: data streams, RSS pseudo-streams, the INBOX
+//! message stream (Option 2 of Section 4.4.1) and push-based operators
+//! (Section 4.4.2).
+//!
+//! ```sh
+//! cargo run --example streams_and_feeds
+//! ```
+
+use std::sync::Arc;
+
+use imemex::core::prelude::*;
+use imemex::email::message::EmailMessage;
+use imemex::email::ImapServer;
+use imemex::streams::engine::KeywordFilter;
+use imemex::streams::{GeneratorTupleStream, PushEngine, RssStreamSource, StreamWindow};
+use imemex::xml::rss::{Feed, FeedItem, FeedServer};
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let store = Arc::new(ViewStore::new());
+
+    // ---- 1. An infinite tuple stream (class `tupstream`) ----
+    let schema = Schema::of(&[("seq", Domain::Integer), ("temp", Domain::Float)]);
+    let stream_view = GeneratorTupleStream::new(schema, |n| {
+        vec![
+            Value::Integer(n as i64),
+            Value::Float(20.0 + (n % 10) as f64 * 0.5),
+        ]
+    })
+    .into_stream_view(&store)?;
+    println!(
+        "tuple stream view {stream_view} conforms to datstream: {}",
+        store.conforms_to(stream_view, "datstream")?
+    );
+
+    // Infinite group components are managed through a bounded window.
+    let window = StreamWindow::new(4);
+    let GroupSnapshot::Infinite(source) = store.group(stream_view)? else {
+        unreachable!("stream groups are infinite")
+    };
+    window.pull_n(&store, source.as_ref(), 10)?;
+    println!(
+        "pulled 10 tuples; window holds the last {} (total observed {})",
+        window.len(),
+        window.total_observed()
+    );
+
+    // ---- 2. RSS: polling a state into a pseudo data stream ----
+    let feeds = Arc::new(FeedServer::new());
+    let url = "http://feeds.example.org/dbis";
+    feeds.publish(url, Feed::new("DBIS group news"));
+    feeds.append_item(
+        url,
+        FeedItem {
+            title: "iDM paper accepted at VLDB".into(),
+            author: "jens".into(),
+            published: Timestamp::from_ymd(2006, 5, 1)?,
+            body: "The data model paper was accepted.".into(),
+        },
+    );
+    let rss_view = RssStreamSource::new(Arc::clone(&feeds), url).into_stream_view(&store)?;
+    let GroupSnapshot::Infinite(rss_source) = store.group(rss_view)? else {
+        unreachable!()
+    };
+    let first = rss_source.try_next(&store)?.expect("one item published");
+    println!(
+        "\nRSS item delivered as an xmldoc view: {}",
+        store.conforms_to(first, "xmldoc")?
+    );
+    println!(
+        "stream dry until the server changes: {:?}",
+        rss_source.try_next(&store)?
+    );
+    feeds.append_item(
+        url,
+        FeedItem {
+            title: "Demo at VLDB 2005".into(),
+            author: "marcos".into(),
+            published: Timestamp::from_ymd(2005, 9, 1)?,
+            body: "iMeMex demo paper.".into(),
+        },
+    );
+    println!(
+        "after a new post, polling delivers again: {:?}",
+        rss_source.try_next(&store)?.is_some()
+    );
+
+    // ---- 3. Email Option 2: the INBOX as an infinite message stream ----
+    let imap = Arc::new(ImapServer::in_process());
+    for i in 0..3 {
+        imap.append(
+            imap.inbox(),
+            &EmailMessage {
+                subject: format!("status update {i}"),
+                from: "team@ethz".into(),
+                to: "jens.dittrich@inf.ethz.ch".into(),
+                date: Timestamp::from_ymd(2006, 9, 1 + i)?,
+                body: if i == 1 {
+                    "the new stream operator is ready".into()
+                } else {
+                    "routine status".into()
+                },
+                attachments: vec![],
+            },
+        )?;
+    }
+    // Push-based protocol: a standing keyword filter sees each message
+    // view the moment the stream mints it.
+    let engine = PushEngine::attach(Arc::clone(&store));
+    let filter = Arc::new(KeywordFilter::new("stream operator"));
+    engine.register(Arc::clone(&filter) as _);
+
+    let inbox_stream = imemex::email::convert::InboxStreamSource::new(
+        Arc::clone(&imap),
+        imap.inbox(),
+        true, // consume: delivered messages leave the server
+    );
+    let mut delivered = 0;
+    while let Some(vid) = inbox_stream.try_next(&store)? {
+        delivered += 1;
+        let _ = vid;
+    }
+    engine.pump();
+    println!("\nINBOX stream delivered {delivered} messages (consumed: server now has {} left)", imap.message_count());
+    println!(
+        "push filter matched {} message(s) containing 'stream operator'",
+        filter.matches().len()
+    );
+    assert_eq!(filter.matches().len(), 1);
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! `imemex-shell` — an interactive iQL shell over a synthetic personal
+//! dataspace.
+//!
+//! ```sh
+//! cargo run --release --bin imemex-shell            # loads sf 0.05
+//! cargo run --release --bin imemex-shell -- 0.25    # bigger dataspace
+//! ```
+//!
+//! Then type iQL at the prompt, e.g.
+//! `//PIM//Introduction[class="latex_section" and "Mike Franklin"]`, or
+//! one of the `:commands` (`:help` lists them). Reads from stdin, so it
+//! also works non-interactively: `echo '"database"' | imemex-shell`.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use imemex::dataset::{generate, DatasetConfig};
+use imemex::query::{ExpansionStrategy, QueryProcessor};
+use imemex::system::{FsPlugin, ImapPlugin, Pdsms, RssPlugin};
+use imemex::vfs::NodeId;
+
+struct Shell {
+    system: Pdsms,
+    strategy: ExpansionStrategy,
+}
+
+impl Shell {
+    fn load(scale: f64) -> Self {
+        println!("generating synthetic personal dataspace at scale {scale} …");
+        let dataset = generate(DatasetConfig::at_scale(scale));
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(
+            Arc::clone(&dataset.fs),
+            NodeId::ROOT,
+        )));
+        system.register_source(Arc::new(ImapPlugin::new(Arc::clone(&dataset.imap))));
+        system.register_source(Arc::new(RssPlugin::new(
+            Arc::clone(&dataset.feeds),
+            dataset.feed_urls.clone(),
+        )));
+        let start = Instant::now();
+        let stats = system.index_all().expect("ingestion");
+        let total: usize = stats.iter().map(|s| s.total_views()).sum();
+        println!(
+            "indexed {total} resource views from {} sources in {:.2}s",
+            stats.len(),
+            start.elapsed().as_secs_f64()
+        );
+        Shell {
+            system,
+            strategy: ExpansionStrategy::Forward,
+        }
+    }
+
+    fn processor(&self) -> QueryProcessor {
+        let mut processor = self.system.query_processor();
+        processor.set_expansion(self.strategy);
+        processor
+    }
+
+    fn describe(&self, vid: imemex::Vid) -> String {
+        let store = self.system.store();
+        let name = store
+            .name(vid)
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| "<unnamed>".into());
+        let class = store
+            .class_name(vid)
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| "-".into());
+        format!("{vid}  {name}  [{class}]")
+    }
+
+    fn run_query(&self, iql: &str) {
+        let processor = self.processor();
+        let start = Instant::now();
+        match processor.execute(iql) {
+            Ok(result) => {
+                let elapsed = start.elapsed();
+                println!(
+                    "{} result(s) in {:.3} ms  (expanded {} nodes, examined {} candidates)",
+                    result.rows.len(),
+                    elapsed.as_secs_f64() * 1e3,
+                    result.stats.nodes_expanded,
+                    result.stats.candidates_examined
+                );
+                for vid in result.rows.views().iter().take(10) {
+                    println!("  {}", self.describe(*vid));
+                }
+                if result.rows.len() > 10 {
+                    println!("  … {} more", result.rows.len() - 10);
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn run_ranked(&self, iql: &str) {
+        match self.processor().execute_ranked(iql) {
+            Ok(ranked) => {
+                println!("{} result(s), ranked:", ranked.len());
+                for r in ranked.iter().take(10) {
+                    println!("  {:>7.3}  {}", r.score, self.describe(r.vid));
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn run_update(&self, statement: &str) {
+        match self.processor().execute_update(statement) {
+            Ok(outcome) => println!(
+                "matched {} view(s), applied {}",
+                outcome.matched, outcome.applied
+            ),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn stats(&self) {
+        let sizes = self.system.indexes().sizes();
+        let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+        println!("views in store:   {}", self.system.store().len());
+        println!("catalog rows:     {}", self.system.indexes().catalog.len());
+        println!(
+            "index sizes (MB): name {:.2}, tuple {:.2}, content {:.2}, group {:.2}, catalog {:.2}",
+            mb(sizes.name),
+            mb(sizes.tuple),
+            mb(sizes.content),
+            mb(sizes.group),
+            mb(sizes.catalog)
+        );
+        println!("expansion:        {:?}", self.strategy);
+    }
+}
+
+const HELP: &str = "\
+commands:
+  <iql>                 run an iQL query (e.g. \"database tuning\" or
+                        //PIM//Introduction[class=\"latex_section\"])
+  :rank <iql>           run a query with relevance ranking
+  :update <stmt>        update/delete, e.g. :update //a.txt set name = \"b.txt\"
+  :estimate <iql>       cardinality-estimated plan (cost optimizer view)
+  :explain <iql>        show the rule-based execution plan
+  :strategy <s>         forward | backward | bidirectional
+  :save <path>          persist the index bundle to a file
+  :stats                store and index statistics
+  :help                 this text
+  :quit                 exit";
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let mut shell = Shell::load(scale);
+    println!("iMeMex iQL shell — :help for commands");
+
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("iql> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !interactive {
+            println!("iql> {line}");
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (command, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+            match command {
+                "quit" | "q" | "exit" => break,
+                "help" | "h" => println!("{HELP}"),
+                "stats" => shell.stats(),
+                "save" => {
+                    let path = std::path::Path::new(arg.trim());
+                    match imemex::index::persist::save(shell.system.indexes(), path) {
+                        Ok(()) => println!(
+                            "saved {} bytes to {}",
+                            std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+                            path.display()
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                "rank" => shell.run_ranked(arg.trim()),
+                "update" => shell.run_update(arg.trim()),
+                "estimate" => {
+                    match imemex::query::explain_with_estimates(&shell.processor(), arg.trim()) {
+                        Ok(plan) => print!("{plan}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                "explain" => match imemex::query::explain(arg.trim(), shell.strategy) {
+                    Ok(plan) => print!("{plan}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                "strategy" => {
+                    shell.strategy = match arg.trim() {
+                        "forward" => ExpansionStrategy::Forward,
+                        "backward" => ExpansionStrategy::Backward,
+                        "bidirectional" => ExpansionStrategy::Bidirectional,
+                        other => {
+                            println!("unknown strategy '{other}'");
+                            continue;
+                        }
+                    };
+                    println!("expansion strategy: {:?}", shell.strategy);
+                }
+                other => println!("unknown command ':{other}' — :help lists commands"),
+            }
+        } else {
+            shell.run_query(line);
+        }
+    }
+}
+
+/// Minimal TTY check without a dependency: honor an env override, else
+/// assume non-interactive when stdin is redirected (heuristic via the
+/// TERM/CI environment is avoided; piping works either way).
+fn atty_stdin() -> bool {
+    // Safe portable heuristic: if IMEMEX_FORCE_PROMPT is set, prompt;
+    // otherwise prompt only when stderr looks like a terminal is absent.
+    std::env::var("IMEMEX_FORCE_PROMPT").is_ok()
+}

@@ -1,0 +1,19 @@
+//! # iMeMex — a Personal Dataspace Management System in Rust
+//!
+//! Facade crate re-exporting the full public API of the iDM / iMeMex
+//! reproduction (VLDB 2006). See the workspace `README.md` for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+
+pub use idm_core as core;
+pub use idm_dataset as dataset;
+pub use idm_email as email;
+pub use idm_index as index;
+pub use idm_latex as latex;
+pub use idm_query as query;
+pub use idm_relational as relational;
+pub use idm_streams as streams;
+pub use idm_system as system;
+pub use idm_vfs as vfs;
+pub use idm_xml as xml;
+
+pub use idm_core::prelude::*;

@@ -1,0 +1,238 @@
+//! Table 1, executable: one conforming instance of **every** resource
+//! view class the paper defines, deep-validated against the class
+//! constraints — plus counterexamples proving each constraint bites.
+
+use std::sync::Arc;
+
+use imemex::core::class::builtin::names;
+use imemex::core::prelude::*;
+use imemex::core::validate::{validate_as, ValidationMode};
+
+fn fs_tuple() -> TupleComponent {
+    TupleComponent::of(vec![
+        ("size", Value::Integer(1024)),
+        ("creation time", Value::Date(Timestamp(0))),
+        ("last modified time", Value::Date(Timestamp(10))),
+    ])
+}
+
+struct NeverEnding;
+impl ViewSequenceSource for NeverEnding {
+    fn try_next(&self, _store: &ViewStore) -> Result<Option<Vid>> {
+        Ok(None)
+    }
+}
+
+/// Builds one valid instance per Table 1 row and deep-validates it.
+#[test]
+fn every_table_1_class_is_instantiable() {
+    let store = ViewStore::new();
+    let classes = store.classes();
+
+    // file: η = N_f, τ = (W_FS, T_f), χ = C_f, γ empty.
+    let file = store
+        .build("vldb 2006.tex")
+        .tuple(fs_tuple())
+        .text("file bytes")
+        .class_named(names::FILE)
+        .insert();
+
+    // folder: children ∈ {file, folder} in the set S.
+    let folder = store
+        .build("PIM")
+        .tuple(fs_tuple())
+        .children(vec![file])
+        .class_named(names::FOLDER)
+        .insert();
+
+    // folderlink (Figure 1's 'All Projects'): a folder specialization.
+    let link = store
+        .build("All Projects")
+        .tuple(fs_tuple())
+        .children(vec![folder])
+        .class_named(names::FOLDERLINK)
+        .insert();
+
+    // tuple: unnamed, τ = (W_R, t_i), everything else empty.
+    let tuple = store
+        .build_unnamed()
+        .tuple(TupleComponent::of(vec![
+            ("name", Value::Text("Mike".into())),
+            ("age", Value::Integer(40)),
+        ]))
+        .class_named(names::TUPLE)
+        .insert();
+
+    // relation: named, group = set of tuple views.
+    let relation = store
+        .build("contacts")
+        .children(vec![tuple])
+        .class_named(names::RELATION)
+        .insert();
+
+    // reldb: named, group = set of relations.
+    let reldb = store
+        .build("personal-db")
+        .children(vec![relation])
+        .class_named(names::RELDB)
+        .insert();
+
+    // xmltext: content only.
+    let xmltext = store
+        .build_unnamed()
+        .text("Dataspaces")
+        .class_named(names::XMLTEXT)
+        .insert();
+
+    // xmlelem: named, attrs in τ, ordered children.
+    let xmlelem = store
+        .build("title")
+        .tuple(TupleComponent::of(vec![("lang", Value::Text("en".into()))]))
+        .sequence(vec![xmltext])
+        .class_named(names::XMLELEM)
+        .insert();
+
+    // xmldoc: unnamed, γ = ⟨root element⟩.
+    let xmldoc = store
+        .build_unnamed()
+        .sequence(vec![xmlelem])
+        .class_named(names::XMLDOC)
+        .insert();
+
+    // xmlfile: a file whose γ = ⟨xmldoc⟩.
+    let xmlfile = store
+        .build("feed.xml")
+        .tuple(fs_tuple())
+        .text("<a/>")
+        .sequence(vec![xmldoc])
+        .class_named(names::XMLFILE)
+        .insert();
+
+    // datstream / tupstream / rssatom: infinite group sequences.
+    let datstream = store
+        .build_unnamed()
+        .group(Group::infinite(Arc::new(NeverEnding)))
+        .class_named(names::DATSTREAM)
+        .insert();
+    let tupstream = store
+        .build_unnamed()
+        .group(Group::infinite(Arc::new(NeverEnding)))
+        .class_named(names::TUPSTREAM)
+        .insert();
+    let rssatom = store
+        .build_unnamed()
+        .group(Group::infinite(Arc::new(NeverEnding)))
+        .class_named(names::RSSATOM)
+        .insert();
+
+    for (label, vid) in [
+        ("file", file),
+        ("folder", folder),
+        ("folderlink", link),
+        ("tuple", tuple),
+        ("relation", relation),
+        ("reldb", reldb),
+        ("xmltext", xmltext),
+        ("xmlelem", xmlelem),
+        ("xmldoc", xmldoc),
+        ("xmlfile", xmlfile),
+        ("datstream", datstream),
+        ("tupstream", tupstream),
+        ("rssatom", rssatom),
+    ] {
+        imemex::core::validate::validate(&store, vid, ValidationMode::Deep)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+
+    // Generalization hierarchy claims of the table.
+    let is_sub = |a: &str, b: &str| {
+        classes.is_subclass(classes.lookup(a).unwrap(), classes.lookup(b).unwrap())
+    };
+    assert!(is_sub(names::XMLFILE, names::FILE));
+    assert!(is_sub(names::FOLDERLINK, names::FOLDER));
+    assert!(is_sub(names::TUPSTREAM, names::DATSTREAM));
+    assert!(is_sub(names::RSSATOM, names::DATSTREAM));
+    assert!(is_sub(names::ATTACHMENT, names::FILE));
+    assert!(!is_sub(names::FILE, names::FOLDER));
+}
+
+/// Each Table 1 restriction rejects a counterexample.
+#[test]
+fn table_1_constraints_reject_violations() {
+    let store = ViewStore::new();
+    let classes = store.classes();
+
+    // Restriction 1 (emptiness): a named tuple view violates η = ⟨⟩.
+    let named_tuple = store
+        .build("illegally named")
+        .tuple(TupleComponent::of(vec![("x", Value::Integer(1))]))
+        .insert();
+    assert!(validate_as(
+        &store,
+        named_tuple,
+        classes.require(names::TUPLE).unwrap(),
+        ValidationMode::Deep
+    )
+    .is_err());
+
+    // Restriction 2 (schema of τ): a file whose tuple misses W_FS.
+    let bad_schema = store
+        .build("f.txt")
+        .tuple(TupleComponent::of(vec![("whatever", Value::Integer(1))]))
+        .text("x")
+        .insert();
+    assert!(validate_as(
+        &store,
+        bad_schema,
+        classes.require(names::FILE).unwrap(),
+        ValidationMode::Deep
+    )
+    .is_err());
+
+    // Restriction 3 (finiteness): a finite group fails datstream.
+    let finite = store.build_unnamed().insert();
+    assert!(validate_as(
+        &store,
+        finite,
+        classes.require(names::DATSTREAM).unwrap(),
+        ValidationMode::Deep
+    )
+    .is_err());
+
+    // Restriction 4 (child classes): a relation containing a file.
+    let file = store
+        .build("stray.txt")
+        .tuple(fs_tuple())
+        .text("x")
+        .class_named(names::FILE)
+        .insert();
+    let bad_relation = store
+        .build("contacts")
+        .children(vec![file])
+        .insert();
+    assert!(validate_as(
+        &store,
+        bad_relation,
+        classes.require(names::RELATION).unwrap(),
+        ValidationMode::Deep
+    )
+    .is_err());
+
+    // Member ordering: xmlelem children must be the sequence Q, not S.
+    let text = store
+        .build_unnamed()
+        .text("t")
+        .class_named(names::XMLTEXT)
+        .insert();
+    let set_children = store
+        .build("elem")
+        .children(vec![text])
+        .insert();
+    assert!(validate_as(
+        &store,
+        set_children,
+        classes.require(names::XMLELEM).unwrap(),
+        ValidationMode::Deep
+    )
+    .is_err());
+}
