@@ -67,9 +67,8 @@ fn converter_benches(c: &mut Criterion) {
     group.bench_function("latex/to_views", |b| {
         b.iter(|| {
             let store = ViewStore::new();
-            let mapping =
-                idm_latex::convert::text_to_views(&store, std::hint::black_box(&latex))
-                    .expect("convert");
+            let mapping = idm_latex::convert::text_to_views(&store, std::hint::black_box(&latex))
+                .expect("convert");
             std::hint::black_box(mapping.derived)
         })
     });

@@ -48,9 +48,7 @@ fn expansion_strategies(c: &mut Criterion) {
             let processor = bench.processor(strategy);
             group.bench_function(format!("{qname}/{sname}"), |b| {
                 b.iter(|| {
-                    let r = processor
-                        .execute(std::hint::black_box(iql))
-                        .expect("query");
+                    let r = processor.execute(std::hint::black_box(iql)).expect("query");
                     std::hint::black_box(r.rows.len())
                 })
             });

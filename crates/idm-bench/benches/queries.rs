@@ -34,9 +34,7 @@ fn figure6_queries(c: &mut Criterion) {
         );
         group.bench_function(name, |b| {
             b.iter(|| {
-                let r = processor
-                    .execute(std::hint::black_box(iql))
-                    .expect("query");
+                let r = processor.execute(std::hint::black_box(iql)).expect("query");
                 std::hint::black_box(r.rows.len())
             })
         });

@@ -1,0 +1,146 @@
+//! Scaling bench for the parallel executor and the lazy-expansion cache.
+//!
+//! Two measurements back the tentpole claims:
+//!
+//! 1. **Thread scaling** — the Table 4 query mix (weighted toward the
+//!    expansion-heavy path/join queries Q4/Q5/Q7/Q8, per strategy) at
+//!    `parallelism` 1/2/4/8, asserting identical rows first. A speedup
+//!    table is printed; note that on a single-CPU host the parallel
+//!    executor can only show its overhead, not a speedup.
+//! 2. **Figure 6 cache workload** — the full mix twice through one
+//!    processor with `live_expansion` (group edges resolved through the
+//!    memoizing [`idm_query::ExpansionCache`] instead of the replica);
+//!    the second run must be ≥ 90% cache hits.
+//!
+//! Scale via `IDM_BENCH_SF` (default 0.05; the EXPERIMENTS.md numbers use
+//! 0.25).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idm_bench::{build, BuildOptions, TABLE4_QUERIES};
+use idm_query::{ExecOptions, ExecStats, ExpansionStrategy, QueryProcessor};
+
+fn bench_scale() -> f64 {
+    std::env::var("IDM_BENCH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The expansion-heavy mix: every Table 4 query, with the path/join
+/// queries run under both forward and backward expansion (backward does a
+/// reverse reachability search per candidate — the most parallelizable
+/// shape).
+fn run_mix(processor: &QueryProcessor) -> (usize, ExecStats) {
+    let mut rows = 0usize;
+    let mut stats = ExecStats::default();
+    for (_, iql) in TABLE4_QUERIES {
+        let r = processor.execute(iql).expect("mix query");
+        rows += r.rows.len();
+        stats.nodes_expanded += r.stats.nodes_expanded;
+        stats.candidates_examined += r.stats.candidates_examined;
+        stats.cache_hits += r.stats.cache_hits;
+        stats.cache_misses += r.stats.cache_misses;
+        stats.cache_evictions += r.stats.cache_evictions;
+    }
+    (rows, stats)
+}
+
+fn thread_scaling(c: &mut Criterion) {
+    let bench = build(BuildOptions {
+        scale: bench_scale(),
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: false,
+    });
+
+    let mut group = c.benchmark_group("scaling");
+    for strategy in [ExpansionStrategy::Forward, ExpansionStrategy::Backward] {
+        let mut baseline: Option<Vec<_>> = None;
+        let mut base_secs = 0.0f64;
+        for threads in THREAD_COUNTS {
+            let processor = bench.processor(strategy).with_options(ExecOptions {
+                expansion: strategy,
+                parallelism: threads,
+                ..ExecOptions::default()
+            });
+            // Rows must be identical across thread counts before timing.
+            let rows: Vec<_> = TABLE4_QUERIES
+                .iter()
+                .map(|(_, iql)| processor.execute(iql).expect("query").rows)
+                .collect();
+            match &baseline {
+                None => baseline = Some(rows),
+                Some(expect) => assert_eq!(
+                    &rows, expect,
+                    "{strategy:?} parallelism={threads} changed results"
+                ),
+            }
+
+            // Self-timed speedup table (criterion's samples feed the
+            // harness; this table feeds EXPERIMENTS.md).
+            let runs = 5;
+            let start = Instant::now();
+            for _ in 0..runs {
+                std::hint::black_box(run_mix(&processor));
+            }
+            let secs = start.elapsed().as_secs_f64() / runs as f64;
+            if threads == 1 {
+                base_secs = secs;
+            }
+            eprintln!(
+                "scaling/{strategy:?}/threads={threads}: {:7.2} ms/mix  speedup {:.2}x",
+                secs * 1e3,
+                base_secs / secs
+            );
+
+            group.bench_function(format!("{strategy:?}/threads={threads}"), |b| {
+                b.iter(|| std::hint::black_box(run_mix(&processor).0))
+            });
+        }
+    }
+    group.finish();
+
+    // ---- Figure 6 workload through the expansion cache ----------------
+    let processor = bench
+        .processor(ExpansionStrategy::Forward)
+        .with_options(ExecOptions {
+            live_expansion: true,
+            cache_capacity: 1 << 17,
+            ..ExecOptions::default()
+        });
+    let (cold_rows, cold) = run_mix(&processor);
+    let (warm_rows, warm) = run_mix(&processor);
+    assert_eq!(cold_rows, warm_rows, "cache changed results");
+    let warm_rate = warm.cache_hits as f64 / (warm.cache_hits + warm.cache_misses).max(1) as f64;
+    eprintln!(
+        "figure6-cache: cold hits={} misses={}  warm hits={} misses={}  warm hit rate {:.1}%",
+        cold.cache_hits,
+        cold.cache_misses,
+        warm.cache_hits,
+        warm.cache_misses,
+        warm_rate * 100.0
+    );
+    assert!(
+        warm_rate >= 0.9,
+        "second Figure 6 run must be >=90% cache hits, got {:.1}%",
+        warm_rate * 100.0
+    );
+
+    let mut group = c.benchmark_group("figure6-cache");
+    group.bench_function("warm-mix", |b| {
+        b.iter(|| std::hint::black_box(run_mix(&processor).0))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = thread_scaling
+}
+criterion_main!(benches);

@@ -62,11 +62,12 @@ fn main() {
     let processor = bench.processor(ExpansionStrategy::Forward);
 
     let is_base_item = |vid: Vid| {
-        store
-            .class_name(vid)
-            .ok()
-            .flatten()
-            .is_some_and(|c| matches!(c.as_str(), "file" | "xmlfile" | "latexfile" | "attachment" | "emailmessage"))
+        store.class_name(vid).ok().flatten().is_some_and(|c| {
+            matches!(
+                c.as_str(),
+                "file" | "xmlfile" | "latexfile" | "attachment" | "emailmessage"
+            )
+        })
     };
 
     println!(

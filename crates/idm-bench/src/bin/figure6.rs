@@ -59,12 +59,8 @@ fn main() {
         .max_by(|a, b| a.1.cmp(&b.1))
         .map(|(i, _)| TABLE4_QUERIES[*i].0)
         .unwrap_or("?");
-    println!(
-        "\nPaper shape: Q1–Q7 < 0.2 s, Q8 ≈ 0.5 s (slowest; cross-subsystem"
-    );
-    println!(
-        "join via forward expansion). Here the slowest query is {slowest}."
-    );
+    println!("\nPaper shape: Q1–Q7 < 0.2 s, Q8 ≈ 0.5 s (slowest; cross-subsystem");
+    println!("join via forward expansion). Here the slowest query is {slowest}.");
     println!(
         "Interactivity: all queries {} the 1-second HCI threshold [39].",
         if max < 1.0 { "meet" } else { "MISS" }

@@ -16,14 +16,26 @@ fn main() {
 
     let paper: &[(&str, [i64; 7])] = &[
         // (source, [size MB, base f&f, base email, base total, xml, latex, total views])
-        ("Filesystem", [4_243, 14_297, 0, 14_297, 117_298, 11_528, 143_123]),
+        (
+            "Filesystem",
+            [4_243, 14_297, 0, 14_297, 117_298, 11_528, 143_123],
+        ),
         ("Email / IMAP", [189, 0, 6_335, 6_335, 672, 350, 7_357]),
-        ("Total", [4_435, 14_297, 6_335, 20_632, 117_970, 11_878, 150_480]),
+        (
+            "Total",
+            [4_435, 14_297, 6_335, 20_632, 117_970, 11_878, 150_480],
+        ),
     ];
 
     println!(
         "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "Data Source", "Size (MB)", "Base views", "XML-derived", "LaTeX-der.", "Derived", "Total views"
+        "Data Source",
+        "Size (MB)",
+        "Base views",
+        "XML-derived",
+        "LaTeX-der.",
+        "Derived",
+        "Total views"
     );
     let mut totals = (0u64, 0usize, 0usize, 0usize);
     for stats in &bench.stats {

@@ -58,14 +58,14 @@ impl ServiceRegistry {
 
     /// Invokes an endpoint.
     pub fn invoke(&self, endpoint: &str, args: &str) -> Result<String> {
-        let service = self
-            .services
-            .read()
-            .get(endpoint)
-            .cloned()
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("no service registered at '{endpoint}'"),
-            })?;
+        let service =
+            self.services
+                .read()
+                .get(endpoint)
+                .cloned()
+                .ok_or_else(|| IdmError::Provider {
+                    detail: format!("no service registered at '{endpoint}'"),
+                })?;
         service.call(args)
     }
 }
@@ -142,11 +142,7 @@ pub fn has_result(store: &ViewStore, axml: Vid) -> Result<bool> {
 ///
 /// Returns the result view. Idempotent: a second call returns the
 /// existing result without re-invoking the service.
-pub fn materialize_result(
-    store: &ViewStore,
-    registry: &ServiceRegistry,
-    axml: Vid,
-) -> Result<Vid> {
+pub fn materialize_result(store: &ViewStore, registry: &ServiceRegistry, axml: Vid) -> Result<Vid> {
     let sc_class = store.classes().require(names::SERVICE_CALL)?;
     let scresult_class = store.classes().require(names::SERVICE_RESULT)?;
 
@@ -298,8 +294,7 @@ mod tests {
                 Ok(if n < 2 {
                     "<deplist><entry>Accounting</entry></deplist>".to_owned()
                 } else {
-                    "<deplist><entry>Accounting</entry><entry>Research</entry></deplist>"
-                        .to_owned()
+                    "<deplist><entry>Accounting</entry><entry>Research</entry></deplist>".to_owned()
                 })
             }),
         );
@@ -320,8 +315,7 @@ mod tests {
             .text_lossy()
             .unwrap()
             .contains("Research"));
-        let kinds: Vec<crate::store::ChangeKind> =
-            events.try_iter().map(|e| e.kind).collect();
+        let kinds: Vec<crate::store::ChangeKind> = events.try_iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&crate::store::ChangeKind::Content));
     }
 

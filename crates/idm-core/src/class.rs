@@ -187,7 +187,12 @@ impl ClassRegistry {
     }
 
     /// Registers a specialization of `parent`.
-    pub fn specialize(&self, name: &str, parent: ClassId, constraints: Constraints) -> Result<ClassId> {
+    pub fn specialize(
+        &self,
+        name: &str,
+        parent: ClassId,
+        constraints: Constraints,
+    ) -> Result<ClassId> {
         self.register(ClassDef {
             name: name.to_owned(),
             parent: Some(parent),

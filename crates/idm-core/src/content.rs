@@ -209,11 +209,9 @@ impl fmt::Debug for Content {
         match self {
             Content::Empty => f.write_str("Content::Empty"),
             Content::Inline(bytes) => write!(f, "Content::Inline({} bytes)", bytes.len()),
-            Content::Lazy(lazy) => write!(
-                f,
-                "Content::Lazy(materialized: {})",
-                lazy.is_materialized()
-            ),
+            Content::Lazy(lazy) => {
+                write!(f, "Content::Lazy(materialized: {})", lazy.is_materialized())
+            }
             Content::Infinite(_) => f.write_str("Content::Infinite"),
         }
     }
@@ -311,7 +309,10 @@ mod tests {
         assert!(c.bytes().is_err());
         let mut reader = c.reader();
         for _ in 0..5 {
-            assert_eq!(reader.next_chunk().unwrap().unwrap(), Bytes::from_static(b"1"));
+            assert_eq!(
+                reader.next_chunk().unwrap().unwrap(),
+                Bytes::from_static(b"1")
+            );
         }
     }
 

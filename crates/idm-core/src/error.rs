@@ -51,7 +51,10 @@ impl fmt::Display for IdmError {
             IdmError::UnknownVid(vid) => write!(f, "unknown resource view id {vid}"),
             IdmError::UnknownClass(name) => write!(f, "unknown resource view class '{name}'"),
             IdmError::Conformance { vid, class, detail } => {
-                write!(f, "view {vid} does not conform to class '{class}': {detail}")
+                write!(
+                    f,
+                    "view {vid} does not conform to class '{class}': {detail}"
+                )
             }
             IdmError::GroupOverlap(vid) => {
                 write!(f, "group component of view {vid} violates S ∩ Q = ∅")

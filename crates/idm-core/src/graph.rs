@@ -104,7 +104,9 @@ mod tests {
 
     fn chain(store: &ViewStore, n: usize) -> Vec<Vid> {
         // v0 → v1 → … → v(n-1)
-        let vids: Vec<Vid> = (0..n).map(|i| store.build(format!("n{i}")).insert()).collect();
+        let vids: Vec<Vid> = (0..n)
+            .map(|i| store.build(format!("n{i}")).insert())
+            .collect();
         for i in 0..n - 1 {
             let (a, b) = (vids[i], vids[i + 1]);
             store

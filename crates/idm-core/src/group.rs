@@ -237,7 +237,12 @@ impl fmt::Debug for Group {
         match self {
             Group::Empty => f.write_str("Group::Empty"),
             Group::Materialized(d) => {
-                write!(f, "Group::Materialized(|S|={}, |Q|={})", d.set.len(), d.seq.len())
+                write!(
+                    f,
+                    "Group::Materialized(|S|={}, |Q|={})",
+                    d.set.len(),
+                    d.seq.len()
+                )
             }
             Group::Lazy(l) => write!(f, "Group::Lazy(materialized: {})", l.is_materialized()),
             Group::InfiniteSeq(_) => f.write_str("Group::InfiniteSeq"),

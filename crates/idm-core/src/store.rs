@@ -12,6 +12,7 @@
 //! (Section 4.4.2) can subscribe to component updates.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -153,15 +154,43 @@ mod once {
     }
 }
 
-struct StoreInner {
-    nodes: Vec<Option<ViewRecord>>,
+/// One stored record plus its mutation version. The version starts at 0 on
+/// insert and increments on every in-place mutation, letting caches validate
+/// entries keyed by `(Vid, version)` without holding store locks.
+struct Slot {
+    record: ViewRecord,
+    version: u64,
+}
+
+/// One lock shard. Views map to shards by the low bits of their `Vid`, so
+/// consecutive insertions spread round-robin across shards and concurrent
+/// readers/writers of unrelated views never contend on the same lock.
+struct Shard {
+    slots: RwLock<Vec<Option<Slot>>>,
 }
 
 /// The resource view store.
+///
+/// Internally the store is split into a power-of-two number of lock shards
+/// (default: the number of available CPUs, rounded up). A view with id `v`
+/// lives in shard `v & (shards-1)` at slot `v >> shard_bits`; ids are handed
+/// out by a single atomic counter, so `Vid` order is still insertion order.
 pub struct ViewStore {
-    inner: RwLock<StoreInner>,
+    shards: Box<[Shard]>,
+    shard_bits: u32,
+    next_vid: AtomicU64,
     classes: Arc<ClassRegistry>,
     subscribers: Mutex<Vec<Sender<ChangeEvent>>>,
+}
+
+/// Default shard count: available parallelism rounded up to a power of two,
+/// capped so tiny stores do not pay for hundreds of locks.
+fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(64)
 }
 
 impl ViewStore {
@@ -172,8 +201,27 @@ impl ViewStore {
 
     /// A store with a caller-provided class registry.
     pub fn with_registry(classes: Arc<ClassRegistry>) -> Self {
+        ViewStore::with_registry_and_shards(classes, default_shard_count())
+    }
+
+    /// A store with an explicit shard count (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        ViewStore::with_registry_and_shards(Arc::new(ClassRegistry::with_builtins()), shards)
+    }
+
+    /// A store with a caller-provided registry and shard count.
+    pub fn with_registry_and_shards(classes: Arc<ClassRegistry>, shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards = (0..count)
+            .map(|_| Shard {
+                slots: RwLock::new(Vec::new()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         ViewStore {
-            inner: RwLock::new(StoreInner { nodes: Vec::new() }),
+            shards,
+            shard_bits: count.trailing_zeros(),
+            next_vid: AtomicU64::new(0),
             classes,
             subscribers: Mutex::new(Vec::new()),
         }
@@ -184,14 +232,25 @@ impl ViewStore {
         &self.classes
     }
 
+    /// The number of lock shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, vid: Vid) -> &Shard {
+        &self.shards[(vid.0 & (self.shards.len() as u64 - 1)) as usize]
+    }
+
+    fn slot_of(&self, vid: Vid) -> usize {
+        (vid.0 >> self.shard_bits) as usize
+    }
+
     /// Number of live views.
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .nodes
+        self.shards
             .iter()
-            .filter(|n| n.is_some())
-            .count()
+            .map(|s| s.slots.read().iter().filter(|n| n.is_some()).count())
+            .sum()
     }
 
     /// Whether the store holds no views.
@@ -201,32 +260,40 @@ impl ViewStore {
 
     /// All live view ids, in insertion order.
     pub fn vids(&self) -> Vec<Vid> {
-        self.inner
-            .read()
-            .nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|_| Vid(i as u64)))
-            .collect()
+        let mut vids: Vec<Vid> = Vec::new();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let slots = shard.slots.read();
+            vids.extend(slots.iter().enumerate().filter_map(|(slot, n)| {
+                n.as_ref()
+                    .map(|_| Vid(((slot as u64) << self.shard_bits) | shard_idx as u64))
+            }));
+        }
+        // Vids are allocated by one monotone counter, so numeric order is
+        // insertion order even though we collected shard-major.
+        vids.sort_unstable();
+        vids
     }
 
     /// Whether a view exists.
     pub fn contains(&self, vid: Vid) -> bool {
-        self.inner
+        self.shard_of(vid)
+            .slots
             .read()
-            .nodes
-            .get(vid.0 as usize)
+            .get(self.slot_of(vid))
             .is_some_and(Option::is_some)
     }
 
     /// Inserts a view record, returning its new id.
     pub fn insert(&self, record: ViewRecord) -> Vid {
-        let vid = {
-            let mut inner = self.inner.write();
-            let vid = Vid(inner.nodes.len() as u64);
-            inner.nodes.push(Some(record));
-            vid
-        };
+        let vid = Vid(self.next_vid.fetch_add(1, Ordering::Relaxed));
+        let slot_idx = self.slot_of(vid);
+        {
+            let mut slots = self.shard_of(vid).slots.write();
+            if slots.len() <= slot_idx {
+                slots.resize_with(slot_idx + 1, || None);
+            }
+            slots[slot_idx] = Some(Slot { record, version: 0 });
+        }
         self.emit(vid, ChangeKind::Created);
         vid
     }
@@ -245,26 +312,48 @@ impl ViewStore {
     /// by the model (a dataspace is never globally consistent); traversals
     /// skip missing members.
     pub fn remove(&self, vid: Vid) -> Result<ViewRecord> {
+        let slot_idx = self.slot_of(vid);
         let record = {
-            let mut inner = self.inner.write();
-            let slot = inner
-                .nodes
-                .get_mut(vid.0 as usize)
-                .ok_or(IdmError::UnknownVid(vid))?;
-            slot.take().ok_or(IdmError::UnknownVid(vid))?
+            let mut slots = self.shard_of(vid).slots.write();
+            let slot = slots.get_mut(slot_idx).ok_or(IdmError::UnknownVid(vid))?;
+            slot.take().ok_or(IdmError::UnknownVid(vid))?.record
         };
         self.emit(vid, ChangeKind::Removed);
         Ok(record)
     }
 
-    fn with_record<T>(&self, vid: Vid, f: impl FnOnce(&ViewRecord) -> T) -> Result<T> {
-        let inner = self.inner.read();
-        inner
-            .nodes
-            .get(vid.0 as usize)
+    fn with_slot<T>(&self, vid: Vid, f: impl FnOnce(&Slot) -> T) -> Result<T> {
+        let slots = self.shard_of(vid).slots.read();
+        slots
+            .get(self.slot_of(vid))
             .and_then(Option::as_ref)
             .map(f)
             .ok_or(IdmError::UnknownVid(vid))
+    }
+
+    fn with_record<T>(&self, vid: Vid, f: impl FnOnce(&ViewRecord) -> T) -> Result<T> {
+        self.with_slot(vid, |s| f(&s.record))
+    }
+
+    /// The view's mutation version: 0 at insert, incremented by every
+    /// in-place mutation. Caches key entries by `(Vid, version)` and treat
+    /// a version change as invalidation.
+    pub fn version(&self, vid: Vid) -> Result<u64> {
+        self.with_slot(vid, |s| s.version)
+    }
+
+    /// Borrow-based access to the name `η` without cloning the `String`.
+    pub fn with_name<T>(&self, vid: Vid, f: impl FnOnce(Option<&str>) -> T) -> Result<T> {
+        self.with_record(vid, |r| f(r.name.as_deref()))
+    }
+
+    /// Borrow-based access to the tuple `τ` without cloning attributes.
+    pub fn with_tuple<T>(
+        &self,
+        vid: Vid,
+        f: impl FnOnce(Option<&TupleComponent>) -> T,
+    ) -> Result<T> {
+        self.with_record(vid, |r| f(r.tuple.as_ref()))
     }
 
     /// `getNameComponent()`: the name `η`, `None` if empty.
@@ -334,14 +423,15 @@ impl ViewStore {
     }
 
     fn mutate(&self, vid: Vid, kind: ChangeKind, f: impl FnOnce(&mut ViewRecord)) -> Result<()> {
+        let slot_idx = self.slot_of(vid);
         {
-            let mut inner = self.inner.write();
-            let record = inner
-                .nodes
-                .get_mut(vid.0 as usize)
+            let mut slots = self.shard_of(vid).slots.write();
+            let slot = slots
+                .get_mut(slot_idx)
                 .and_then(Option::as_mut)
                 .ok_or(IdmError::UnknownVid(vid))?;
-            f(record);
+            f(&mut slot.record);
+            slot.version += 1;
         }
         self.emit(vid, kind);
         Ok(())
@@ -377,20 +467,45 @@ impl ViewStore {
     ///
     /// `ordered` selects the sequence `Q` (true) or the set `S` (false).
     /// Lazy groups are forced first; infinite groups reject the operation.
+    ///
+    /// The update is atomic under concurrency: the new group is computed
+    /// outside the shard locks (so lazy forcing can insert child views)
+    /// and committed only if the view's version is still the one the
+    /// snapshot was taken at, retrying otherwise. Concurrent adders to the
+    /// same parent therefore never lose each other's members.
     pub fn add_group_member(&self, vid: Vid, member: Vid, ordered: bool) -> Result<()> {
-        let snapshot = self.group(vid)?;
-        let data = snapshot.finite()?;
-        let mut set: Vec<Vid> = data.set().to_vec();
-        let mut seq: Vec<Vid> = data.seq().to_vec();
-        if ordered {
-            seq.push(member);
-        } else {
-            set.push(member);
+        loop {
+            let version = self.version(vid)?;
+            let snapshot = self.group(vid)?;
+            let data = snapshot.finite()?;
+            let mut set: Vec<Vid> = data.set().to_vec();
+            let mut seq: Vec<Vid> = data.seq().to_vec();
+            if ordered {
+                seq.push(member);
+            } else {
+                set.push(member);
+            }
+            let new_data = GroupData::new(set, seq).map_err(|_| IdmError::GroupOverlap(vid))?;
+            let committed = {
+                let slot_idx = self.slot_of(vid);
+                let mut slots = self.shard_of(vid).slots.write();
+                let slot = slots
+                    .get_mut(slot_idx)
+                    .and_then(Option::as_mut)
+                    .ok_or(IdmError::UnknownVid(vid))?;
+                if slot.version == version {
+                    slot.record.group = Group::Materialized(Arc::new(new_data));
+                    slot.version += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if committed {
+                self.emit(vid, ChangeKind::Group);
+                return Ok(());
+            }
         }
-        let new_data = GroupData::new(set, seq).map_err(|_| IdmError::GroupOverlap(vid))?;
-        self.mutate(vid, ChangeKind::Group, |r| {
-            r.group = Group::Materialized(Arc::new(new_data));
-        })
     }
 
     /// Subscribes to change events (push-based protocol, Section 4.4.2).
@@ -546,11 +661,12 @@ mod tests {
         // Projects → PIM → All Projects → Projects forms a cycle.
         let store = ViewStore::new();
         let projects = store.build("Projects").insert();
-        let all_projects = store.build("All Projects").children(vec![projects]).insert();
+        let all_projects = store
+            .build("All Projects")
+            .children(vec![projects])
+            .insert();
         let pim = store.build("PIM").children(vec![all_projects]).insert();
-        store
-            .set_group(projects, Group::of_set(vec![pim]))
-            .unwrap();
+        store.set_group(projects, Group::of_set(vec![pim])).unwrap();
 
         // Walk the cycle: Projects → PIM → All Projects → Projects.
         let g = store.group(projects).unwrap().finite_members();
@@ -706,6 +822,65 @@ mod tests {
             .insert();
         assert!(store.name(vid).unwrap().is_none());
         assert_eq!(store.class(vid).unwrap(), Some(class));
+    }
+
+    #[test]
+    fn sharded_store_preserves_insertion_order() {
+        for shards in [1usize, 2, 4, 8] {
+            let store = ViewStore::with_shards(shards);
+            assert_eq!(store.shard_count(), shards);
+            let mut inserted = Vec::new();
+            for i in 0..100 {
+                inserted.push(store.build(format!("v{i}")).insert());
+            }
+            assert_eq!(store.vids(), inserted, "vids() is insertion order");
+            assert_eq!(store.len(), 100);
+            // Removal leaves order of the remainder intact.
+            store.remove(inserted[3]).unwrap();
+            store.remove(inserted[97]).unwrap();
+            let mut expect = inserted.clone();
+            expect.retain(|v| *v != inserted[3] && *v != inserted[97]);
+            assert_eq!(store.vids(), expect);
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ViewStore::with_shards(3).shard_count(), 4);
+        assert_eq!(ViewStore::with_shards(0).shard_count(), 1);
+        assert!(ViewStore::new().shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn versions_track_mutations() {
+        let store = ViewStore::new();
+        let vid = store.build("x").insert();
+        assert_eq!(store.version(vid).unwrap(), 0);
+        store.set_name(vid, Some("y".into())).unwrap();
+        assert_eq!(store.version(vid).unwrap(), 1);
+        store.set_content(vid, Content::text("z")).unwrap();
+        assert_eq!(store.version(vid).unwrap(), 2);
+        let member = store.build("m").insert();
+        store.add_group_member(vid, member, false).unwrap();
+        assert_eq!(store.version(vid).unwrap(), 3);
+        // Reads do not bump the version.
+        let _ = store.group(vid).unwrap();
+        assert_eq!(store.version(vid).unwrap(), 3);
+    }
+
+    #[test]
+    fn borrow_accessors_match_cloning_accessors() {
+        let store = ViewStore::new();
+        let vid = store.build("doc").tuple(fs_tuple(7)).insert();
+        assert_eq!(
+            store.with_name(vid, |n| n.map(str::to_owned)).unwrap(),
+            store.name(vid).unwrap()
+        );
+        let size = store
+            .with_tuple(vid, |t| t.and_then(|t| t.get("size").cloned()))
+            .unwrap();
+        assert_eq!(size, Some(Value::Integer(7)));
+        assert!(store.with_name(Vid::from_raw(999), |_| ()).is_err());
     }
 
     #[test]

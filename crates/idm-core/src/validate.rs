@@ -34,7 +34,12 @@ pub fn validate(store: &ViewStore, vid: Vid, mode: ValidationMode) -> Result<()>
 
 /// Validates that `vid` conforms to `class` (regardless of what the view
 /// itself claims) and to all of that class's generalizations.
-pub fn validate_as(store: &ViewStore, vid: Vid, class: ClassId, mode: ValidationMode) -> Result<()> {
+pub fn validate_as(
+    store: &ViewStore,
+    vid: Vid,
+    class: ClassId,
+    mode: ValidationMode,
+) -> Result<()> {
     for ancestor in store.classes().ancestry(class) {
         let def = store
             .classes()
@@ -51,7 +56,11 @@ pub fn validate_as(store: &ViewStore, vid: Vid, class: ClassId, mode: Validation
     Ok(())
 }
 
-fn check_emptiness(rule: Emptiness, is_empty: bool, component: &str) -> std::result::Result<(), String> {
+fn check_emptiness(
+    rule: Emptiness,
+    is_empty: bool,
+    component: &str,
+) -> std::result::Result<(), String> {
     match rule {
         Emptiness::Any => Ok(()),
         Emptiness::MustBeEmpty if is_empty => Ok(()),
@@ -71,7 +80,11 @@ fn check_constraints(
     let record = store.record(vid).map_err(|e| e.to_string())?;
 
     // 1. Emptiness of η, τ, χ, γ.
-    check_emptiness(c.name, record.name.as_deref().unwrap_or("").is_empty(), "name")?;
+    check_emptiness(
+        c.name,
+        record.name.as_deref().unwrap_or("").is_empty(),
+        "name",
+    )?;
     check_emptiness(c.tuple, record.tuple.is_none(), "tuple")?;
     check_emptiness(c.content, record.content.is_empty(), "content")?;
     check_emptiness(c.group, record.group.is_empty(), "group")?;
@@ -144,10 +157,14 @@ fn check_members(
 ) -> std::result::Result<(), String> {
     match c.ordered_members {
         Some(true) if !set.is_empty() => {
-            return Err("group members must be ordered (sequence Q) but the set S is non-empty".into())
+            return Err(
+                "group members must be ordered (sequence Q) but the set S is non-empty".into(),
+            )
         }
         Some(false) if !seq.is_empty() => {
-            return Err("group members must be unordered (set S) but the sequence Q is non-empty".into())
+            return Err(
+                "group members must be unordered (set S) but the sequence Q is non-empty".into(),
+            )
         }
         _ => {}
     }
@@ -237,10 +254,7 @@ mod tests {
             .class_named(names::XMLFILE) // subclass of file
             .insert();
         // xmlfile requires a non-empty ordered group of xmldoc; give it one.
-        let doc = store
-            .build_unnamed()
-            .class_named(names::XMLDOC)
-            .insert();
+        let doc = store.build_unnamed().class_named(names::XMLDOC).insert();
         store
             .set_group(file, crate::group::Group::of_seq(vec![doc]))
             .unwrap();
@@ -291,10 +305,7 @@ mod tests {
 
         struct Never;
         impl crate::group::ViewSequenceSource for Never {
-            fn try_next(
-                &self,
-                _store: &ViewStore,
-            ) -> crate::error::Result<Option<Vid>> {
+            fn try_next(&self, _store: &ViewStore) -> crate::error::Result<Option<Vid>> {
                 Ok(None)
             }
         }

@@ -520,10 +520,7 @@ mod tests {
     #[test]
     fn value_comparisons_respect_domains() {
         use std::cmp::Ordering::*;
-        assert_eq!(
-            Value::Integer(3).compare(&Value::Integer(4)),
-            Some(Less)
-        );
+        assert_eq!(Value::Integer(3).compare(&Value::Integer(4)), Some(Less));
         assert_eq!(Value::Integer(3).compare(&Value::Float(3.0)), Some(Equal));
         assert_eq!(Value::Text("a".into()).compare(&Value::Integer(1)), None);
         let d1 = Value::Date(Timestamp::from_ymd(2005, 6, 11).unwrap());
@@ -586,7 +583,12 @@ mod tests {
             ),
         ]);
         assert_eq!(tau.get("size").unwrap().as_integer(), Some(4096));
-        let (y, m, d) = tau.get("creation time").unwrap().as_date().unwrap().to_ymd();
+        let (y, m, d) = tau
+            .get("creation time")
+            .unwrap()
+            .as_date()
+            .unwrap()
+            .to_ymd();
         assert_eq!((y, m, d), (2005, 3, 19));
     }
 }

@@ -150,14 +150,8 @@ mod tests {
 
         // Snapshots are taken at drain time, so v1 reflects the state at
         // its drain: "a".
-        assert_eq!(
-            log.record_at(vid, 1).unwrap().name.as_deref(),
-            Some("a")
-        );
-        assert_eq!(
-            log.record_at(vid, 2).unwrap().name.as_deref(),
-            Some("b")
-        );
+        assert_eq!(log.record_at(vid, 1).unwrap().name.as_deref(), Some("a"));
+        assert_eq!(log.record_at(vid, 2).unwrap().name.as_deref(), Some("b"));
         assert!(log.record_at(vid, 0).is_none());
         assert!(log.record_at(Vid::from_raw(99), 2).is_none());
     }

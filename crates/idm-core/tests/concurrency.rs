@@ -107,6 +107,83 @@ fn lazy_group_forced_from_many_threads_computes_once() {
     assert_eq!(store.len(), 2, "one child only");
 }
 
+/// Stress the sharded store: ≥8 threads concurrently growing overlapping
+/// subtrees (`add_group_member` = the `add_child` path) while as many
+/// readers walk the same subtrees through `group()`. The test asserts the
+/// whole thing terminates (no deadlock across shard locks) and that final
+/// child counts are exactly what the writers produced.
+#[test]
+fn multi_writer_multi_reader_stress_over_overlapping_subtrees() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let store = Arc::new(ViewStore::with_shards(8));
+    // Three roots; each writer appends to ALL of them so every pair of
+    // writers contends on every root's shard.
+    let roots: Vec<Vid> = (0..3)
+        .map(|i| store.build(format!("root{i}")).insert())
+        .collect();
+    let writers = 8;
+    let readers = 8;
+    let per_root = 50;
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let roots = roots.clone();
+            thread::spawn(move || {
+                for i in 0..per_root {
+                    for (r, &root) in roots.iter().enumerate() {
+                        let child = store.build(format!("w{t}-r{r}-c{i}")).text("leaf").insert();
+                        store.add_group_member(root, child, true).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let roots = roots.clone();
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut last = vec![0usize; roots.len()];
+                while !done.load(Ordering::Relaxed) {
+                    for (r, &root) in roots.iter().enumerate() {
+                        let members = store.group(root).unwrap().finite_members();
+                        assert!(
+                            members.len() >= last[r],
+                            "snapshot sizes are monotone per root"
+                        );
+                        last[r] = members.len();
+                        for member in members {
+                            assert!(store.name(member).unwrap().is_some());
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in writer_handles {
+        w.join().expect("writer finished without deadlock");
+    }
+    done.store(true, Ordering::Relaxed);
+    for r in reader_handles {
+        r.join().expect("reader finished without deadlock");
+    }
+
+    for &root in &roots {
+        assert_eq!(
+            store.group(root).unwrap().finite_members().len(),
+            writers * per_root,
+            "every concurrently-added child is present"
+        );
+    }
+    assert_eq!(store.len(), roots.len() + writers * per_root * roots.len());
+}
+
 #[test]
 fn change_events_reach_every_subscriber_exactly_once() {
     let store = Arc::new(ViewStore::new());

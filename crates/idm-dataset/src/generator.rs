@@ -257,10 +257,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
     };
 
     // ---- fixed folder topology (the Table 4 queries navigate it) ----
-    let mk = |path: &str| -> NodeId {
-        
-        g.fs.mkdir_p(path, g.t_new).expect("mkdir")
-    };
+    let mk = |path: &str| -> NodeId { g.fs.mkdir_p(path, g.t_new).expect("mkdir") };
     let projects = mk("/Projects");
     let pim = mk("/Projects/PIM");
     let olap = mk("/Projects/OLAP");
@@ -273,8 +270,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
     let misc = mk("/misc");
     g.counts.fs_items += 10;
     // The Figure 1 cycle: PIM/All Projects → Projects.
-    g.fs
-        .create_link(pim, "All Projects", projects, g.t_new)
+    g.fs.create_link(pim, "All Projects", projects, g.t_new)
         .expect("link");
     g.counts.fs_items += 1;
 
@@ -287,9 +283,8 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
             g.counts.fs_items += 1;
         }
     }
-    let pick_misc = |g: &mut Gen, folders: &[NodeId]| -> NodeId {
-        folders[g.rng.gen_range(0..folders.len())]
-    };
+    let pick_misc =
+        |g: &mut Gen, folders: &[NodeId]| -> NodeId { folders[g.rng.gen_range(0..folders.len())] };
 
     // ---- planting schedules --------------------------------------
     // Q1/Q2: "database" / "database tuning" plantings (each LaTeX
@@ -437,8 +432,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
             let dir = if c < 3 {
                 target_dir
             } else {
-                g.fs
-                    .mkdir_p(&format!("/papers/extra{c}"), g.t_new)
+                g.fs.mkdir_p(&format!("/papers/extra{c}"), g.t_new)
                     .expect("mkdir")
             };
             if g.fs.child_named(dir, &name).expect("lookup").is_none() {
@@ -489,8 +483,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
     {
         let grant_xml = g.xml_doc(80);
         let container = idm_xml::zip::office_document(&grant_xml);
-        if g
-            .fs
+        if g.fs
             .create_file(pim, "Grant.docx", container, g.t_new)
             .is_ok()
         {
@@ -502,8 +495,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
         let dir = pick_misc(&mut g, &misc_folders);
         let xml = g.xml_doc(120);
         let container = idm_xml::zip::office_document(&xml);
-        if g
-            .fs
+        if g.fs
             .create_file(dir, &format!("report{i:03}.docx"), container, g.t_new)
             .is_ok()
         {
@@ -522,8 +514,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
         let dir = pick_misc(&mut g, &misc_folders);
         let plant = txt_plant_iter.next();
         let body = g.text().paragraph(3200, plant);
-        if g
-            .fs
+        if g.fs
             .create_file(dir, &format!("note{i:05}.txt"), body, g.t_new)
             .is_ok()
         {
@@ -539,8 +530,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
         let dir = pick_misc(&mut g, &misc_folders);
         let blob = binary_blob(&mut g.rng, config.big_binary_bytes);
         let t_old = g.t_old;
-        if g
-            .fs
+        if g.fs
             .create_file(dir, &format!("backup{i:03}.bin"), blob, t_old)
             .is_ok()
         {
@@ -552,8 +542,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
         let dir = pick_misc(&mut g, &misc_folders);
         let len = g.rng.gen_range(2_000..9_000);
         let blob = binary_blob(&mut g.rng, len);
-        if g
-            .fs
+        if g.fs
             .create_file(dir, &format!("img{i:04}.jpg"), blob, g.t_new)
             .is_ok()
         {
@@ -569,10 +558,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
     }
     let email_projects = mailboxes[1];
     for name in ["OLAP", "PIM"] {
-        mailboxes.push(
-            imap.create_mailbox(email_projects, name)
-                .expect("mailbox"),
-        );
+        mailboxes.push(imap.create_mailbox(email_projects, name).expect("mailbox"));
     }
     g.counts.mail_folders = mailboxes.len();
 
@@ -612,8 +598,7 @@ pub fn generate(config: DatasetConfig) -> GeneratedDataset {
             subject,
             from: "jens.dittrich@inf.ethz.ch".into(),
             to: "marcos@inf.ethz.ch".into(),
-            date: Timestamp::from_ymd_hms(2005, 7, 1 + (i % 20) as u32, hour, 0, 0)
-                .expect("date"),
+            date: Timestamp::from_ymd_hms(2005, 7, 1 + (i % 20) as u32, hour, 0, 0).expect("date"),
             body,
             attachments,
         };

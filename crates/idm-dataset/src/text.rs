@@ -11,12 +11,57 @@ use rand::Rng;
 
 /// Neutral filler vocabulary (≈ Zipf-ish by repetition of early words).
 const VOCAB: &[&str] = &[
-    "the", "of", "a", "to", "in", "we", "is", "for", "and", "this", "that", "on", "with", "as",
-    "model", "graph", "view", "query", "index", "store", "layer", "folder", "stream", "schema",
-    "component", "resource", "approach", "section", "result", "workload", "structure", "format",
-    "heterogeneous", "personal", "information", "management", "representation", "evaluation",
-    "abstraction", "prototype", "experiment", "architecture", "semantics", "notation",
-    "iterator", "operator", "replica", "catalog", "lazily", "extensional", "intensional",
+    "the",
+    "of",
+    "a",
+    "to",
+    "in",
+    "we",
+    "is",
+    "for",
+    "and",
+    "this",
+    "that",
+    "on",
+    "with",
+    "as",
+    "model",
+    "graph",
+    "view",
+    "query",
+    "index",
+    "store",
+    "layer",
+    "folder",
+    "stream",
+    "schema",
+    "component",
+    "resource",
+    "approach",
+    "section",
+    "result",
+    "workload",
+    "structure",
+    "format",
+    "heterogeneous",
+    "personal",
+    "information",
+    "management",
+    "representation",
+    "evaluation",
+    "abstraction",
+    "prototype",
+    "experiment",
+    "architecture",
+    "semantics",
+    "notation",
+    "iterator",
+    "operator",
+    "replica",
+    "catalog",
+    "lazily",
+    "extensional",
+    "intensional",
 ];
 
 /// A deterministic filler-text source.
@@ -112,8 +157,19 @@ mod tests {
     #[test]
     fn vocabulary_avoids_query_terms() {
         for banned in [
-            "database", "tuning", "documents", "systems", "franklin", "vision", "conclusion",
-            "conclusions", "indexing", "time", "knuth", "donald", "mike",
+            "database",
+            "tuning",
+            "documents",
+            "systems",
+            "franklin",
+            "vision",
+            "conclusion",
+            "conclusions",
+            "indexing",
+            "time",
+            "knuth",
+            "donald",
+            "mike",
         ] {
             assert!(
                 !VOCAB.contains(&banned),

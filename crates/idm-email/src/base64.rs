@@ -41,10 +41,7 @@ pub fn decode(text: &str) -> Result<Vec<u8>, String> {
         }
     }
 
-    let cleaned: Vec<u8> = text
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
     for quad in cleaned.chunks(4) {
         if quad.len() < 2 {

@@ -271,7 +271,9 @@ mod tests {
     fn option_1_state_snapshot() {
         let server = ImapServer::in_process();
         let projects = server.create_mailbox(server.inbox(), "Projects").unwrap();
-        server.append(server.inbox(), &msg("hello", vec![])).unwrap();
+        server
+            .append(server.inbox(), &msg("hello", vec![]))
+            .unwrap();
         server
             .append(projects, &msg("OLAP", vec![tex_attachment("olap.tex")]))
             .unwrap();

@@ -100,7 +100,6 @@ struct ServerInner {
     next_uid: u64,
 }
 
-
 /// Busy-waits short costs (thread::sleep granularity would distort
 /// sub-millisecond simulated latencies), sleeps long ones.
 fn wait_for(cost: std::time::Duration) {
@@ -309,12 +308,13 @@ impl ImapServer {
         self.pay(0);
         {
             let mut inner = self.inner.write();
-            let mbox = inner
-                .mailboxes
-                .get_mut(mailbox.0 as usize)
-                .ok_or_else(|| IdmError::Provider {
-                    detail: format!("imap: no mailbox {mailbox}"),
-                })?;
+            let mbox =
+                inner
+                    .mailboxes
+                    .get_mut(mailbox.0 as usize)
+                    .ok_or_else(|| IdmError::Provider {
+                        detail: format!("imap: no mailbox {mailbox}"),
+                    })?;
             let before = mbox.messages.len();
             mbox.messages.retain(|u| *u != uid);
             if mbox.messages.len() == before {

@@ -37,7 +37,12 @@ pub struct EmailMessage {
 impl EmailMessage {
     /// Total content size: body plus attachments.
     pub fn content_size(&self) -> usize {
-        self.body.len() + self.attachments.iter().map(|a| a.content.len()).sum::<usize>()
+        self.body.len()
+            + self
+                .attachments
+                .iter()
+                .map(|a| a.content.len())
+                .sum::<usize>()
     }
 
     /// Serializes to RFC-822-style wire bytes. Messages without
@@ -162,7 +167,10 @@ fn parse_multipart(body: &str, boundary: &str, message: &mut EmailMessage) -> Re
         if rest[i..].starts_with(&closing) {
             break;
         }
-        let after = after.strip_prefix("\r\n").or_else(|| after.strip_prefix('\n')).unwrap_or(after);
+        let after = after
+            .strip_prefix("\r\n")
+            .or_else(|| after.strip_prefix('\n'))
+            .unwrap_or(after);
         let end = after.find(&delim).unwrap_or(after.len());
         // Strip exactly the one line break that precedes the next
         // boundary delimiter (the part body itself may end in newlines).
@@ -223,7 +231,10 @@ const MONTHS: [&str; 12] = [
 pub fn format_date(t: Timestamp) -> String {
     let (y, mo, d) = t.to_ymd();
     let (h, mi, s) = t.to_hms();
-    format!("{d} {} {y} {h:02}:{mi:02}:{s:02}", MONTHS[(mo - 1) as usize])
+    format!(
+        "{d} {} {y} {h:02}:{mi:02}:{s:02}",
+        MONTHS[(mo - 1) as usize]
+    )
 }
 
 /// Parses the [`format_date`] shape (weekday prefixes and zone suffixes

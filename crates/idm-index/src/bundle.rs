@@ -96,23 +96,27 @@ impl IndexBundle {
     /// lazy demo paths don't). Infinite groups are skipped — they are
     /// managed through stream windows, not replicas.
     pub fn index_components(&self, store: &ViewStore, vid: Vid) -> Result<ContentIndexing> {
-        let record = store.record(vid)?;
+        // Borrow-based access: the name and tuple are indexed in place
+        // under the store's shard read lock instead of cloning the full
+        // record per view (the index structures never call back into the
+        // store, so no lock-order inversion is possible).
+        store.with_name(vid, |name| {
+            if let Some(name) = name {
+                self.name.index(vid, name);
+            }
+        })?;
+        store.with_tuple(vid, |tuple| {
+            if let Some(tuple) = tuple {
+                self.tuple.index(vid, tuple);
+            }
+        })?;
 
-        // Name.
-        if let Some(name) = &record.name {
-            self.name.index(vid, name);
-        }
-
-        // Tuple.
-        if let Some(tuple) = &record.tuple {
-            self.tuple.index(vid, tuple);
-        }
-
-        // Content.
-        let outcome = if record.content.is_empty() {
+        // Content and group handles are cheap clones (Arc / slice refs).
+        let content = store.content(vid)?;
+        let outcome = if content.is_empty() {
             ContentIndexing::Empty
-        } else if record.content.is_finite() {
-            let bytes = record.content.bytes()?;
+        } else if content.is_finite() {
+            let bytes = content.bytes()?;
             if is_texty(&bytes) {
                 let text = String::from_utf8_lossy(&bytes);
                 self.content.index(vid, &text);
@@ -125,7 +129,7 @@ impl IndexBundle {
         };
 
         // Group (materialized members only; see doc comment).
-        match &record.group {
+        match &store.group_handle(vid)? {
             Group::Materialized(data) => {
                 let members: Vec<Vid> = data.members().collect();
                 self.group.index(vid, &members);
@@ -154,15 +158,14 @@ impl IndexBundle {
         source: &str,
         outcome: ContentIndexing,
     ) -> Result<()> {
-        let record = store.record(vid)?;
         let content_size = match outcome {
             ContentIndexing::Indexed { bytes } => Some(bytes as u64),
-            _ => record.content.size_hint(),
+            _ => store.content(vid)?.size_hint(),
         };
         self.catalog.register(CatalogEntry {
             vid: vid.as_u64(),
-            name: record.name.clone().unwrap_or_default(),
-            class: record.class.map(|c| store.classes().name(c)),
+            name: store.with_name(vid, |n| n.unwrap_or_default().to_owned())?,
+            class: store.class(vid)?.map(|c| store.classes().name(c)),
             source: source.to_owned(),
             content_size,
             content_indexed: matches!(outcome, ContentIndexing::Indexed { .. }),

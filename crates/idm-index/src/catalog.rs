@@ -174,7 +174,8 @@ impl ResourceViewCatalog {
             .values()
             .map(|row| {
                 // vid + flags + sizes.
-                8 + 8 + 2
+                8 + 8
+                    + 2
                     + row.name.len()
                     + row.class.as_deref().map_or(0, str::len)
                     + row.source.len()

@@ -103,7 +103,10 @@ impl<'a> Decoder<'a> {
     }
 
     fn err(message: &str) -> io::Error {
-        io::Error::new(io::ErrorKind::InvalidData, format!("idm index file: {message}"))
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("idm index file: {message}"),
+        )
     }
 
     /// Bytes remaining.
@@ -539,7 +542,10 @@ mod tests {
                 .tuple
                 .compare("size", crate::tuple::CompareOp::Gt, &Value::Integer(1500))
         );
-        assert_eq!(loaded.group.children(Vid::from_raw(1)), bundle.group.children(Vid::from_raw(1)));
+        assert_eq!(
+            loaded.group.children(Vid::from_raw(1)),
+            bundle.group.children(Vid::from_raw(1))
+        );
     }
 
     #[test]

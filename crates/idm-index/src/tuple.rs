@@ -228,11 +228,7 @@ impl TupleIndex {
                         .sum::<usize>()
             })
             .sum();
-        let replica: usize = inner
-            .replica
-            .values()
-            .map(|t| t.footprint() + 32)
-            .sum();
+        let replica: usize = inner.replica.values().map(|t| t.footprint() + 32).sum();
         columns + replica
     }
 }
@@ -320,10 +316,7 @@ mod tests {
     #[test]
     fn int_float_cross_domain_comparison() {
         let index = TupleIndex::new();
-        index.index(
-            vid(1),
-            &TupleComponent::of(vec![("x", Value::Float(1.5))]),
-        );
+        index.index(vid(1), &TupleComponent::of(vec![("x", Value::Float(1.5))]));
         index.index(vid(2), &TupleComponent::of(vec![("x", Value::Integer(2))]));
         assert_eq!(
             index.compare("x", CompareOp::Gt, &Value::Integer(1)),

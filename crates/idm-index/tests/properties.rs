@@ -76,8 +76,7 @@ fn naive_glob(pattern: &[char], text: &[char]) -> bool {
     match (pattern.first(), text.first()) {
         (None, None) => true,
         (Some('*'), _) => {
-            naive_glob(&pattern[1..], text)
-                || (!text.is_empty() && naive_glob(pattern, &text[1..]))
+            naive_glob(&pattern[1..], text) || (!text.is_empty() && naive_glob(pattern, &text[1..]))
         }
         (Some('?'), Some(_)) => naive_glob(&pattern[1..], &text[1..]),
         (Some(p), Some(t)) if p == t => naive_glob(&pattern[1..], &text[1..]),

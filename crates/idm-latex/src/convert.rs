@@ -67,11 +67,8 @@ impl<'a> Converter<'a> {
                         match inline {
                             Inline::Text(t) => out.push(self.text_view(t)),
                             Inline::Ref(label) => {
-                                let vid = self
-                                    .store
-                                    .build(label.clone())
-                                    .class(self.texref)
-                                    .insert();
+                                let vid =
+                                    self.store.build(label.clone()).class(self.texref).insert();
                                 self.refs.push((vid, label.clone()));
                                 out.push(vid);
                             }
@@ -363,10 +360,7 @@ The results in Figure~\ref{fig:idx} show interactive times.
             .copied()
             .find(|r| store.name(*r).unwrap().as_deref() == Some("sec:prelim"))
             .unwrap();
-        assert_eq!(
-            store.group(sec_ref).unwrap().finite_members(),
-            vec![prelim]
-        );
+        assert_eq!(store.group(sec_ref).unwrap().finite_members(), vec![prelim]);
         // The target is now related to BOTH its section parent and the ref
         // (two in-edges: a graph, not a tree).
         let rev = graph::reverse_adjacency(&store);

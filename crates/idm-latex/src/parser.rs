@@ -490,10 +490,7 @@ impl Scanner {
         debug_assert_eq!(self.peek(), Some('\\'));
         self.pos += 1;
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_alphabetic())
-        {
+        while self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
             self.pos += 1;
         }
         if self.pos == start && self.peek() == Some('\\') {
@@ -562,10 +559,7 @@ impl Scanner {
     /// return it (used for labels directly after section headings).
     fn peek_label(&mut self) -> Option<String> {
         let save = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_whitespace())
-        {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
             self.pos += 1;
         }
         if self.peek() == Some('\\') {
@@ -709,11 +703,7 @@ Some definitions with 100\% rigor and $O(n \log n)$ bounds.
         let figure = envs[0];
         assert_eq!(figure.kind, "figure");
         assert_eq!(figure.label.as_deref(), Some("fig:arch"));
-        assert!(figure
-            .caption
-            .as_deref()
-            .unwrap()
-            .contains("Indexing Time"));
+        assert!(figure.caption.as_deref().unwrap().contains("Indexing Time"));
         assert!(figure.body_text.contains("arch.pdf"));
     }
 

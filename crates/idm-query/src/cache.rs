@@ -1,0 +1,359 @@
+//! Bounded memoization of forced lazy components (Section 4.1).
+//!
+//! Forcing an intensional component — a [`idm_core::group::GroupProvider`]
+//! turning a LaTeX file into a subgraph, a
+//! [`idm_core::content::ContentProvider`] fetching remote bytes — is the
+//! dominant cost of the paper's Figure 6 workload. The store's lazy cells
+//! already compute each provider at most once, but every access still pays
+//! a shard lock plus handle clones, and a mutated view must recompute.
+//!
+//! [`ExpansionCache`] sits between the query executor and the store: a
+//! bounded LRU keyed by `(Vid, component)` whose entries carry the store's
+//! per-view mutation version. An entry is valid only while the view's
+//! version is unchanged; [`ChangeEvent`]s drained from a store subscription
+//! evict entries eagerly, and the version check catches anything the event
+//! channel has not delivered yet. Hit/miss/eviction counters are atomics so
+//! parallel query workers can share one cache, and are surfaced per query
+//! through [`crate::exec::ExecStats`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use idm_core::prelude::*;
+use idm_core::store::{ChangeEvent, GroupSnapshot};
+use parking_lot::Mutex;
+
+/// Which component of a view an entry memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Component {
+    Group,
+    Content,
+}
+
+/// A memoized forced component.
+#[derive(Clone)]
+enum CachedValue {
+    /// Forced group members (cheap `Arc` clone on hit).
+    Group(Arc<GroupData>),
+    /// Forced content bytes (cheap slice clone on hit).
+    Content(Bytes),
+}
+
+struct Entry {
+    version: u64,
+    tick: u64,
+    value: CachedValue,
+}
+
+struct CacheInner {
+    entries: HashMap<(Vid, Component), Entry>,
+    /// LRU order: tick → key. Ticks are unique, so the first entry is the
+    /// least recently used.
+    order: BTreeMap<u64, (Vid, Component)>,
+    next_tick: u64,
+}
+
+/// Live counter totals for an [`ExpansionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to force the component.
+    pub misses: u64,
+    /// Entries dropped for capacity or invalidation.
+    pub evictions: u64,
+}
+
+/// Bounded LRU over forced lazy-component results, invalidated by view
+/// version and by store change events.
+pub struct ExpansionCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    events: Receiver<ChangeEvent>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ExpansionCache {
+    /// A cache over `store` holding at most `capacity` entries. The cache
+    /// subscribes to the store's change events for eager invalidation.
+    pub fn new(store: &ViewStore, capacity: usize) -> Self {
+        ExpansionCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                order: BTreeMap::new(),
+                next_tick: 0,
+            }),
+            capacity: capacity.max(1),
+            events: store.subscribe(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter totals since construction.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains pending change events and evicts entries for mutated or
+    /// removed views. Called at query start; the per-entry version check
+    /// covers events raced in after the drain.
+    pub fn drain_invalidations(&self) {
+        let mut touched: Vec<Vid> = self.events.try_iter().map(|e| e.vid).collect();
+        if touched.is_empty() {
+            return;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut inner = self.inner.lock();
+        for vid in touched {
+            for component in [Component::Group, Component::Content] {
+                if let Some(entry) = inner.entries.remove(&(vid, component)) {
+                    inner.order.remove(&entry.tick);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The forced group members of `vid`, memoized.
+    ///
+    /// On a miss this calls [`ViewStore::group`], which runs any
+    /// [`idm_core::group::GroupProvider`] outside the store locks exactly
+    /// as a direct access would — lazy semantics are unchanged, only
+    /// repeat forcing is elided. Infinite groups are not cached.
+    pub fn group(&self, store: &ViewStore, vid: Vid) -> Result<GroupSnapshot> {
+        let version = store.version(vid)?;
+        if let Some(CachedValue::Group(data)) = self.lookup(vid, Component::Group, version) {
+            return Ok(GroupSnapshot::Finite(data));
+        }
+        let snapshot = store.group(vid)?;
+        if let GroupSnapshot::Finite(data) = &snapshot {
+            self.store_entry(
+                vid,
+                Component::Group,
+                version,
+                CachedValue::Group(Arc::clone(data)),
+            );
+        }
+        Ok(snapshot)
+    }
+
+    /// The materialized content bytes of `vid`, memoized.
+    ///
+    /// On a miss this forces intensional content via
+    /// [`idm_core::content::ContentProvider::compute`]; infinite content
+    /// propagates the store's error and is never cached.
+    pub fn content(&self, store: &ViewStore, vid: Vid) -> Result<Bytes> {
+        let version = store.version(vid)?;
+        if let Some(CachedValue::Content(bytes)) = self.lookup(vid, Component::Content, version) {
+            return Ok(bytes);
+        }
+        let bytes = store.content(vid)?.bytes()?;
+        self.store_entry(
+            vid,
+            Component::Content,
+            version,
+            CachedValue::Content(bytes.clone()),
+        );
+        Ok(bytes)
+    }
+
+    fn lookup(&self, vid: Vid, component: Component, version: u64) -> Option<CachedValue> {
+        let mut inner = self.inner.lock();
+        let key = (vid, component);
+        match inner.entries.get(&key) {
+            Some(entry) if entry.version == version => {
+                let old_tick = entry.tick;
+                let value = entry.value.clone();
+                let tick = inner.next_tick;
+                inner.next_tick += 1;
+                inner.order.remove(&old_tick);
+                inner.order.insert(tick, key);
+                inner.entries.get_mut(&key).expect("present").tick = tick;
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                // Stale version: the view mutated since the entry was made.
+                let entry = inner.entries.remove(&key).expect("present");
+                inner.order.remove(&entry.tick);
+                drop(inner);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store_entry(&self, vid: Vid, component: Component, version: u64, value: CachedValue) {
+        let mut inner = self.inner.lock();
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        let key = (vid, component);
+        if let Some(old) = inner.entries.insert(
+            key,
+            Entry {
+                version,
+                tick,
+                value,
+            },
+        ) {
+            inner.order.remove(&old.tick);
+        }
+        inner.order.insert(tick, key);
+        while inner.entries.len() > self.capacity {
+            let (&lru_tick, &lru_key) = inner.order.iter().next().expect("order tracks entries");
+            inner.order.remove(&lru_tick);
+            inner.entries.remove(&lru_key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for ExpansionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpansionCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counting_lazy_store() -> (Arc<ViewStore>, Vid, Arc<AtomicUsize>) {
+        let store = Arc::new(ViewStore::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = Arc::clone(&calls);
+        let provider = Arc::new(move |store: &ViewStore, _owner: Vid| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            Ok(GroupData::of_seq(vec![store.build("child").insert()]))
+        });
+        let vid = store.build("doc").group(Group::lazy(provider)).insert();
+        (store, vid, calls)
+    }
+
+    #[test]
+    fn group_hits_after_first_force() {
+        let (store, vid, calls) = counting_lazy_store();
+        let cache = ExpansionCache::new(&store, 16);
+        let first = cache.group(&store, vid).unwrap().finite_members();
+        let second = cache.group(&store, vid).unwrap().finite_members();
+        assert_eq!(first, second);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn mutation_invalidates_by_version() {
+        let store = Arc::new(ViewStore::new());
+        let a = store.build("a").insert();
+        let parent = store.build("p").children(vec![a]).insert();
+        let cache = ExpansionCache::new(&store, 16);
+        assert_eq!(
+            cache.group(&store, parent).unwrap().finite_members(),
+            vec![a]
+        );
+        let b = store.build("b").insert();
+        store.add_group_member(parent, b, false).unwrap();
+        // Without draining events, the version check alone must notice.
+        let members = cache.group(&store, parent).unwrap().finite_members();
+        assert_eq!(members.len(), 2);
+        assert!(cache.counters().evictions >= 1);
+    }
+
+    #[test]
+    fn drain_invalidations_evicts_changed_views() {
+        let store = Arc::new(ViewStore::new());
+        let vid = store.build("x").text("old").insert();
+        let cache = ExpansionCache::new(&store, 16);
+        assert_eq!(&cache.content(&store, vid).unwrap()[..], b"old");
+        store.set_content(vid, Content::text("new")).unwrap();
+        cache.drain_invalidations();
+        assert!(cache.is_empty());
+        assert_eq!(&cache.content(&store, vid).unwrap()[..], b"new");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let store = Arc::new(ViewStore::new());
+        let vids: Vec<Vid> = (0..4)
+            .map(|i| store.build(format!("v{i}")).insert())
+            .collect();
+        let cache = ExpansionCache::new(&store, 2);
+        cache.group(&store, vids[0]).unwrap();
+        cache.group(&store, vids[1]).unwrap();
+        cache.group(&store, vids[0]).unwrap(); // touch 0: now 1 is LRU
+        cache.group(&store, vids[2]).unwrap(); // evicts 1
+        assert_eq!(cache.len(), 2);
+        let before = cache.counters().hits;
+        cache.group(&store, vids[0]).unwrap();
+        assert_eq!(cache.counters().hits, before + 1, "0 survived");
+        cache.group(&store, vids[1]).unwrap();
+        assert_eq!(cache.counters().hits, before + 1, "1 was evicted");
+    }
+
+    #[test]
+    fn content_memoizes_lazy_bytes() {
+        let store = Arc::new(ViewStore::new());
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let provider = Arc::new(|| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            Ok(Bytes::from_static(b"computed"))
+        });
+        let vid = store
+            .build_unnamed()
+            .content(Content::lazy(provider))
+            .insert();
+        let cache = ExpansionCache::new(&store, 4);
+        assert_eq!(&cache.content(&store, vid).unwrap()[..], b"computed");
+        assert_eq!(&cache.content(&store, vid).unwrap()[..], b"computed");
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn unknown_vid_is_an_error_not_a_cache_entry() {
+        let store = Arc::new(ViewStore::new());
+        let cache = ExpansionCache::new(&store, 4);
+        assert!(cache.group(&store, Vid::from_raw(99)).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -67,7 +67,12 @@ impl QueryProcessor {
                 let rows = registry
                     .subclasses(target)
                     .into_iter()
-                    .map(|c| self.index_bundle().catalog.by_class(&registry.name(c)).len())
+                    .map(|c| {
+                        self.index_bundle()
+                            .catalog
+                            .by_class(&registry.name(c))
+                            .len()
+                    })
                     .sum();
                 Estimate::exact(rows)
             }
@@ -203,7 +208,11 @@ fn render(processor: &QueryProcessor, query: &Query, depth: usize, out: &mut Str
             indent(depth + 1, out);
             out.push_str(&format!(
                 "build side: {} (est. {} vs {})\n",
-                if left.rows <= right.rows { "left" } else { "right" },
+                if left.rows <= right.rows {
+                    "left"
+                } else {
+                    "right"
+                },
                 left.rows,
                 right.rows
             ));
@@ -302,9 +311,7 @@ mod tests {
     #[test]
     fn and_estimate_takes_most_selective_conjunct() {
         let p = space();
-        let est = p
-            .estimate_iql(r#"["haystack" and "needle"]"#)
-            .unwrap();
+        let est = p.estimate_iql(r#"["haystack" and "needle"]"#).unwrap();
         assert_eq!(est.rows, 5, "bounded by the rare side");
     }
 

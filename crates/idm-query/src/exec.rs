@@ -16,6 +16,8 @@ use idm_core::prelude::*;
 use idm_index::IndexBundle;
 
 use crate::ast::*;
+use crate::cache::ExpansionCache;
+use crate::par;
 use crate::parser::parse;
 
 /// How `//` (and `/`) steps relate candidates to the current context.
@@ -38,6 +40,17 @@ pub struct ExecOptions {
     pub expansion: ExpansionStrategy,
     /// The clock used by `yesterday()`/`today()`/`now()`.
     pub now: Timestamp,
+    /// Worker threads for the parallel executor. `1` (the default) runs
+    /// the exact sequential code paths; `N > 1` parallelizes full scans,
+    /// frontier expansion, and join builds over `N` scoped threads.
+    pub parallelism: usize,
+    /// Capacity of the lazy-expansion memo cache (entries, not bytes).
+    pub cache_capacity: usize,
+    /// Resolve `//`-step group edges through the live store (forcing and
+    /// memoizing lazy groups) instead of the group replica. Requires
+    /// forward expansion for the forced edges to be seen; reverse edges
+    /// always come from the replica.
+    pub live_expansion: bool,
 }
 
 impl Default for ExecOptions {
@@ -47,6 +60,9 @@ impl Default for ExecOptions {
             // A fixed default clock keeps tests and benchmarks
             // deterministic; systems pass the wall clock.
             now: Timestamp::from_ymd(2006, 9, 12).expect("valid date"),
+            parallelism: 1,
+            cache_capacity: 4096,
+            live_expansion: false,
         }
     }
 }
@@ -60,6 +76,12 @@ pub struct ExecStats {
     /// Candidate views produced by index accesses before ancestry
     /// filtering.
     pub candidates_examined: usize,
+    /// Lazy-expansion cache hits during this query.
+    pub cache_hits: u64,
+    /// Lazy-expansion cache misses (components forced) during this query.
+    pub cache_misses: u64,
+    /// Lazy-expansion cache entries evicted during this query.
+    pub cache_evictions: u64,
 }
 
 /// Result rows: plain views, or pairs for joins.
@@ -123,22 +145,36 @@ pub struct QueryProcessor {
     store: Arc<ViewStore>,
     indexes: Arc<IndexBundle>,
     options: ExecOptions,
+    cache: ExpansionCache,
 }
 
 impl QueryProcessor {
     /// A processor over a store and its index bundle.
     pub fn new(store: Arc<ViewStore>, indexes: Arc<IndexBundle>) -> Self {
+        let options = ExecOptions::default();
+        let cache = ExpansionCache::new(&store, options.cache_capacity);
         QueryProcessor {
             store,
             indexes,
-            options: ExecOptions::default(),
+            options,
+            cache,
         }
     }
 
-    /// Replaces the execution options.
+    /// Replaces the execution options. Changing the cache capacity
+    /// recreates (and empties) the expansion cache.
     pub fn with_options(mut self, options: ExecOptions) -> Self {
+        if options.cache_capacity != self.options.cache_capacity {
+            self.cache = ExpansionCache::new(&self.store, options.cache_capacity);
+        }
         self.options = options;
         self
+    }
+
+    /// The lazy-expansion memo cache (lives as long as the processor, so
+    /// repeated queries share warmed entries).
+    pub fn expansion_cache(&self) -> &ExpansionCache {
+        &self.cache
     }
 
     /// The current options.
@@ -169,9 +205,35 @@ impl QueryProcessor {
 
     /// Executes a parsed query.
     pub fn execute_ast(&self, query: &Query) -> Result<QueryResult> {
+        self.cache.drain_invalidations();
+        let before = self.cache.counters();
         let mut stats = ExecStats::default();
         let rows = self.eval_query(query, &mut stats)?;
+        let after = self.cache.counters();
+        stats.cache_hits = after.hits - before.hits;
+        stats.cache_misses = after.misses - before.misses;
+        stats.cache_evictions = after.evictions - before.evictions;
         Ok(QueryResult { rows, stats })
+    }
+
+    /// Worker-thread count for parallel sites (`>= 1`).
+    fn threads(&self) -> usize {
+        self.options.parallelism.max(1)
+    }
+
+    /// Group edges of `vid` for forward expansion: the replica's children
+    /// by default, or the live (cache-memoized, lazily forced) group
+    /// component under [`ExecOptions::live_expansion`].
+    fn children_of(&self, vid: Vid) -> Vec<Vid> {
+        if self.options.live_expansion {
+            match self.cache.group(&self.store, vid) {
+                Ok(snapshot) => snapshot.finite_members(),
+                // Dangling references are legal in a dataspace; skip them.
+                Err(_) => Vec::new(),
+            }
+        } else {
+            self.indexes.group.children(vid)
+        }
     }
 
     fn eval_query(&self, query: &Query, stats: &mut ExecStats) -> Result<ResultRows> {
@@ -247,10 +309,9 @@ impl QueryProcessor {
             }
             Pred::Not(inner) => {
                 let exclude: HashSet<Vid> = self.eval_pred(inner, stats)?.into_iter().collect();
-                self.all_vids()
-                    .into_iter()
-                    .filter(|v| !exclude.contains(v))
-                    .collect()
+                // Full scan over the catalog; chunked across workers when
+                // parallelism is enabled (order-preserving either way).
+                par::filter(self.all_vids(), self.threads(), |v| !exclude.contains(v))
             }
         };
         stats.candidates_examined += vids.len();
@@ -342,62 +403,151 @@ impl QueryProcessor {
             }
             other => other,
         };
+        let threads = self.threads();
         match (strategy, axis) {
             (ExpansionStrategy::Forward, Axis::Child) => {
                 let mut reachable: HashSet<Vid> = HashSet::new();
-                for &vid in context {
-                    let children = self.indexes.group.children(vid);
-                    stats.nodes_expanded += children.len();
-                    reachable.extend(children);
+                if threads <= 1 {
+                    for &vid in context {
+                        let children = self.children_of(vid);
+                        stats.nodes_expanded += children.len();
+                        reachable.extend(children);
+                    }
+                } else {
+                    for children in par::map_chunks(context, threads, |_, chunk| {
+                        chunk
+                            .iter()
+                            .flat_map(|&vid| self.children_of(vid))
+                            .collect::<Vec<Vid>>()
+                    }) {
+                        stats.nodes_expanded += children.len();
+                        reachable.extend(children);
+                    }
                 }
-                candidates
-                    .into_iter()
-                    .filter(|v| reachable.contains(v))
-                    .collect()
+                par::filter(candidates, threads, |v| reachable.contains(v))
             }
             (ExpansionStrategy::Forward, Axis::Descendant) => {
                 let reachable = self.multi_source_descendants(context, stats);
-                candidates
-                    .into_iter()
-                    .filter(|v| reachable.contains(v))
-                    .collect()
+                par::filter(candidates, threads, |v| reachable.contains(v))
             }
             (ExpansionStrategy::Backward, Axis::Child) => {
                 let ctx: HashSet<Vid> = context.iter().copied().collect();
-                candidates
-                    .into_iter()
-                    .filter(|v| {
-                        let parents = self.indexes.group.parents(*v);
-                        stats.nodes_expanded += parents.len();
-                        parents.iter().any(|p| ctx.contains(p))
-                    })
-                    .collect()
+                if threads <= 1 {
+                    candidates
+                        .into_iter()
+                        .filter(|v| {
+                            let parents = self.indexes.group.parents(*v);
+                            stats.nodes_expanded += parents.len();
+                            parents.iter().any(|p| ctx.contains(p))
+                        })
+                        .collect()
+                } else {
+                    let chunks = par::map_chunks(&candidates, threads, |_, chunk| {
+                        let mut kept = Vec::new();
+                        let mut expanded = 0usize;
+                        for &v in chunk {
+                            let parents = self.indexes.group.parents(v);
+                            expanded += parents.len();
+                            if parents.iter().any(|p| ctx.contains(p)) {
+                                kept.push(v);
+                            }
+                        }
+                        (kept, expanded)
+                    });
+                    let mut out = Vec::new();
+                    for (kept, expanded) in chunks {
+                        stats.nodes_expanded += expanded;
+                        out.extend(kept);
+                    }
+                    out
+                }
             }
             (ExpansionStrategy::Backward, Axis::Descendant) => {
                 let ctx: HashSet<Vid> = context.iter().copied().collect();
-                // Positive cache: nodes known to reach the context.
-                let mut reaches_ctx: HashSet<Vid> = HashSet::new();
-                candidates
-                    .into_iter()
-                    .filter(|v| {
-                        self.reverse_reaches(*v, &ctx, &mut reaches_ctx, stats)
-                    })
-                    .collect()
+                if threads <= 1 {
+                    // Positive cache: nodes known to reach the context.
+                    let mut reaches_ctx: HashSet<Vid> = HashSet::new();
+                    candidates
+                        .into_iter()
+                        .filter(|v| self.reverse_reaches(*v, &ctx, &mut reaches_ctx, stats))
+                        .collect()
+                } else {
+                    // Each worker keeps a chunk-local positive cache: the
+                    // kept rows are identical to sequential, only
+                    // `nodes_expanded` can differ (fewer cross-candidate
+                    // cache hits). Chunking is deterministic, so repeated
+                    // runs at the same parallelism agree exactly.
+                    let chunks = par::map_chunks(&candidates, threads, |_, chunk| {
+                        let mut local = ExecStats::default();
+                        let mut reaches_ctx: HashSet<Vid> = HashSet::new();
+                        let kept: Vec<Vid> = chunk
+                            .iter()
+                            .copied()
+                            .filter(|v| {
+                                self.reverse_reaches(*v, &ctx, &mut reaches_ctx, &mut local)
+                            })
+                            .collect();
+                        (kept, local.nodes_expanded)
+                    });
+                    let mut out = Vec::new();
+                    for (kept, expanded) in chunks {
+                        stats.nodes_expanded += expanded;
+                        out.extend(kept);
+                    }
+                    out
+                }
             }
             (ExpansionStrategy::Bidirectional, _) => unreachable!("resolved above"),
         }
     }
 
     fn multi_source_descendants(&self, sources: &[Vid], stats: &mut ExecStats) -> HashSet<Vid> {
-        let mut visited: HashSet<Vid> = HashSet::new();
-        let mut queue: VecDeque<Vid> = sources.iter().copied().collect();
-        while let Some(vid) = queue.pop_front() {
-            for child in self.indexes.group.children(vid) {
-                stats.nodes_expanded += 1;
-                if visited.insert(child) {
-                    queue.push_back(child);
+        if self.threads() <= 1 {
+            let mut visited: HashSet<Vid> = HashSet::new();
+            let mut queue: VecDeque<Vid> = sources.iter().copied().collect();
+            while let Some(vid) = queue.pop_front() {
+                for child in self.children_of(vid) {
+                    stats.nodes_expanded += 1;
+                    if visited.insert(child) {
+                        queue.push_back(child);
+                    }
                 }
             }
+            return visited;
+        }
+        // Level-synchronous parallel BFS: every frontier node is expanded
+        // by some worker against a read-only view of `visited`; the
+        // coordinator merges and dedups between levels. Each node is
+        // expanded exactly once, so `nodes_expanded` (edges scanned)
+        // matches the sequential walk.
+        let threads = self.threads();
+        let mut visited: HashSet<Vid> = HashSet::new();
+        let mut frontier: Vec<Vid> = sources.to_vec();
+        while !frontier.is_empty() {
+            let visited_ref = &visited;
+            let chunks = par::map_chunks(&frontier, threads, |_, chunk| {
+                let mut fresh = Vec::new();
+                let mut edges = 0usize;
+                for &vid in chunk {
+                    for child in self.children_of(vid) {
+                        edges += 1;
+                        if !visited_ref.contains(&child) {
+                            fresh.push(child);
+                        }
+                    }
+                }
+                (fresh, edges)
+            });
+            let mut next = Vec::new();
+            for (fresh, edges) in chunks {
+                stats.nodes_expanded += edges;
+                for child in fresh {
+                    if visited.insert(child) {
+                        next.push(child);
+                    }
+                }
+            }
+            frontier = next;
         }
         visited
     }
@@ -441,11 +591,25 @@ impl QueryProcessor {
 
     fn field_key(&self, vid: Vid, field: &Field) -> Option<String> {
         match field {
-            Field::Name => {
-                let entry = self.indexes.catalog.entry(vid)?;
-                (!entry.name.is_empty()).then_some(entry.name)
-            }
-            Field::Class => self.indexes.catalog.entry(vid)?.class,
+            // Borrow-based store reads: cloning a full catalog entry per
+            // probe made the join build/probe loops allocation-bound. The
+            // catalog remains the fallback so restored indexes answer
+            // joins even when the view store is empty (restart path).
+            Field::Name => self
+                .store
+                .with_name(vid, |n| n.map(str::to_owned))
+                .ok()
+                .flatten()
+                .or_else(|| {
+                    let entry = self.indexes.catalog.entry(vid)?;
+                    (!entry.name.is_empty()).then_some(entry.name)
+                }),
+            Field::Class => self
+                .store
+                .class_name(vid)
+                .ok()
+                .flatten()
+                .or_else(|| self.indexes.catalog.entry(vid)?.class),
             Field::TupleAttr(attr) => self
                 .indexes
                 .tuple
@@ -490,10 +654,26 @@ impl QueryProcessor {
                 (&right_rows, &left_rows, right_field, left_field, false)
             };
 
+        // Hash-table build, chunk-parallel when enabled: workers extract
+        // `(key, vid)` pairs and the coordinator merges them in chunk
+        // order, so per-key row order equals the sequential build.
         let mut table: HashMap<String, Vec<Vid>> = HashMap::with_capacity(build_rows.len());
-        for &vid in build_rows {
-            if let Some(key) = self.field_key(vid, build_field) {
-                table.entry(key).or_default().push(vid);
+        if self.threads() <= 1 {
+            for &vid in build_rows {
+                if let Some(key) = self.field_key(vid, build_field) {
+                    table.entry(key).or_default().push(vid);
+                }
+            }
+        } else {
+            for chunk in par::map_chunks(build_rows, self.threads(), |_, chunk| {
+                chunk
+                    .iter()
+                    .filter_map(|&vid| self.field_key(vid, build_field).map(|k| (k, vid)))
+                    .collect::<Vec<(String, Vid)>>()
+            }) {
+                for (key, vid) in chunk {
+                    table.entry(key).or_default().push(vid);
+                }
             }
         }
         let mut pairs = Vec::new();
@@ -623,9 +803,7 @@ mod tests {
         assert_eq!(r.rows.len(), 1);
         let r = p.execute(r#""database" and "nonexistent""#).unwrap();
         assert!(r.rows.is_empty());
-        let r = p
-            .execute(r#""database" or "dataspaces""#)
-            .unwrap();
+        let r = p.execute(r#""database" or "dataspaces""#).unwrap();
         assert_eq!(r.rows.len(), 2);
     }
 
@@ -650,9 +828,7 @@ mod tests {
     #[test]
     fn path_with_class_and_phrase() {
         let p = processor(ExpansionStrategy::Forward);
-        let r = p
-            .execute(r#"//papers//*[class="latex_section"]"#)
-            .unwrap();
+        let r = p.execute(r#"//papers//*[class="latex_section"]"#).unwrap();
         assert_eq!(r.rows.len(), 2, "both sections under /papers");
 
         let r = p
@@ -734,9 +910,7 @@ mod tests {
         let p = processor(ExpansionStrategy::Forward);
         let all = p.execute(r#"[not class="no-such-class"]"#).unwrap();
         assert_eq!(all.rows.len(), p.indexes.catalog.len());
-        let none = p
-            .execute(r#"[class="file" and not class="file"]"#)
-            .unwrap();
+        let none = p.execute(r#"[class="file" and not class="file"]"#).unwrap();
         assert!(none.rows.is_empty());
     }
 

@@ -222,7 +222,14 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![&Token::Eq, &Token::Ne, &Token::Lt, &Token::Le, &Token::Gt, &Token::Ge]
+            vec![
+                &Token::Eq,
+                &Token::Ne,
+                &Token::Lt,
+                &Token::Le,
+                &Token::Gt,
+                &Token::Ge
+            ]
         );
     }
 

@@ -29,17 +29,22 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod cost;
 pub mod exec;
 pub mod lexer;
+pub mod par;
 pub mod parser;
 pub mod plan;
 pub mod rank;
 pub mod update;
 
 pub use ast::Query;
-pub use exec::{ExecOptions, ExecStats, ExpansionStrategy, QueryProcessor, QueryResult, ResultRows};
+pub use cache::{CacheCounters, ExpansionCache};
 pub use cost::{explain_with_estimates, Estimate};
+pub use exec::{
+    ExecOptions, ExecStats, ExpansionStrategy, QueryProcessor, QueryResult, ResultRows,
+};
 pub use parser::parse;
 pub use plan::explain;
 pub use rank::{RankWeights, RankedResult};

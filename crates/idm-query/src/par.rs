@@ -1,0 +1,133 @@
+//! Minimal fork-join helpers over `std::thread::scope`.
+//!
+//! The executor's hot loops (full scans, frontier expansion, join builds)
+//! are embarrassingly parallel over slices. A work-stealing pool is
+//! overkill for that shape — contiguous chunking keeps every worker's
+//! output in input order, which is what lets parallel execution return
+//! identically-ordered results to sequential execution. (The build
+//! environment has no crates.io access, so this replaces `rayon` for the
+//! handful of patterns the executor needs.)
+
+/// The default worker count: the machine's available parallelism.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `items` into at most `threads` contiguous chunks, maps each chunk
+/// on its own scoped thread, and returns the chunk results in input order.
+///
+/// With `threads <= 1`, or when the input is too small to be worth forking
+/// for, the map runs on the calling thread. `f` receives `(chunk_index,
+/// chunk)`.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    // Forking has a fixed cost (~10µs/thread); tiny inputs stay sequential.
+    const MIN_ITEMS_PER_THREAD: usize = 64;
+    let threads = threads
+        .min(items.len() / MIN_ITEMS_PER_THREAD.max(1))
+        .max(1);
+    if threads <= 1 {
+        return if items.is_empty() {
+            Vec::new()
+        } else {
+            vec![f(0, items)]
+        };
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || f(i, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Order-preserving parallel filter: keeps the items `keep` accepts, in
+/// input order, evaluating `keep` across `threads` workers.
+pub fn filter<T, F>(items: Vec<T>, threads: usize, keep: F) -> Vec<T>
+where
+    T: Send + Sync + Copy,
+    F: Fn(&T) -> bool + Sync,
+{
+    if threads <= 1 {
+        return items.into_iter().filter(|v| keep(v)).collect();
+    }
+    let chunks = map_chunks(&items, threads, |_, chunk| {
+        chunk
+            .iter()
+            .copied()
+            .filter(|v| keep(v))
+            .collect::<Vec<T>>()
+    });
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<usize> = (0..10_000).collect();
+        for threads in [1, 2, 3, 8] {
+            let chunks = map_chunks(&items, threads, |_, c| c.to_vec());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_small_input_stays_sequential() {
+        let used = AtomicUsize::new(0);
+        let out = map_chunks(&[1, 2, 3], 8, |i, c| {
+            used.fetch_add(1, Ordering::SeqCst);
+            (i, c.len())
+        });
+        assert_eq!(out, vec![(0, 3)]);
+        assert_eq!(used.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let out: Vec<usize> = map_chunks(&[] as &[u8], 4, |_, c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let expect: Vec<u64> = items.iter().copied().filter(|v| v % 7 == 0).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(filter(items.clone(), threads, |v| v % 7 == 0), expect);
+        }
+    }
+
+    #[test]
+    fn workers_actually_fork() {
+        let ids = std::sync::Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..1_000).collect();
+        map_chunks(&items, 4, |_, c| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            c.len()
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected multiple workers");
+    }
+}

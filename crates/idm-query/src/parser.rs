@@ -72,9 +72,7 @@ impl Parser {
             Some(t) if is_keyword(t, "join") && self.peek2() == Some(&Token::LParen) => {
                 self.parse_join()
             }
-            Some(Token::DoubleSlash | Token::Slash) => {
-                Ok(Query::Path(self.parse_path()?))
-            }
+            Some(Token::DoubleSlash | Token::Slash) => Ok(Query::Path(self.parse_path()?)),
             Some(Token::LBracket) => {
                 self.next();
                 let pred = self.parse_pred_or()?;
@@ -426,8 +424,7 @@ mod tests {
 
     #[test]
     fn section_5_1_mike_franklin_query() {
-        let q =
-            parse(r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#).unwrap();
+        let q = parse(r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#).unwrap();
         let Query::Path(path) = q else { panic!() };
         assert_eq!(path.steps.len(), 2);
         assert_eq!(
@@ -450,8 +447,7 @@ mod tests {
 
     #[test]
     fn q6_union() {
-        let q = parse(r#"union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])"#)
-            .unwrap();
+        let q = parse(r#"union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])"#).unwrap();
         let Query::Union(members) = q else { panic!() };
         assert_eq!(members.len(), 2);
         assert!(matches!(members[0], Query::Path(_)));
@@ -469,11 +465,10 @@ mod tests {
         assert_eq!(join.left_binding, "A");
         assert_eq!(join.right_binding, "B");
         assert_eq!(join.condition.left.field, Field::Name);
-        assert_eq!(
-            join.condition.right.field,
-            Field::TupleAttr("label".into())
-        );
-        let Query::Path(right) = &join.right else { panic!() };
+        assert_eq!(join.condition.right.field, Field::TupleAttr("label".into()));
+        let Query::Path(right) = &join.right else {
+            panic!()
+        };
         assert_eq!(right.steps.len(), 3);
         assert_eq!(right.steps[2].name.as_str(), "figure*");
     }
@@ -487,22 +482,27 @@ mod tests {
         let Query::Join(join) = q else { panic!() };
         assert_eq!(join.condition.left.field, Field::Name);
         assert_eq!(join.condition.right.field, Field::Name);
-        let Query::Path(left) = &join.left else { panic!() };
+        let Query::Path(left) = &join.left else {
+            panic!()
+        };
         assert_eq!(left.steps[0].name.as_str(), "*");
-        assert_eq!(
-            left.steps[0].pred,
-            Some(Pred::Class("emailmessage".into()))
-        );
+        assert_eq!(left.steps[0].pred, Some(Pred::Class("emailmessage".into())));
         assert_eq!(left.steps[1].name.as_str(), "*.tex");
     }
 
     #[test]
     fn not_and_parens() {
         let q = parse(r#"["a" and not ("b" or class="file")]"#).unwrap();
-        let Query::Filter(Pred::And(members)) = q else { panic!() };
+        let Query::Filter(Pred::And(members)) = q else {
+            panic!()
+        };
         assert_eq!(members[0], Pred::Phrase("a".into()));
-        let Pred::Not(inner) = &members[1] else { panic!() };
-        let Pred::Or(ors) = inner.as_ref() else { panic!() };
+        let Pred::Not(inner) = &members[1] else {
+            panic!()
+        };
+        let Pred::Or(ors) = inner.as_ref() else {
+            panic!()
+        };
         assert_eq!(ors.len(), 2);
         assert_eq!(ors[1], Pred::Class("file".into()));
     }

@@ -250,7 +250,10 @@ mod tests {
         let indexes = Arc::new(IndexBundle::new());
         // "common" is everywhere; "rare" in one place.
         for i in 0..10 {
-            store.build(format!("d{i}")).text("common words here").insert();
+            store
+                .build(format!("d{i}"))
+                .text("common words here")
+                .insert();
         }
         let rare = store.build("special").text("common and rare").insert();
         for vid in store.vids() {

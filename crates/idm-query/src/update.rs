@@ -198,11 +198,7 @@ impl QueryProcessor {
                     let attr = resolve_attr(attr);
                     let old = store.tuple(vid)?;
                     let mut pairs: Vec<(String, Value)> = old
-                        .map(|t| {
-                            t.iter()
-                                .map(|(a, v)| (a.name.clone(), v.clone()))
-                                .collect()
-                        })
+                        .map(|t| t.iter().map(|(a, v)| (a.name.clone(), v.clone())).collect())
                         .unwrap_or_default();
                     match pairs.iter_mut().find(|(a, _)| *a == attr) {
                         Some(pair) => pair.1 = value.clone(),
@@ -298,7 +294,13 @@ mod tests {
         let outcome = p
             .execute_update(r#"update //draft.tex set name = "renamed.tex""#)
             .unwrap();
-        assert_eq!(outcome, UpdateOutcome { matched: 1, applied: 1 });
+        assert_eq!(
+            outcome,
+            UpdateOutcome {
+                matched: 1,
+                applied: 1
+            }
+        );
         assert_eq!(p.execute("//draft.tex").unwrap().rows.len(), 0);
         assert_eq!(p.execute("//renamed.tex").unwrap().rows.len(), 1);
         // Content search still finds it.
@@ -308,7 +310,8 @@ mod tests {
     #[test]
     fn attribute_updates_are_queryable() {
         let p = space();
-        p.execute_update("update //draft.tex set size = 500000").unwrap();
+        p.execute_update("update //draft.tex set size = 500000")
+            .unwrap();
         assert_eq!(p.execute("[size > 420000]").unwrap().rows.len(), 1);
         // Adding a brand-new attribute works too (per-tuple schemas!).
         p.execute_update(r#"update //draft.tex set project = "PIM""#)

@@ -212,10 +212,7 @@ mod tests {
     use idm_core::class::builtin::names;
 
     fn people_schema() -> Schema {
-        Schema::of(&[
-            ("name", Domain::Text),
-            ("age", Domain::Integer),
-        ])
+        Schema::of(&[("name", Domain::Text), ("age", Domain::Integer)])
     }
 
     #[test]
@@ -255,8 +252,11 @@ mod tests {
     fn table_1_instantiation_validates() {
         let db = RelationalDb::new("contacts-db");
         let r = db.create_relation("contacts", people_schema()).unwrap();
-        r.insert(vec![Value::Text("Mike Franklin".into()), Value::Integer(40)])
-            .unwrap();
+        r.insert(vec![
+            Value::Text("Mike Franklin".into()),
+            Value::Integer(40),
+        ])
+        .unwrap();
         r.insert(vec![Value::Text("Don Knuth".into()), Value::Integer(67)])
             .unwrap();
 

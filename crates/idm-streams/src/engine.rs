@@ -82,10 +82,7 @@ impl PushEngine {
         let engine = Arc::clone(&self);
         let handle = std::thread::spawn(move || {
             while !stop2.load(Ordering::Relaxed) {
-                match engine
-                    .rx
-                    .recv_timeout(std::time::Duration::from_millis(10))
-                {
+                match engine.rx.recv_timeout(std::time::Duration::from_millis(10)) {
                     Ok(event) => engine.dispatch(&event),
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
@@ -207,7 +204,10 @@ mod tests {
         let filter = Arc::new(KeywordFilter::new("Mike Franklin"));
         engine.register(Arc::clone(&filter) as Arc<dyn PushOperator>);
 
-        let hit = store.build("intro").text("... with Mike Franklin ...").insert();
+        let hit = store
+            .build("intro")
+            .text("... with Mike Franklin ...")
+            .insert();
         let _miss = store.build("other").text("nothing relevant").insert();
         engine.pump();
         assert_eq!(filter.matches(), vec![hit]);
@@ -228,7 +228,10 @@ mod tests {
         engine.register(Arc::clone(&filter) as Arc<dyn PushOperator>);
         let guard = Arc::clone(&engine).spawn_pump();
 
-        store.build("m").text("a new tuple on a data stream").insert();
+        store
+            .build("m")
+            .text("a new tuple on a data stream")
+            .insert();
         // Wait (bounded) for the background thread to process it.
         for _ in 0..200 {
             if !filter.matches().is_empty() {

@@ -112,7 +112,9 @@ impl ViewSequenceSource for RssStreamSource {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// State-snapshot function of a [`PollingStream`].

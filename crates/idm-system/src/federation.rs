@@ -55,10 +55,7 @@ impl Federation {
 
     /// The system of one peer.
     pub fn peer(&self, name: &str) -> Option<&Pdsms> {
-        self.peers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.peers.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
     /// Runs a query on every peer; rows are tagged with their peer.
@@ -181,7 +178,8 @@ mod tests {
     #[test]
     fn ranked_federation_merges_globally() {
         let mut fed = Federation::new();
-        fed.add_peer("light", peer_with("x.txt", "database once")).unwrap();
+        fed.add_peer("light", peer_with("x.txt", "database once"))
+            .unwrap();
         fed.add_peer(
             "heavy",
             peer_with("y.txt", "database database database database"),

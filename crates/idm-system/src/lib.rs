@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn explain_renders_plans() {
         let system = Pdsms::new();
-        let plan = system.explain(r#"//PIM//Introduction["Mike Franklin"]"#).unwrap();
+        let plan = system
+            .explain(r#"//PIM//Introduction["Mike Franklin"]"#)
+            .unwrap();
         assert!(plan.contains("Forward expansion"));
     }
 }

@@ -279,10 +279,8 @@ mod tests {
     fn derived_views_are_queryable_after_ingest() {
         let (rvm, _fs) = rvm_with_fs();
         rvm.ingest_all().unwrap();
-        let processor = idm_query::QueryProcessor::new(
-            Arc::clone(rvm.store()),
-            Arc::clone(rvm.indexes()),
-        );
+        let processor =
+            idm_query::QueryProcessor::new(Arc::clone(rvm.store()), Arc::clone(rvm.indexes()));
         let result = processor
             .execute(r#"//papers//*[class="latex_section"]"#)
             .unwrap();
@@ -302,7 +300,10 @@ mod tests {
             .set_content(vid, Content::text("entirely new words"))
             .unwrap();
         rvm.reindex_view(vid, "filesystem").unwrap();
-        assert_eq!(rvm.indexes().content.phrase_query("entirely new"), vec![vid]);
+        assert_eq!(
+            rvm.indexes().content.phrase_query("entirely new"),
+            vec![vid]
+        );
     }
 
     #[test]

@@ -234,7 +234,8 @@ impl SynchronizationManager {
                     .into_iter()
                     .filter(|m| *m != vid)
                     .collect();
-                self.store.set_group(parent, Group::of_set(members.clone()))?;
+                self.store
+                    .set_group(parent, Group::of_set(members.clone()))?;
                 self.indexes.group.index(parent, &members);
             }
         }
@@ -368,7 +369,8 @@ impl ImapSynchronizationManager {
             let members = self.store.group(folder_vid)?.finite_members();
             if members.contains(&vid) {
                 let kept: Vec<Vid> = members.into_iter().filter(|m| *m != vid).collect();
-                self.store.set_group(folder_vid, Group::of_set(kept.clone()))?;
+                self.store
+                    .set_group(folder_vid, Group::of_set(kept.clone()))?;
                 self.indexes.group.index(folder_vid, &kept);
             }
         }
@@ -406,9 +408,8 @@ mod tests {
         rvm.register_source(Arc::clone(&plugin) as Arc<dyn crate::source::DataSourcePlugin>);
         rvm.ingest_all().unwrap();
 
-        let sync =
-            SynchronizationManager::attach(plugin, Arc::clone(&store), Arc::clone(&indexes))
-                .unwrap();
+        let sync = SynchronizationManager::attach(plugin, Arc::clone(&store), Arc::clone(&indexes))
+            .unwrap();
         World {
             fs,
             store,
@@ -430,8 +431,7 @@ mod tests {
         let w = world();
         assert_eq!(query(&w, r#""bravo""#), 0);
         let dir = w.fs.resolve("/papers").unwrap();
-        w.fs
-            .create_file(dir, "b.tex", "\\section{Bravo}\nbravo text", t())
+        w.fs.create_file(dir, "b.tex", "\\section{Bravo}\nbravo text", t())
             .unwrap();
         let report = w.sync.sync_round().unwrap();
         assert!(report.created >= 3, "file + derived views: {report:?}");
@@ -446,8 +446,7 @@ mod tests {
         let w = world();
         assert_eq!(query(&w, r#"//papers//Alpha"#), 1);
         let file = w.fs.resolve("/papers/a.tex").unwrap();
-        w.fs
-            .write_file(file, "\\section{Omega}\nomega text", t().plus_days(1))
+        w.fs.write_file(file, "\\section{Omega}\nomega text", t().plus_days(1))
             .unwrap();
         let report = w.sync.sync_round().unwrap();
         assert_eq!(report.modified, 1);
@@ -476,8 +475,7 @@ mod tests {
         // Simulate a change that raced past the subscription by draining
         // events without processing.
         let dir = w.fs.resolve("/papers").unwrap();
-        w.fs
-            .create_file(dir, "quiet.tex", "\\section{Quiet}\nquiet text", t())
+        w.fs.create_file(dir, "quiet.tex", "\\section{Quiet}\nquiet text", t())
             .unwrap();
         while w.sync.events.try_recv().is_ok() {}
         assert_eq!(query(&w, r#""quiet""#), 0);
@@ -536,8 +534,9 @@ mod tests {
                     body: "see the attached evaluation".into(),
                     attachments: vec![Attachment {
                         filename: "eval.tex".into(),
-                        content: "\\begin{figure}\\caption{Indexing Time v2}\\label{f}\\end{figure}"
-                            .into(),
+                        content:
+                            "\\begin{figure}\\caption{Indexing Time v2}\\label{f}\\end{figure}"
+                                .into(),
                     }],
                     ..EmailMessage::default()
                 },

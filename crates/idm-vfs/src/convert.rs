@@ -55,7 +55,9 @@ impl ContentProvider for FileContentProvider {
 /// components — necessary because folder links may point anywhere,
 /// including ancestors (cycles).
 pub fn materialize(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Result<FsMapping> {
-    let file_class = store.classes().require(idm_core::class::builtin::names::FILE)?;
+    let file_class = store
+        .classes()
+        .require(idm_core::class::builtin::names::FILE)?;
     let folder_class = store
         .classes()
         .require(idm_core::class::builtin::names::FOLDER)?;
@@ -197,7 +199,8 @@ mod tests {
         fs.mkdir_p("/Projects/OLAP", t()).unwrap();
         fs.create_file(pim, "vldb 2006.tex", "\\section{Introduction}", t())
             .unwrap();
-        fs.create_file(pim, "Grant.doc", "grant proposal", t()).unwrap();
+        fs.create_file(pim, "Grant.doc", "grant proposal", t())
+            .unwrap();
         fs.create_link(pim, "All Projects", projects, t()).unwrap();
         fs
     }
@@ -246,9 +249,7 @@ mod tests {
         let fs = figure1_fs();
         let store = ViewStore::new();
         let mapping = materialize(&fs, &store, NodeId::ROOT).unwrap();
-        let projects = mapping
-            .view_of(fs.resolve("/Projects").unwrap())
-            .unwrap();
+        let projects = mapping.view_of(fs.resolve("/Projects").unwrap()).unwrap();
         // Projects →* Projects via PIM → All Projects → Projects.
         assert!(graph::is_indirectly_related(&store, projects, projects).unwrap());
     }
@@ -282,9 +283,6 @@ mod tests {
             .unwrap();
         let targets = store.group(link).unwrap().finite_members();
         assert_eq!(targets.len(), 1);
-        assert_eq!(
-            store.name(targets[0]).unwrap().as_deref(),
-            Some("Projects")
-        );
+        assert_eq!(store.name(targets[0]).unwrap().as_deref(), Some("Projects"));
     }
 }

@@ -156,7 +156,6 @@ impl DiskLatency {
     }
 }
 
-
 /// Busy-waits short costs (thread::sleep granularity would distort
 /// sub-millisecond simulated latencies), sleeps long ones.
 fn wait_for(cost: std::time::Duration) {

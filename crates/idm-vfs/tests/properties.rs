@@ -10,10 +10,22 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Mkdir { parent: usize, name: String },
-    CreateFile { parent: usize, name: String, content: String },
-    WriteFile { index: usize, content: String },
-    Remove { index: usize },
+    Mkdir {
+        parent: usize,
+        name: String,
+    },
+    CreateFile {
+        parent: usize,
+        name: String,
+        content: String,
+    },
+    WriteFile {
+        index: usize,
+        content: String,
+    },
+    Remove {
+        index: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

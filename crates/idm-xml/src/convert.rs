@@ -163,11 +163,8 @@ mod tests {
         let snapshot = store.group(root).unwrap();
         let data = snapshot.finite().unwrap();
         assert!(data.set().is_empty(), "children live in the sequence Q");
-        let names: Vec<Option<String>> = data
-            .seq()
-            .iter()
-            .map(|v| store.name(*v).unwrap())
-            .collect();
+        let names: Vec<Option<String>> =
+            data.seq().iter().map(|v| store.name(*v).unwrap()).collect();
         assert_eq!(
             names,
             vec![
@@ -221,10 +218,7 @@ mod tests {
     #[test]
     fn lazy_enrichment_defers_parsing() {
         let store = ViewStore::new();
-        let file = store
-            .build("a.xml")
-            .text("<r><x/></r>")
-            .insert();
+        let file = store.build("a.xml").text("<r><x/></r>").insert();
         enrich_xml_file_lazily(&store, file).unwrap();
         assert_eq!(store.len(), 1, "no parsing yet");
         let members = store.group(file).unwrap().finite_members();
@@ -242,8 +236,7 @@ mod tests {
     #[test]
     fn converted_views_validate_deeply() {
         let store = ViewStore::new();
-        let (doc, _) =
-            text_to_views(&store, r#"<r a="1"><s>text</s><t/></r>"#).unwrap();
+        let (doc, _) = text_to_views(&store, r#"<r a="1"><s>text</s><t/></r>"#).unwrap();
         // Every derived view must conform to its class.
         for vid in idm_core::graph::descendants(&store, doc, usize::MAX)
             .unwrap()

@@ -280,9 +280,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -616,10 +615,7 @@ mod tests {
 
     #[test]
     fn activexml_document_from_section_4_3_1() {
-        let doc = parse(
-            "<dep>\n  <sc>web.server.com/GetDepartments()</sc>\n</dep>",
-        )
-        .unwrap();
+        let doc = parse("<dep>\n  <sc>web.server.com/GetDepartments()</sc>\n</dep>").unwrap();
         assert_eq!(doc.root.name, "dep");
         let sc = doc.root.child_named("sc").unwrap();
         assert_eq!(sc.direct_text(), "web.server.com/GetDepartments()");

@@ -94,8 +94,14 @@ mod tests {
 
     fn synth_doc(seed: u64) -> XmlDocument {
         fn build(depth: usize, state: &mut u64) -> XmlElement {
-            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let n_children = if depth >= 3 { 0 } else { (*state >> 33) as usize % 4 };
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let n_children = if depth >= 3 {
+                0
+            } else {
+                (*state >> 33) as usize % 4
+            };
             let mut e = XmlElement::new(format!("e{}", (*state >> 20) % 10));
             if (*state).is_multiple_of(2) {
                 e.attributes

@@ -33,7 +33,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             table[i] = c;
@@ -166,9 +170,7 @@ pub fn read_zip(bytes: &[u8]) -> Result<Vec<ZipEntry>> {
             if magic == CENTRAL_MAGIC || magic == EOCD_MAGIC {
                 break;
             }
-            return Err(Cursor::err(&format!(
-                "unexpected record at offset {start}"
-            )));
+            return Err(Cursor::err(&format!("unexpected record at offset {start}")));
         }
         let _version = cursor.u16()?;
         let flags = cursor.u16()?;
@@ -245,7 +247,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

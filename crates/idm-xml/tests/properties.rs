@@ -17,8 +17,11 @@ fn arb_text() -> impl Strategy<Value = String> {
 }
 
 fn arb_element(depth: u32) -> BoxedStrategy<XmlElement> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
-        |(name, attrs)| {
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+    )
+        .prop_map(|(name, attrs)| {
             let mut e = XmlElement::new(name);
             // Attribute names must be unique per element.
             let mut seen = std::collections::HashSet::new();
@@ -28,8 +31,7 @@ fn arb_element(depth: u32) -> BoxedStrategy<XmlElement> {
                 }
             }
             e
-        },
-    );
+        });
     if depth == 0 {
         return leaf.boxed();
     }

@@ -49,10 +49,8 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     );
 
     // The result's XML becomes an iDM subgraph via the XML converter.
-    let (doc, derived) = imemex::xml::convert::text_to_views(
-        &store,
-        &store.content(result)?.text_lossy()?,
-    )?;
+    let (doc, derived) =
+        imemex::xml::convert::text_to_views(&store, &store.content(result)?.text_lossy()?)?;
     store.add_group_member(result, doc, true)?;
     println!("converted the service result into {derived} resource views");
 

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     federation.add_peer(
         "laptop",
         peer(&[
-            ("draft.tex", "\\section{Intro}\nnotes on database tuning for the course"),
+            (
+                "draft.tex",
+                "\\section{Intro}\nnotes on database tuning for the course",
+            ),
             ("todo.txt", "buy milk, fix the bike"),
         ])?,
     )?;

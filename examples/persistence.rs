@@ -31,7 +31,11 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
             format!(
                 "\\section{{Study {i}}}\nThis paper number {i} discusses \
                  {} at length.",
-                if i % 5 == 0 { "database tuning" } else { "other topics" }
+                if i % 5 == 0 {
+                    "database tuning"
+                } else {
+                    "other topics"
+                }
             ),
             now,
         )?;
@@ -74,7 +78,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     // Structural queries work too: the catalog and the group replica
     // travelled with the file.
     let sections = processor.execute(r#"//papers//*[class="latex_section"]"#)?;
-    println!("  sections still reachable via the group replica: {}", sections.rows.len());
+    println!(
+        "  sections still reachable via the group replica: {}",
+        sections.rows.len()
+    );
     assert_eq!(sections.rows.len(), 25);
 
     std::fs::remove_file(&path).ok();

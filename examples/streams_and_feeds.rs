@@ -120,7 +120,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         let _ = vid;
     }
     engine.pump();
-    println!("\nINBOX stream delivered {delivered} messages (consumed: server now has {} left)", imap.message_count());
+    println!(
+        "\nINBOX stream delivered {delivered} messages (consumed: server now has {} left)",
+        imap.message_count()
+    );
     println!(
         "push filter matched {} message(s) containing 'stream operator'",
         filter.matches().len()

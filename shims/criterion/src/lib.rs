@@ -1,0 +1,322 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`, throughput annotation — with a
+//! simple wall-clock measurement loop: per sample, run the routine in
+//! an adaptively sized batch and record the per-iteration time; report
+//! min / median / mean over `sample_size` samples.
+//!
+//! When the binary is invoked *without* `--bench` (i.e. by `cargo
+//! test`, which runs `harness = false` bench targets as plain
+//! executables), every benchmark routine is executed exactly once as a
+//! smoke test and no timing is reported, keeping the test suite fast.
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. Ignored by this harness
+/// (every batch re-runs setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup runs once per iteration.
+    PerIteration,
+    /// Small input: setup cost amortized over a small batch.
+    SmallInput,
+    /// Large input: setup cost amortized over a large batch.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench` under `cargo bench`
+        // and without it under `cargo test`.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(700),
+            smoke_test: !bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepts CLI arguments (no-op beyond the `--bench` detection done
+    /// at construction).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.smoke_test {
+            println!("\n== group: {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let sample_size = self.sample_size;
+        let throughput = None;
+        self.run_one(&id.into(), sample_size, throughput, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            mode: if self.smoke_test {
+                Mode::Smoke
+            } else {
+                Mode::Measure {
+                    sample_size,
+                    measurement_time: self.measurement_time,
+                }
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.smoke_test {
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = throughput
+            .map(|t| match t {
+                Throughput::Bytes(b) => {
+                    let gib = b as f64 / median.as_secs_f64() / (1 << 30) as f64;
+                    format!("  {gib:8.3} GiB/s")
+                }
+                Throughput::Elements(e) => {
+                    let me = e as f64 / median.as_secs_f64() / 1e6;
+                    format!("  {me:8.3} Melem/s")
+                }
+            })
+            .unwrap_or_default();
+        println!(
+            "{id:<40} min {:>12?}  median {:>12?}  mean {:>12?}{rate}",
+            min, median, mean
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(&full, sample_size, self.throughput, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Smoke,
+    Measure {
+        sample_size: usize,
+        measurement_time: Duration,
+    },
+}
+
+/// Runs and times the benchmark routine.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure {
+                sample_size,
+                measurement_time,
+            } => {
+                // Warm-up & batch sizing: grow the batch until it runs
+                // long enough to time reliably.
+                let mut batch = 1u64;
+                let per_iter = loop {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                        break elapsed / batch as u32;
+                    }
+                    batch *= 4;
+                };
+                let per_sample = (measurement_time.as_nanos() / sample_size.max(1) as u128).max(1);
+                let iters_per_sample =
+                    (per_sample / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed() / iters_per_sample as u32);
+                }
+            }
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup not timed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { sample_size, .. } => {
+                // Setup cost forces one-iteration samples; use more
+                // samples to compensate.
+                for _ in 0..sample_size.max(8) * 4 {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(10),
+            smoke_test: true,
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            smoke_test: false,
+        };
+        c.bench_function("busy", |b| b.iter(|| black_box(7u64).wrapping_mul(3)));
+    }
+}

@@ -164,7 +164,10 @@ fn lineage_spans_sources_and_formats() {
 
     // A file is copied, then converted: lineage keeps the whole chain.
     let store = ViewStore::new();
-    let original = store.build("report.tex").text("\\section{S}\nbody").insert();
+    let original = store
+        .build("report.tex")
+        .text("\\section{S}\nbody")
+        .insert();
     let copy = store
         .build("report-copy.tex")
         .text("\\section{S}\nbody")

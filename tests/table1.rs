@@ -206,10 +206,7 @@ fn table_1_constraints_reject_violations() {
         .text("x")
         .class_named(names::FILE)
         .insert();
-    let bad_relation = store
-        .build("contacts")
-        .children(vec![file])
-        .insert();
+    let bad_relation = store.build("contacts").children(vec![file]).insert();
     assert!(validate_as(
         &store,
         bad_relation,
@@ -224,10 +221,7 @@ fn table_1_constraints_reject_violations() {
         .text("t")
         .class_named(names::XMLTEXT)
         .insert();
-    let set_children = store
-        .build("elem")
-        .children(vec![text])
-        .insert();
+    let set_children = store.build("elem").children(vec![text]).insert();
     assert!(validate_as(
         &store,
         set_children,
