@@ -64,6 +64,37 @@ fn parallel_execution_matches_sequential_rows_exactly() {
     }
 }
 
+/// With the fault layer compiled in but no fault plan installed, every
+/// substrate check is an inert no-op: query rows must be identical to a
+/// run without the layer (this test runs under both feature sets in CI
+/// and asserts self-consistency; the cross-feature comparison is the
+/// two CI jobs agreeing on the same assertions).
+#[test]
+fn idle_fault_layer_leaves_query_rows_unchanged() {
+    let bench = build(bench_options());
+    let processor = bench.processor(ExpansionStrategy::Forward);
+    let first: Vec<QueryResult> = TABLE4_QUERIES
+        .iter()
+        .map(|(_, iql)| processor.execute(iql).expect("first run"))
+        .collect();
+    for ((qname, iql), expect) in TABLE4_QUERIES.iter().zip(&first) {
+        let got = processor.execute(iql).expect("second run");
+        assert_eq!(got.rows, expect.rows, "{qname} rows changed");
+        assert_eq!(
+            got.stats.retries, 0,
+            "{qname}: no fault plan installed, so no retries"
+        );
+        assert_eq!(
+            got.stats.breaker_trips, 0,
+            "{qname}: no fault plan installed, so no breaker trips"
+        );
+        assert_eq!(
+            got.stats.stale_served, 0,
+            "{qname}: nothing degraded, so no stale reads"
+        );
+    }
+}
+
 #[test]
 fn parallelism_one_is_the_default_and_bitwise_stable() {
     let bench = build(bench_options());

@@ -59,13 +59,9 @@ impl ServiceRegistry {
     /// Invokes an endpoint.
     pub fn invoke(&self, endpoint: &str, args: &str) -> Result<String> {
         let service =
-            self.services
-                .read()
-                .get(endpoint)
-                .cloned()
-                .ok_or_else(|| IdmError::Provider {
-                    detail: format!("no service registered at '{endpoint}'"),
-                })?;
+            self.services.read().get(endpoint).cloned().ok_or_else(|| {
+                IdmError::provider(format!("no service registered at '{endpoint}'"))
+            })?;
         service.call(args)
     }
 }
@@ -157,9 +153,8 @@ pub fn materialize_result(store: &ViewStore, registry: &ServiceRegistry, axml: V
             _ => {}
         }
     }
-    let sc_view = sc_view.ok_or_else(|| IdmError::Provider {
-        detail: format!("view {axml} has no service-call child"),
-    })?;
+    let sc_view = sc_view
+        .ok_or_else(|| IdmError::provider(format!("view {axml} has no service-call child")))?;
 
     let expr = store.content(sc_view)?.text_lossy()?;
     let call = ServiceCall::parse(&expr)?;
@@ -200,9 +195,8 @@ pub fn refresh_result(
             }
         }
     }
-    let expr = expr.ok_or_else(|| IdmError::Provider {
-        detail: format!("view {axml} has no service-call child"),
-    })?;
+    let expr =
+        expr.ok_or_else(|| IdmError::provider(format!("view {axml} has no service-call child")))?;
     let call = ServiceCall::parse(&expr)?;
     let fresh = registry.invoke(&call.endpoint, &call.args)?;
 

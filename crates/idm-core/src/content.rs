@@ -253,9 +253,9 @@ impl ContentReader {
                 Ok(Some(chunk))
             }
             ContentReader::Infinite { source } => source.next_chunk().map(Some),
-            ContentReader::Failed(err) => Err(err.take().unwrap_or(IdmError::Provider {
-                detail: "content computation failed".into(),
-            })),
+            ContentReader::Failed(err) => Err(err
+                .take()
+                .unwrap_or(IdmError::provider("content computation failed"))),
         }
     }
 }
@@ -330,11 +330,7 @@ mod tests {
 
     #[test]
     fn failed_lazy_reader_reports_error() {
-        let provider = Arc::new(|| {
-            Err(IdmError::Provider {
-                detail: "remote host down".into(),
-            })
-        });
+        let provider = Arc::new(|| Err(IdmError::provider("remote host down")));
         let c = Content::lazy(provider);
         assert!(c.bytes().is_err());
         let mut reader = c.reader();

@@ -4,6 +4,36 @@ use std::fmt;
 
 use crate::store::Vid;
 
+/// How a substrate failure should be treated by retry and breaker logic.
+///
+/// Substrates — filesystems, IMAP servers, feed servers, streams — fail
+/// in ways the dataspace layer must distinguish: a dropped connection is
+/// worth retrying, a missing mailbox is not, and an exceeded deadline is
+/// its own signal (the work may still be running remotely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubstrateFaultKind {
+    /// A fault expected to heal on its own (I/O hiccup, torn read,
+    /// connection reset). Safe to retry.
+    Transient,
+    /// A fault that will recur on every attempt (not found, permission,
+    /// malformed request). Retrying is wasted work.
+    Permanent,
+    /// The per-call time budget was exhausted before the substrate
+    /// answered. Retryable, but counted separately because the cause is
+    /// slowness rather than failure.
+    Timeout,
+}
+
+impl fmt::Display for SubstrateFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubstrateFaultKind::Transient => write!(f, "transient"),
+            SubstrateFaultKind::Permanent => write!(f, "permanent"),
+            SubstrateFaultKind::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
 /// Errors raised by the iDM core model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IdmError {
@@ -31,6 +61,24 @@ pub enum IdmError {
     Provider {
         /// Description of the failure.
         detail: String,
+        /// The data source whose provider failed, when known
+        /// (`"filesystem"`, `"imap"`, `"rss"`, …).
+        source: Option<String>,
+        /// The view whose component was being forced, when known.
+        vid: Option<Vid>,
+    },
+    /// A substrate (filesystem, IMAP server, feed server, stream) call
+    /// failed. Carries the classification retry/breaker logic needs.
+    Substrate {
+        /// The data source the call targeted.
+        source: String,
+        /// Whether the fault is transient, permanent or a timeout.
+        kind: SubstrateFaultKind,
+        /// Which attempt produced this error (1-based; > 1 means the
+        /// call was already retried).
+        attempt: u32,
+        /// Description of the failure.
+        detail: String,
     },
     /// An operation that requires a finite component met an infinite one.
     InfiniteComponent {
@@ -42,6 +90,139 @@ pub enum IdmError {
         /// Description of the parse failure.
         detail: String,
     },
+}
+
+impl IdmError {
+    /// A provider failure with no attribution yet (the common case at
+    /// the raising site; [`IdmError::with_source`] and
+    /// [`IdmError::with_vid`] attach attribution as the error bubbles
+    /// through layers that know it).
+    pub fn provider(detail: impl Into<String>) -> Self {
+        IdmError::Provider {
+            detail: detail.into(),
+            source: None,
+            vid: None,
+        }
+    }
+
+    /// A transient substrate failure (first attempt).
+    pub fn transient(source: impl Into<String>, detail: impl Into<String>) -> Self {
+        IdmError::Substrate {
+            source: source.into(),
+            kind: SubstrateFaultKind::Transient,
+            attempt: 1,
+            detail: detail.into(),
+        }
+    }
+
+    /// A permanent substrate failure (first attempt).
+    pub fn permanent(source: impl Into<String>, detail: impl Into<String>) -> Self {
+        IdmError::Substrate {
+            source: source.into(),
+            kind: SubstrateFaultKind::Permanent,
+            attempt: 1,
+            detail: detail.into(),
+        }
+    }
+
+    /// A substrate timeout (first attempt).
+    pub fn timeout(source: impl Into<String>, detail: impl Into<String>) -> Self {
+        IdmError::Substrate {
+            source: source.into(),
+            kind: SubstrateFaultKind::Timeout,
+            attempt: 1,
+            detail: detail.into(),
+        }
+    }
+
+    /// The substrate fault classification, if this is a substrate error.
+    pub fn substrate_kind(&self) -> Option<SubstrateFaultKind> {
+        match self {
+            IdmError::Substrate { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed.
+    ///
+    /// Classified substrate errors answer from their kind. An
+    /// unclassified [`IdmError::Provider`] is treated as retryable —
+    /// providers wrap substrate calls whose failure mode is unknown, and
+    /// a bounded retry of an unknown fault is the safer default. Model
+    /// errors (schema, conformance, parse, unknown ids) never are.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            IdmError::Substrate { kind, .. } => {
+                matches!(
+                    kind,
+                    SubstrateFaultKind::Transient | SubstrateFaultKind::Timeout
+                )
+            }
+            IdmError::Provider { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Whether a degraded read (serving a stale last-known-good value)
+    /// is an acceptable answer to this failure. True for substrate and
+    /// provider failures — the data existed, the access path is down —
+    /// and false for model errors, which no cache entry can paper over.
+    pub fn is_degradable(&self) -> bool {
+        matches!(self, IdmError::Substrate { .. } | IdmError::Provider { .. })
+    }
+
+    /// Attaches a data source name to a provider/substrate error
+    /// (no-op for other variants, and never overwrites attribution
+    /// already present).
+    pub fn with_source(self, source: impl Into<String>) -> Self {
+        match self {
+            IdmError::Provider {
+                detail,
+                source: None,
+                vid,
+            } => IdmError::Provider {
+                detail,
+                source: Some(source.into()),
+                vid,
+            },
+            other => other,
+        }
+    }
+
+    /// Attaches the view whose component force failed to a provider
+    /// error (no-op for other variants; never overwrites).
+    pub fn with_vid(self, vid: Vid) -> Self {
+        match self {
+            IdmError::Provider {
+                detail,
+                source,
+                vid: None,
+            } => IdmError::Provider {
+                detail,
+                source,
+                vid: Some(vid),
+            },
+            other => other,
+        }
+    }
+
+    /// Stamps the attempt number on a substrate error (no-op otherwise).
+    pub fn with_attempt(self, attempt: u32) -> Self {
+        match self {
+            IdmError::Substrate {
+                source,
+                kind,
+                detail,
+                ..
+            } => IdmError::Substrate {
+                source,
+                kind,
+                attempt,
+                detail,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for IdmError {
@@ -59,7 +240,31 @@ impl fmt::Display for IdmError {
             IdmError::GroupOverlap(vid) => {
                 write!(f, "group component of view {vid} violates S ∩ Q = ∅")
             }
-            IdmError::Provider { detail } => write!(f, "lazy provider failed: {detail}"),
+            IdmError::Provider {
+                detail,
+                source,
+                vid,
+            } => {
+                write!(f, "lazy provider failed")?;
+                if let Some(source) = source {
+                    write!(f, " (source '{source}')")?;
+                }
+                if let Some(vid) = vid {
+                    write!(f, " (view {vid})")?;
+                }
+                write!(f, ": {detail}")
+            }
+            IdmError::Substrate {
+                source,
+                kind,
+                attempt,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "substrate '{source}' failed ({kind}, attempt {attempt}): {detail}"
+                )
+            }
             IdmError::InfiniteComponent { detail } => {
                 write!(f, "operation requires a finite component: {detail}")
             }
@@ -72,3 +277,59 @@ impl std::error::Error for IdmError {}
 
 /// Convenience result alias used throughout the core crate.
 pub type Result<T> = std::result::Result<T, IdmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_display_carries_attribution() {
+        let bare = IdmError::provider("disk on fire");
+        assert_eq!(bare.to_string(), "lazy provider failed: disk on fire");
+
+        let attributed = bare
+            .with_source("filesystem")
+            .with_vid(Vid::from_raw(7))
+            .to_string();
+        assert!(attributed.contains("filesystem"), "{attributed}");
+        assert!(attributed.contains("v7"), "{attributed}");
+        assert!(attributed.contains("disk on fire"), "{attributed}");
+    }
+
+    #[test]
+    fn attribution_never_overwrites() {
+        let e = IdmError::provider("x")
+            .with_source("imap")
+            .with_source("filesystem");
+        let IdmError::Provider { source, .. } = &e else {
+            panic!()
+        };
+        assert_eq!(source.as_deref(), Some("imap"));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(IdmError::transient("fs", "x").is_retryable());
+        assert!(IdmError::timeout("fs", "x").is_retryable());
+        assert!(!IdmError::permanent("fs", "x").is_retryable());
+        assert!(IdmError::provider("x").is_retryable());
+        assert!(!IdmError::Parse { detail: "x".into() }.is_retryable());
+
+        assert!(IdmError::transient("fs", "x").is_degradable());
+        assert!(IdmError::permanent("fs", "x").is_degradable());
+        assert!(!IdmError::UnknownVid(Vid::from_raw(1)).is_degradable());
+
+        assert_eq!(
+            IdmError::timeout("fs", "x").substrate_kind(),
+            Some(SubstrateFaultKind::Timeout)
+        );
+        assert_eq!(IdmError::provider("x").substrate_kind(), None);
+    }
+
+    #[test]
+    fn attempt_is_stamped_and_displayed() {
+        let e = IdmError::transient("imap", "reset").with_attempt(3);
+        assert!(e.to_string().contains("attempt 3"), "{e}");
+        assert!(IdmError::provider("x").with_attempt(9).is_retryable());
+    }
+}

@@ -43,6 +43,7 @@ pub mod axml;
 pub mod class;
 pub mod content;
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod group;
 pub mod lineage;
@@ -55,7 +56,11 @@ pub mod version;
 pub mod prelude {
     pub use crate::class::{builtin, ClassId, ClassRegistry, Constraints};
     pub use crate::content::{Content, ContentProvider, ContentReader, SymbolSource};
-    pub use crate::error::{IdmError, Result};
+    pub use crate::error::{IdmError, Result, SubstrateFaultKind};
+    pub use crate::fault::{
+        BreakerState, CircuitBreaker, FaultAction, FaultCounters, FaultInjector, FaultPlan,
+        FaultPoint, FaultStats, RetryPolicy, SourceGuard,
+    };
     pub use crate::group::{Group, GroupData, GroupProvider, ViewSequenceSource};
     pub use crate::store::{
         ChangeEvent, ChangeKind, GroupSnapshot, Vid, ViewBuilder, ViewRecord, ViewStore,

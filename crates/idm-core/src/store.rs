@@ -385,7 +385,9 @@ impl ViewStore {
             Group::Empty => Ok(GroupSnapshot::Finite(Arc::clone(&EMPTY_GROUP))),
             Group::Materialized(data) => Ok(GroupSnapshot::Finite(data)),
             Group::Lazy(lazy) => {
-                let data = lazy.force(self, vid)?;
+                // Attribute force failures to the view being expanded so a
+                // failed lazy force is traceable in logs and reports.
+                let data = lazy.force(self, vid).map_err(|e| e.with_vid(vid))?;
                 Ok(GroupSnapshot::Finite(data))
             }
             Group::InfiniteSeq(source) => Ok(GroupSnapshot::Infinite(source)),

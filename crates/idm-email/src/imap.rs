@@ -122,6 +122,8 @@ pub struct ImapServer {
     simulated: Mutex<Duration>,
     sleep: bool,
     subscribers: Mutex<Vec<Sender<MailEvent>>>,
+    #[cfg(feature = "fault-injection")]
+    faults: FaultPoint,
 }
 
 impl ImapServer {
@@ -143,7 +145,33 @@ impl ImapServer {
             simulated: Mutex::new(Duration::ZERO),
             sleep,
             subscribers: Mutex::new(Vec::new()),
+            #[cfg(feature = "fault-injection")]
+            faults: FaultPoint::new(),
         }
+    }
+
+    /// Installs a fault plan on this server's protocol round trips;
+    /// returns the injector for call/fault counting.
+    #[cfg(feature = "fault-injection")]
+    pub fn install_faults(&self, plan: FaultPlan) -> std::sync::Arc<FaultInjector> {
+        self.faults.install(plan)
+    }
+
+    /// Removes any installed fault plan (the link heals).
+    #[cfg(feature = "fault-injection")]
+    pub fn clear_faults(&self) {
+        self.faults.clear()
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn fault_check(&self, op: &str) -> Result<FaultAction> {
+        self.faults.check("imap", op)
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn fault_check(&self, _op: &str) -> Result<FaultAction> {
+        Ok(FaultAction::Proceed)
     }
 
     /// A latency-free server for tests.
@@ -197,9 +225,7 @@ impl ImapServer {
         self.pay(0);
         let mut inner = self.inner.write();
         if inner.mailboxes.get(parent.0 as usize).is_none() {
-            return Err(IdmError::Provider {
-                detail: format!("imap: no mailbox {parent}"),
-            });
+            return Err(IdmError::provider(format!("imap: no mailbox {parent}")));
         }
         let id = MailboxId(inner.mailboxes.len() as u32);
         inner.mailboxes.push(Mailbox {
@@ -213,14 +239,13 @@ impl ImapServer {
 
     /// Lists sub-mailboxes of `parent` as `(id, name)` pairs.
     pub fn list_mailboxes(&self, parent: MailboxId) -> Result<Vec<(MailboxId, String)>> {
+        self.fault_check("list_mailboxes")?;
         self.pay(0);
         let inner = self.inner.read();
         let mailbox = inner
             .mailboxes
             .get(parent.0 as usize)
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("imap: no mailbox {parent}"),
-            })?;
+            .ok_or_else(|| IdmError::provider(format!("imap: no mailbox {parent}")))?;
         Ok(mailbox
             .children
             .iter()
@@ -235,21 +260,18 @@ impl ImapServer {
             .mailboxes
             .get(id.0 as usize)
             .map(|m| m.name.clone())
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("imap: no mailbox {id}"),
-            })
+            .ok_or_else(|| IdmError::provider(format!("imap: no mailbox {id}")))
     }
 
     /// Delivers a message into a mailbox; returns its uid.
     pub fn append(&self, mailbox: MailboxId, message: &EmailMessage) -> Result<Uid> {
+        self.fault_check("append")?;
         let wire = message.to_wire();
         self.pay(wire.len());
         let uid = {
             let mut inner = self.inner.write();
             if inner.mailboxes.get(mailbox.0 as usize).is_none() {
-                return Err(IdmError::Provider {
-                    detail: format!("imap: no mailbox {mailbox}"),
-                });
+                return Err(IdmError::provider(format!("imap: no mailbox {mailbox}")));
             }
             let uid = Uid(inner.next_uid);
             inner.next_uid += 1;
@@ -263,64 +285,67 @@ impl ImapServer {
 
     /// Lists message uids in a mailbox (one LIST round trip).
     pub fn list_messages(&self, mailbox: MailboxId) -> Result<Vec<Uid>> {
+        self.fault_check("list_messages")?;
         self.pay(0);
         let inner = self.inner.read();
         inner
             .mailboxes
             .get(mailbox.0 as usize)
             .map(|m| m.messages.clone())
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("imap: no mailbox {mailbox}"),
-            })
+            .ok_or_else(|| IdmError::provider(format!("imap: no mailbox {mailbox}")))
     }
 
     /// Fetches a message (one FETCH round trip paying transfer cost).
     pub fn fetch(&self, uid: Uid) -> Result<EmailMessage> {
-        let wire = {
+        let action = self.fault_check("fetch")?;
+        let mut wire = {
             let inner = self.inner.read();
             inner
                 .store
                 .get(&uid)
                 .cloned()
-                .ok_or_else(|| IdmError::Provider {
-                    detail: format!("imap: no message {uid}"),
-                })?
+                .ok_or_else(|| IdmError::provider(format!("imap: no message {uid}")))?
         };
+        // Torn read: the FETCH transfer was cut short mid-wire.
+        if let FaultAction::Truncate(keep) = action {
+            let keep = wire
+                .char_indices()
+                .map(|(i, _)| i)
+                .take_while(|i| *i <= keep)
+                .last()
+                .unwrap_or(0);
+            wire.truncate(keep);
+        }
         self.pay(wire.len());
         EmailMessage::from_wire(&wire)
     }
 
     /// Fetches only a message's wire size (header-level round trip).
     pub fn fetch_size(&self, uid: Uid) -> Result<usize> {
+        self.fault_check("fetch_size")?;
         self.pay(0);
         let inner = self.inner.read();
         inner
             .store
             .get(&uid)
             .map(String::len)
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("imap: no message {uid}"),
-            })
+            .ok_or_else(|| IdmError::provider(format!("imap: no message {uid}")))
     }
 
     /// Deletes a message from a mailbox.
     pub fn delete(&self, mailbox: MailboxId, uid: Uid) -> Result<()> {
+        self.fault_check("delete")?;
         self.pay(0);
         {
             let mut inner = self.inner.write();
-            let mbox =
-                inner
-                    .mailboxes
-                    .get_mut(mailbox.0 as usize)
-                    .ok_or_else(|| IdmError::Provider {
-                        detail: format!("imap: no mailbox {mailbox}"),
-                    })?;
+            let mbox = inner
+                .mailboxes
+                .get_mut(mailbox.0 as usize)
+                .ok_or_else(|| IdmError::provider(format!("imap: no mailbox {mailbox}")))?;
             let before = mbox.messages.len();
             mbox.messages.retain(|u| *u != uid);
             if mbox.messages.len() == before {
-                return Err(IdmError::Provider {
-                    detail: format!("imap: {uid} not in {mailbox}"),
-                });
+                return Err(IdmError::provider(format!("imap: {uid} not in {mailbox}")));
             }
             inner.store.remove(&uid);
         }

@@ -63,8 +63,12 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Lookups that had to force the component.
     pub misses: u64,
-    /// Entries dropped for capacity or invalidation.
+    /// Entries dropped for capacity, removal, or replaced after their
+    /// view mutated.
     pub evictions: u64,
+    /// Degraded reads answered from a stale last-known-good entry after
+    /// a force failed.
+    pub stale_served: u64,
 }
 
 /// Bounded LRU over forced lazy-component results, invalidated by view
@@ -76,6 +80,7 @@ pub struct ExpansionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    stale_served: AtomicU64,
 }
 
 impl ExpansionCache {
@@ -93,6 +98,7 @@ impl ExpansionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
         }
     }
 
@@ -117,21 +123,31 @@ impl ExpansionCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
         }
     }
 
-    /// Drains pending change events and evicts entries for mutated or
-    /// removed views. Called at query start; the per-entry version check
-    /// covers events raced in after the drain.
+    /// Drains pending change events, dropping entries for *removed*
+    /// views. Called at query start.
+    ///
+    /// Entries of merely *mutated* views are deliberately retained: the
+    /// per-entry version check already hides them from fresh reads, and
+    /// keeping them preserves a last-known-good value for degraded reads
+    /// when the recompute fails ([`ExpansionCache::group_with_fallback`]).
     pub fn drain_invalidations(&self) {
-        let mut touched: Vec<Vid> = self.events.try_iter().map(|e| e.vid).collect();
-        if touched.is_empty() {
+        let mut removed: Vec<Vid> = self
+            .events
+            .try_iter()
+            .filter(|e| e.kind == ChangeKind::Removed)
+            .map(|e| e.vid)
+            .collect();
+        if removed.is_empty() {
             return;
         }
-        touched.sort_unstable();
-        touched.dedup();
+        removed.sort_unstable();
+        removed.dedup();
         let mut inner = self.inner.lock();
-        for vid in touched {
+        for vid in removed {
             for component in [Component::Group, Component::Content] {
                 if let Some(entry) = inner.entries.remove(&(vid, component)) {
                     inner.order.remove(&entry.tick);
@@ -184,6 +200,47 @@ impl ExpansionCache {
         Ok(bytes)
     }
 
+    /// [`ExpansionCache::group`], degrading gracefully: when the force
+    /// fails with a [degradable] error (substrate down, breaker open) and
+    /// a last-known-good entry exists — even one from before the view's
+    /// last mutation — that entry is served instead. Returns the snapshot
+    /// and whether it is stale.
+    ///
+    /// [degradable]: IdmError::is_degradable
+    pub fn group_with_fallback(
+        &self,
+        store: &ViewStore,
+        vid: Vid,
+    ) -> Result<(GroupSnapshot, bool)> {
+        match self.group(store, vid) {
+            Ok(snapshot) => Ok((snapshot, false)),
+            Err(err) if err.is_degradable() => match self.lookup_stale(vid, Component::Group) {
+                Some(CachedValue::Group(data)) => {
+                    self.stale_served.fetch_add(1, Ordering::Relaxed);
+                    Ok((GroupSnapshot::Finite(data), true))
+                }
+                _ => Err(err),
+            },
+            Err(err) => Err(err),
+        }
+    }
+
+    /// [`ExpansionCache::content`] with the same graceful degradation as
+    /// [`ExpansionCache::group_with_fallback`].
+    pub fn content_with_fallback(&self, store: &ViewStore, vid: Vid) -> Result<(Bytes, bool)> {
+        match self.content(store, vid) {
+            Ok(bytes) => Ok((bytes, false)),
+            Err(err) if err.is_degradable() => match self.lookup_stale(vid, Component::Content) {
+                Some(CachedValue::Content(bytes)) => {
+                    self.stale_served.fetch_add(1, Ordering::Relaxed);
+                    Ok((bytes, true))
+                }
+                _ => Err(err),
+            },
+            Err(err) => Err(err),
+        }
+    }
+
     fn lookup(&self, vid: Vid, component: Component, version: u64) -> Option<CachedValue> {
         let mut inner = self.inner.lock();
         let key = (vid, component);
@@ -201,11 +258,11 @@ impl ExpansionCache {
                 Some(value)
             }
             Some(_) => {
-                // Stale version: the view mutated since the entry was made.
-                let entry = inner.entries.remove(&key).expect("present");
-                inner.order.remove(&entry.tick);
+                // Stale version: the view mutated since the entry was
+                // made. The entry is retained as last-known-good for
+                // degraded reads; a successful recompute replaces it (and
+                // counts the eviction) in `store_entry`.
                 drop(inner);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -215,6 +272,16 @@ impl ExpansionCache {
                 None
             }
         }
+    }
+
+    /// A last-known-good value for `key`, regardless of version. Only
+    /// consulted after a recompute failed with a degradable error.
+    fn lookup_stale(&self, vid: Vid, component: Component) -> Option<CachedValue> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .get(&(vid, component))
+            .map(|e| e.value.clone())
     }
 
     fn store_entry(&self, vid: Vid, component: Component, version: u64, value: CachedValue) {
@@ -231,6 +298,11 @@ impl ExpansionCache {
             },
         ) {
             inner.order.remove(&old.tick);
+            if old.version != version {
+                // The retained-stale entry from a mutated view is now
+                // superseded; this is where its eviction is accounted.
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         inner.order.insert(tick, key);
         while inner.entries.len() > self.capacity {
@@ -300,15 +372,52 @@ mod tests {
     }
 
     #[test]
-    fn drain_invalidations_evicts_changed_views() {
+    fn drain_invalidations_hides_changed_views_but_retains_last_known_good() {
         let store = Arc::new(ViewStore::new());
         let vid = store.build("x").text("old").insert();
         let cache = ExpansionCache::new(&store, 16);
         assert_eq!(&cache.content(&store, vid).unwrap()[..], b"old");
         store.set_content(vid, Content::text("new")).unwrap();
         cache.drain_invalidations();
-        assert!(cache.is_empty());
+        // Mutated entries are retained (as degraded-read fallback) but
+        // never served fresh: the version check forces a recompute.
+        assert_eq!(cache.len(), 1);
         assert_eq!(&cache.content(&store, vid).unwrap()[..], b"new");
+        assert!(cache.counters().evictions >= 1, "replacement accounted");
+    }
+
+    #[test]
+    fn drain_invalidations_drops_removed_views() {
+        let store = Arc::new(ViewStore::new());
+        let vid = store.build("x").text("bytes").insert();
+        let cache = ExpansionCache::new(&store, 16);
+        cache.content(&store, vid).unwrap();
+        store.remove(vid).unwrap();
+        cache.drain_invalidations();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fallback_serves_stale_value_when_force_fails() {
+        let store = Arc::new(ViewStore::new());
+        let vid = store.build("msg").text("good").insert();
+        let cache = ExpansionCache::new(&store, 16);
+
+        let (bytes, stale) = cache.content_with_fallback(&store, vid).unwrap();
+        assert_eq!((&bytes[..], stale), (&b"good"[..], false));
+
+        // The view mutates (bumping its version) to content whose force
+        // now fails: the last-known-good entry is served, flagged stale.
+        let failing = Arc::new(|| Err(IdmError::transient("imap", "connection reset")));
+        store.set_content(vid, Content::lazy(failing)).unwrap();
+        let (bytes, stale) = cache.content_with_fallback(&store, vid).unwrap();
+        assert_eq!((&bytes[..], stale), (&b"good"[..], true));
+        assert_eq!(cache.counters().stale_served, 1);
+
+        // A non-degradable error is never papered over.
+        assert!(cache
+            .content_with_fallback(&store, Vid::from_raw(999))
+            .is_err());
     }
 
     #[test]

@@ -82,6 +82,15 @@ pub struct ExecStats {
     pub cache_misses: u64,
     /// Lazy-expansion cache entries evicted during this query.
     pub cache_evictions: u64,
+    /// Degraded reads answered from a stale last-known-good cache entry
+    /// during this query (substrate down or breaker open).
+    pub stale_served: u64,
+    /// Guarded substrate calls retried during this query. Zero unless a
+    /// [`idm_core::fault::FaultStats`] handle is installed via
+    /// [`QueryProcessor::set_fault_stats`].
+    pub retries: u64,
+    /// Circuit breakers tripped during this query (same handle).
+    pub breaker_trips: u64,
 }
 
 /// Result rows: plain views, or pairs for joins.
@@ -146,6 +155,10 @@ pub struct QueryProcessor {
     indexes: Arc<IndexBundle>,
     options: ExecOptions,
     cache: ExpansionCache,
+    /// Shared fault counters of the system's source guards, when the
+    /// embedding system installs them; lets per-query stats report the
+    /// retries and breaker trips its own expansions caused.
+    fault_stats: Option<Arc<idm_core::fault::FaultStats>>,
 }
 
 impl QueryProcessor {
@@ -158,7 +171,14 @@ impl QueryProcessor {
             indexes,
             options,
             cache,
+            fault_stats: None,
         }
+    }
+
+    /// Installs the shared fault-counter handle of the system's source
+    /// guards so query stats can report retries and breaker trips.
+    pub fn set_fault_stats(&mut self, stats: Arc<idm_core::fault::FaultStats>) {
+        self.fault_stats = Some(stats);
     }
 
     /// Replaces the execution options. Changing the cache capacity
@@ -207,12 +227,19 @@ impl QueryProcessor {
     pub fn execute_ast(&self, query: &Query) -> Result<QueryResult> {
         self.cache.drain_invalidations();
         let before = self.cache.counters();
+        let fault_before = self.fault_stats.as_ref().map(|s| s.snapshot());
         let mut stats = ExecStats::default();
         let rows = self.eval_query(query, &mut stats)?;
         let after = self.cache.counters();
         stats.cache_hits = after.hits - before.hits;
         stats.cache_misses = after.misses - before.misses;
         stats.cache_evictions = after.evictions - before.evictions;
+        stats.stale_served = after.stale_served - before.stale_served;
+        if let (Some(stats_handle), Some(before)) = (&self.fault_stats, fault_before) {
+            let delta = stats_handle.snapshot().since(before);
+            stats.retries = delta.retries;
+            stats.breaker_trips = delta.breaker_trips;
+        }
         Ok(QueryResult { rows, stats })
     }
 
@@ -226,8 +253,10 @@ impl QueryProcessor {
     /// component under [`ExecOptions::live_expansion`].
     fn children_of(&self, vid: Vid) -> Vec<Vid> {
         if self.options.live_expansion {
-            match self.cache.group(&self.store, vid) {
-                Ok(snapshot) => snapshot.finite_members(),
+            // Degrade to a stale last-known-good expansion when the force
+            // fails with the substrate down (counted in stale_served).
+            match self.cache.group_with_fallback(&self.store, vid) {
+                Ok((snapshot, _stale)) => snapshot.finite_members(),
                 // Dangling references are legal in a dataspace; skip them.
                 Err(_) => Vec::new(),
             }

@@ -24,6 +24,34 @@ pub struct FederatedRow {
     pub score: f64,
 }
 
+/// A federated query outcome: the merged rows of every peer that
+/// answered, plus the errors of the peers that did not — partial
+/// results instead of an all-or-nothing federation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FederatedResult {
+    /// Rows from the answering peers.
+    pub rows: Vec<FederatedRow>,
+    /// `(peer name, error)` for every peer whose execution failed.
+    pub errors: Vec<(String, IdmError)>,
+}
+
+impl FederatedResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows came back.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether every peer answered.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 /// A federation of iMeMex instances.
 #[derive(Default)]
 pub struct Federation {
@@ -60,55 +88,63 @@ impl Federation {
 
     /// Runs a query on every peer; rows are tagged with their peer.
     ///
-    /// Peers that fail to execute the query (e.g. a class unknown to
-    /// that peer's registry) contribute no rows rather than failing the
-    /// federation — availability over completeness, as in any P2P
-    /// setting. Parse errors, which would fail identically everywhere,
-    /// are reported.
-    pub fn query(&self, iql: &str) -> Result<Vec<FederatedRow>> {
+    /// Peers that fail to execute the query (a class unknown to that
+    /// peer's registry, a substrate down) contribute their error to
+    /// [`FederatedResult::errors`] rather than failing the federation —
+    /// availability over completeness, as in any P2P setting, but with
+    /// the partiality visible to the caller. Parse errors, which would
+    /// fail identically everywhere, are reported up front.
+    pub fn query(&self, iql: &str) -> Result<FederatedResult> {
         // Validate the syntax once, up front.
         idm_query::parse(iql)?;
-        let mut rows = Vec::new();
+        let mut result = FederatedResult::default();
         for (name, system) in &self.peers {
-            if let Ok(result) = system.query(iql) {
-                for vid in result.rows.views() {
-                    rows.push(FederatedRow {
-                        peer: name.clone(),
-                        vid,
-                        score: 0.0,
-                    });
+            match system.query(iql) {
+                Ok(answer) => {
+                    for vid in answer.rows.views() {
+                        result.rows.push(FederatedRow {
+                            peer: name.clone(),
+                            vid,
+                            score: 0.0,
+                        });
+                    }
                 }
+                Err(err) => result.errors.push((name.clone(), err)),
             }
         }
-        Ok(rows)
+        Ok(result)
     }
 
     /// Runs a ranked query on every peer and merges by score (global
-    /// ranking across the federation).
-    pub fn query_ranked(&self, iql: &str) -> Result<Vec<FederatedRow>> {
+    /// ranking across the federation). Partial like
+    /// [`Federation::query`]: failing peers land in the error list.
+    pub fn query_ranked(&self, iql: &str) -> Result<FederatedResult> {
         idm_query::parse(iql)?;
-        let mut rows = Vec::new();
+        let mut result = FederatedResult::default();
         for (name, system) in &self.peers {
             let mut processor = system.query_processor();
             processor.set_expansion(ExpansionStrategy::Forward);
-            if let Ok(ranked) = processor.execute_ranked(iql) {
-                for RankedResult { vid, score } in ranked {
-                    rows.push(FederatedRow {
-                        peer: name.clone(),
-                        vid,
-                        score,
-                    });
+            match processor.execute_ranked(iql) {
+                Ok(ranked) => {
+                    for RankedResult { vid, score } in ranked {
+                        result.rows.push(FederatedRow {
+                            peer: name.clone(),
+                            vid,
+                            score,
+                        });
+                    }
                 }
+                Err(err) => result.errors.push((name.clone(), err)),
             }
         }
-        rows.sort_by(|a, b| {
+        result.rows.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.peer.cmp(&b.peer))
                 .then(a.vid.cmp(&b.vid))
         });
-        Ok(rows)
+        Ok(result)
     }
 
     /// Per-peer result counts for a query (the P2P dashboard number).
@@ -158,7 +194,9 @@ mod tests {
     #[test]
     fn queries_fan_out_and_tag_peers() {
         let fed = federation();
-        let rows = fed.query(r#""database""#).unwrap();
+        let result = fed.query(r#""database""#).unwrap();
+        assert!(result.is_complete());
+        let rows = result.rows;
         let mut peers: Vec<&str> = rows.iter().map(|r| r.peer.as_str()).collect();
         peers.sort();
         peers.dedup();
@@ -185,10 +223,30 @@ mod tests {
             peer_with("y.txt", "database database database database"),
         )
         .unwrap();
-        let rows = fed.query_ranked(r#""database""#).unwrap();
+        let result = fed.query_ranked(r#""database""#).unwrap();
+        assert!(result.is_complete());
+        let rows = result.rows;
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].peer, "heavy", "higher TF ranks first globally");
         assert!(rows[0].score > rows[1].score);
+    }
+
+    #[test]
+    fn failing_peer_yields_partial_results_with_error() {
+        let fed = federation();
+        // A union over join results parses but fails at evaluation, so
+        // every peer errors individually — yet the federation still
+        // answers (zero rows, one error per peer) instead of failing as
+        // a whole.
+        let result = fed
+            .query(r#"union("database", join(//notes as a, //notes as b, a.name = b.name))"#)
+            .unwrap();
+        assert!(result.is_empty());
+        assert!(!result.is_complete());
+        assert_eq!(result.errors.len(), 3, "{:?}", result.errors);
+        let mut peers: Vec<&str> = result.errors.iter().map(|(p, _)| p.as_str()).collect();
+        peers.sort();
+        assert_eq!(peers, vec!["desktop", "laptop", "server"]);
     }
 
     #[test]
@@ -211,6 +269,8 @@ mod tests {
     #[test]
     fn empty_federation_returns_empty() {
         let fed = Federation::new();
-        assert!(fed.query(r#""anything""#).unwrap().is_empty());
+        let result = fed.query(r#""anything""#).unwrap();
+        assert!(result.is_empty());
+        assert!(result.is_complete());
     }
 }

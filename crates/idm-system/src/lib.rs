@@ -21,6 +21,8 @@
 //! [`Pdsms`] is the user-facing facade tying everything together.
 
 #![warn(missing_docs)]
+// Substrate-facing code must degrade, not panic; tests unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod converter;
 pub mod federation;
@@ -29,10 +31,10 @@ pub mod source;
 pub mod sync;
 
 pub use converter::{Content2IdmConverter, ConverterRegistry};
-pub use federation::{FederatedRow, Federation};
-pub use rvm::{ResourceViewManager, SourceIngestStats};
+pub use federation::{FederatedResult, FederatedRow, Federation};
+pub use rvm::{IngestReport, ResourceViewManager, SourceIngestStats};
 pub use source::{DataSourcePlugin, FsPlugin, ImapPlugin, Ingestion, RssPlugin};
-pub use sync::{ImapSynchronizationManager, SynchronizationManager};
+pub use sync::{ImapSynchronizationManager, SyncCoordinator, SyncDriver, SynchronizationManager};
 
 use std::sync::Arc;
 
@@ -95,9 +97,26 @@ impl Pdsms {
         self.rvm.ingest_all()
     }
 
-    /// A query processor over this dataspace (cheap to construct).
+    /// Like [`Pdsms::index_all`] but resilient: failing sources are
+    /// reported in [`IngestReport::failed`] while the healthy sources
+    /// still ingest and index.
+    pub fn index_all_resilient(&self) -> IngestReport {
+        self.rvm.ingest_all_resilient()
+    }
+
+    /// The fault counters shared by every source guard of this system
+    /// (retries, breaker trips, stale reads).
+    pub fn fault_stats(&self) -> &Arc<idm_core::fault::FaultStats> {
+        self.rvm.fault_stats()
+    }
+
+    /// A query processor over this dataspace (cheap to construct). It
+    /// shares the system's fault counters, so query-time retries and
+    /// breaker trips show up in [`idm_query::ExecStats`].
     pub fn query_processor(&self) -> QueryProcessor {
-        QueryProcessor::new(Arc::clone(&self.store), Arc::clone(&self.indexes))
+        let mut processor = QueryProcessor::new(Arc::clone(&self.store), Arc::clone(&self.indexes));
+        processor.set_fault_stats(Arc::clone(self.rvm.fault_stats()));
+        processor
     }
 
     /// Parses and executes an iQL query with the default (forward

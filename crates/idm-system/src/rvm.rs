@@ -3,9 +3,11 @@
 //! component indexing — timing each phase separately so the paper's
 //! indexing-time breakdown can be regenerated.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use idm_core::fault::{FaultStats, SourceGuard};
 use idm_core::prelude::*;
 use idm_index::{ContentIndexing, IndexBundle};
 use parking_lot::Mutex;
@@ -60,12 +62,27 @@ impl SourceIngestStats {
     }
 }
 
+/// The outcome of a resilient multi-source ingestion: per-source stats
+/// for the sources that succeeded, and the errors of those that did not.
+#[derive(Debug, Default)]
+pub struct IngestReport {
+    /// Stats of successfully ingested sources, in registration order.
+    pub stats: Vec<SourceIngestStats>,
+    /// `(source name, error)` for every source whose ingestion failed
+    /// after retries — quarantined rather than failing the dataspace.
+    pub failed: Vec<(String, IdmError)>,
+}
+
 /// The Resource View Manager (Figure 4).
 pub struct ResourceViewManager {
     store: Arc<ViewStore>,
     indexes: Arc<IndexBundle>,
     converters: ConverterRegistry,
     plugins: Mutex<Vec<Arc<dyn DataSourcePlugin>>>,
+    /// Shared fault counters across every source guard of this system.
+    fault_stats: Arc<FaultStats>,
+    /// Per-source retry/breaker guards, created on demand.
+    guards: Mutex<HashMap<String, Arc<SourceGuard>>>,
 }
 
 impl ResourceViewManager {
@@ -76,7 +93,37 @@ impl ResourceViewManager {
             indexes,
             converters: ConverterRegistry::with_defaults(),
             plugins: Mutex::new(Vec::new()),
+            fault_stats: Arc::new(FaultStats::new()),
+            guards: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The shared fault counters of this system's source guards.
+    pub fn fault_stats(&self) -> &Arc<FaultStats> {
+        &self.fault_stats
+    }
+
+    /// The retry/breaker guard for `source`, created with defaults on
+    /// first use. One guard (and thus one breaker) per source name.
+    pub fn guard_for(&self, source: &str) -> Arc<SourceGuard> {
+        Arc::clone(
+            self.guards
+                .lock()
+                .entry(source.to_owned())
+                .or_insert_with(|| {
+                    Arc::new(SourceGuard::with_defaults(
+                        source,
+                        Arc::clone(&self.fault_stats),
+                    ))
+                }),
+        )
+    }
+
+    /// Replaces the guard for `source` (custom retry policy / breaker).
+    pub fn set_source_guard(&self, source: &str, guard: SourceGuard) {
+        self.guards
+            .lock()
+            .insert(source.to_owned(), Arc::new(guard));
     }
 
     /// Replaces the converter registry.
@@ -110,7 +157,9 @@ impl ResourceViewManager {
     }
 
     /// Ingests and indexes every registered source in registration
-    /// order; returns per-source statistics.
+    /// order; returns per-source statistics. Fails fast on the first
+    /// failing source; [`ResourceViewManager::ingest_all_resilient`]
+    /// quarantines failures instead.
     pub fn ingest_all(&self) -> Result<Vec<SourceIngestStats>> {
         let plugins = self.sources();
         let mut all = Vec::with_capacity(plugins.len());
@@ -118,6 +167,20 @@ impl ResourceViewManager {
             all.push(self.ingest_source(&plugin)?);
         }
         Ok(all)
+    }
+
+    /// Ingests every registered source, quarantining sources that fail
+    /// after retries instead of aborting: one unreachable substrate
+    /// degrades one source, not the whole dataspace.
+    pub fn ingest_all_resilient(&self) -> IngestReport {
+        let mut report = IngestReport::default();
+        for plugin in self.sources() {
+            match self.ingest_source(&plugin) {
+                Ok(stats) => report.stats.push(stats),
+                Err(err) => report.failed.push((plugin.name().to_owned(), err)),
+            }
+        }
+        report
     }
 
     /// Ingests and indexes one source through the phased pipeline.
@@ -129,12 +192,15 @@ impl ResourceViewManager {
 
         // Phase 1 — data source access: represent the source as an
         // initial iDM graph and pull every content component's bytes
-        // from the source (later phases hit the cache).
+        // from the source (later phases hit the cache). The guard
+        // retries transient substrate failures and trips the source's
+        // breaker when they persist.
+        let guard = self.guard_for(plugin.name());
         let access_start = Instant::now();
-        let ingestion = plugin.ingest(&self.store)?;
+        let ingestion = guard.call(|| plugin.ingest(&self.store))?;
         stats.base_views = ingestion.base_views.len();
         for &vid in &ingestion.base_views {
-            let content = self.store.content(vid)?;
+            let content = guard.call(|| self.store.content(vid))?;
             if content.is_finite() && !content.is_empty() {
                 let bytes = content.bytes()?;
                 stats.total_content_bytes += bytes.len() as u64;

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
+use idm_core::fault::{FaultStats, SourceGuard};
 use idm_core::prelude::*;
 use idm_index::IndexBundle;
 use idm_vfs::{FsEvent, NodeId, NodeKind, VirtualFs};
@@ -20,7 +21,7 @@ use crate::converter::ConverterRegistry;
 use crate::source::{FsPlugin, ImapPlugin};
 
 /// What one sync round did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SyncReport {
     /// Views created (base + derived).
     pub created: usize,
@@ -28,6 +29,29 @@ pub struct SyncReport {
     pub modified: usize,
     /// Views removed (base + derived).
     pub removed: usize,
+    /// Substrate calls retried during the round (guarded rounds only).
+    pub retries: u64,
+    /// Circuit breakers tripped during the round.
+    pub breaker_trips: u64,
+    /// Degraded reads answered from stale last-known-good data.
+    pub stale_served: u64,
+    /// Sources whose sync failed after retries (or whose breaker was
+    /// open) this round; their pending events stay queued and the round
+    /// continued over the healthy sources.
+    pub quarantined: Vec<String>,
+}
+
+impl SyncReport {
+    /// Folds another source's round results into this one.
+    pub fn absorb(&mut self, other: SyncReport) {
+        self.created += other.created;
+        self.modified += other.modified;
+        self.removed += other.removed;
+        self.retries += other.retries;
+        self.breaker_trips += other.breaker_trips;
+        self.stale_served += other.stale_served;
+        self.quarantined.extend(other.quarantined);
+    }
 }
 
 /// A synchronization manager for one filesystem source.
@@ -375,6 +399,125 @@ impl ImapSynchronizationManager {
             }
         }
         Ok(removed)
+    }
+}
+
+/// A per-source synchronization driver, as seen by the coordinator:
+/// anything that can run one sync round for one named source.
+pub trait SyncDriver: Send + Sync {
+    /// The source name used in reports (`"filesystem"`, `"imap"`, …).
+    fn source_name(&self) -> &str;
+
+    /// Processes the source's pending updates.
+    fn drive_round(&self) -> Result<SyncReport>;
+}
+
+impl SyncDriver for SynchronizationManager {
+    fn source_name(&self) -> &str {
+        "filesystem"
+    }
+
+    fn drive_round(&self) -> Result<SyncReport> {
+        self.sync_round()
+    }
+}
+
+impl SyncDriver for ImapSynchronizationManager {
+    fn source_name(&self) -> &str {
+        "imap"
+    }
+
+    fn drive_round(&self) -> Result<SyncReport> {
+        self.sync_round()
+    }
+}
+
+/// Coordinates sync rounds across every attached source with per-source
+/// fault isolation: each driver runs under its own retry/breaker guard,
+/// and a source that still fails is *quarantined* for the round — its
+/// name is reported, its events stay queued for the next round — while
+/// the remaining sources sync normally.
+pub struct SyncCoordinator {
+    stats: Arc<FaultStats>,
+    sources: Vec<(Arc<dyn SyncDriver>, Arc<SourceGuard>)>,
+}
+
+impl SyncCoordinator {
+    /// An empty coordinator with its own fault counters.
+    pub fn new() -> Self {
+        SyncCoordinator::with_stats(Arc::new(FaultStats::new()))
+    }
+
+    /// A coordinator sharing an existing counter handle (typically the
+    /// RVM's, so ingestion and sync report into one place).
+    pub fn with_stats(stats: Arc<FaultStats>) -> Self {
+        SyncCoordinator {
+            stats,
+            sources: Vec::new(),
+        }
+    }
+
+    /// Attaches a driver under a default guard (3 retries, 5-failure
+    /// breaker).
+    pub fn attach(&mut self, driver: Arc<dyn SyncDriver>) {
+        let guard = Arc::new(SourceGuard::with_defaults(
+            driver.source_name(),
+            Arc::clone(&self.stats),
+        ));
+        self.sources.push((driver, guard));
+    }
+
+    /// Attaches a driver under an explicit guard (custom retry policy or
+    /// breaker; the guard should share this coordinator's stats handle
+    /// for the report counters to add up).
+    pub fn attach_guarded(&mut self, driver: Arc<dyn SyncDriver>, guard: SourceGuard) {
+        self.sources.push((driver, Arc::new(guard)));
+    }
+
+    /// The shared fault counters.
+    pub fn fault_stats(&self) -> &Arc<FaultStats> {
+        &self.stats
+    }
+
+    /// The attached source names, in attachment order.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.iter().map(|(d, _)| d.source_name()).collect()
+    }
+
+    /// The guard (and thus breaker state) of one attached source.
+    pub fn guard_of(&self, source: &str) -> Option<&Arc<SourceGuard>> {
+        self.sources
+            .iter()
+            .find(|(d, _)| d.source_name() == source)
+            .map(|(_, g)| g)
+    }
+
+    /// Runs one round over every source. Never fails as a whole: a
+    /// source whose round errors after retries (or is rejected by its
+    /// open breaker) lands in [`SyncReport::quarantined`] and the round
+    /// moves on — a flaky mail server degrades one source, not the
+    /// dataspace.
+    pub fn sync_round(&self) -> SyncReport {
+        let mut report = SyncReport::default();
+        for (driver, guard) in &self.sources {
+            let before = self.stats.snapshot();
+            let outcome = guard.call(|| driver.drive_round());
+            let delta = self.stats.snapshot().since(before);
+            report.retries += delta.retries;
+            report.breaker_trips += delta.breaker_trips;
+            report.stale_served += delta.stale_served;
+            match outcome {
+                Ok(source_report) => report.absorb(source_report),
+                Err(_) => report.quarantined.push(driver.source_name().to_owned()),
+            }
+        }
+        report
+    }
+}
+
+impl Default for SyncCoordinator {
+    fn default() -> Self {
+        SyncCoordinator::new()
     }
 }
 

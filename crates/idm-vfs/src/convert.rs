@@ -92,6 +92,8 @@ pub fn materialize(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Resu
 
     // Pass 2: wire groups.
     for (node, _depth) in &nodes {
+        // Pass 1 minted a view for every node of this same walk
+        // snapshot, so the lookup cannot miss.
         let vid = by_node[node];
         match fs.kind(*node)? {
             NodeKind::Folder => {
@@ -117,10 +119,10 @@ pub fn materialize(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Resu
         }
     }
 
-    Ok(FsMapping {
-        root: by_node[&from],
-        by_node,
-    })
+    let root = by_node.get(&from).copied().ok_or_else(|| {
+        IdmError::provider(format!("vfs: walk of node {from:?} did not visit its root"))
+    })?;
+    Ok(FsMapping { root, by_node })
 }
 
 /// Instantiates a folder as a **lazy** resource view: its group component
@@ -150,9 +152,9 @@ pub fn lazy_root(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Result
                 .insert())
         }
         NodeKind::FolderLink => {
-            let target = fs.link_target(from)?.ok_or_else(|| IdmError::Provider {
-                detail: "vfs: dangling folder link".into(),
-            })?;
+            let target = fs
+                .link_target(from)?
+                .ok_or_else(|| IdmError::provider("vfs: dangling folder link"))?;
             let fs2 = Arc::clone(fs);
             let provider = Arc::new(move |store: &ViewStore, _owner: Vid| {
                 let child = lazy_root(&fs2, store, target)?;

@@ -175,6 +175,8 @@ pub struct VirtualFs {
     subscribers: Mutex<Vec<Sender<FsEvent>>>,
     latency: Mutex<DiskLatency>,
     simulated: Mutex<std::time::Duration>,
+    #[cfg(feature = "fault-injection")]
+    faults: FaultPoint,
 }
 
 /// A directory listing entry.
@@ -208,7 +210,33 @@ impl VirtualFs {
             subscribers: Mutex::new(Vec::new()),
             latency: Mutex::new(DiskLatency::none()),
             simulated: Mutex::new(std::time::Duration::ZERO),
+            #[cfg(feature = "fault-injection")]
+            faults: FaultPoint::new(),
         }
+    }
+
+    /// Installs a fault plan on this filesystem's read/list/walk calls;
+    /// returns the injector for call/fault counting.
+    #[cfg(feature = "fault-injection")]
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        self.faults.install(plan)
+    }
+
+    /// Removes any installed fault plan (the disk heals).
+    #[cfg(feature = "fault-injection")]
+    pub fn clear_faults(&self) {
+        self.faults.clear()
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn fault_check(&self, op: &str) -> Result<FaultAction> {
+        self.faults.check("filesystem", op)
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn fault_check(&self, _op: &str) -> Result<FaultAction> {
+        Ok(FaultAction::Proceed)
     }
 
     /// Installs a disk latency model (reads and listings pay it).
@@ -255,9 +283,7 @@ impl VirtualFs {
             .get(id.0 as usize)
             .and_then(Option::as_ref)
             .map(f)
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("vfs: no node {id}"),
-            })
+            .ok_or_else(|| IdmError::provider(format!("vfs: no node {id}")))
     }
 
     /// Resolves an absolute `/a/b/c` path to a node id, following folder
@@ -272,16 +298,16 @@ impl VirtualFs {
                     self.with_node(child, |n| (n.name.clone(), n.kind.clone(), n.target))?;
                 if name == segment {
                     found = Some(match kind {
-                        NodeKind::FolderLink => target.ok_or_else(|| IdmError::Provider {
-                            detail: format!("vfs: dangling link '{segment}'"),
+                        NodeKind::FolderLink => target.ok_or_else(|| {
+                            IdmError::provider(format!("vfs: dangling link '{segment}'"))
                         })?,
                         _ => child,
                     });
                     break;
                 }
             }
-            current = found.ok_or_else(|| IdmError::Provider {
-                detail: format!("vfs: path '{path}' not found at '{segment}'"),
+            current = found.ok_or_else(|| {
+                IdmError::provider(format!("vfs: path '{path}' not found at '{segment}'"))
             })?;
         }
         Ok(current)
@@ -313,13 +339,9 @@ impl VirtualFs {
                     .nodes
                     .get_mut(parent.0 as usize)
                     .and_then(Option::as_mut)
-                    .ok_or_else(|| IdmError::Provider {
-                        detail: format!("vfs: no parent {parent}"),
-                    })?;
+                    .ok_or_else(|| IdmError::provider(format!("vfs: no parent {parent}")))?;
                 if parent_node.kind != NodeKind::Folder {
-                    return Err(IdmError::Provider {
-                        detail: format!("vfs: {parent} is not a folder"),
-                    });
+                    return Err(IdmError::provider(format!("vfs: {parent} is not a folder")));
                 }
             }
             inner.nodes.push(Some(node));
@@ -397,9 +419,9 @@ impl VirtualFs {
         content: impl Into<Bytes>,
         at: Timestamp,
     ) -> Result<NodeId> {
-        let (dir, name) = path.rsplit_once('/').ok_or_else(|| IdmError::Provider {
-            detail: format!("vfs: '{path}' is not an absolute path"),
-        })?;
+        let (dir, name) = path
+            .rsplit_once('/')
+            .ok_or_else(|| IdmError::provider(format!("vfs: '{path}' is not an absolute path")))?;
         let parent = self.mkdir_p(dir, at)?;
         self.create_file(parent, name, content, at)
     }
@@ -417,9 +439,7 @@ impl VirtualFs {
             if n.kind == NodeKind::Folder {
                 Ok(())
             } else {
-                Err(IdmError::Provider {
-                    detail: "vfs: links may only target folders".into(),
-                })
+                Err(IdmError::provider("vfs: links may only target folders"))
             }
         })??;
         self.insert_child(
@@ -438,14 +458,14 @@ impl VirtualFs {
 
     fn check_fresh_name(&self, parent: NodeId, name: &str) -> Result<()> {
         if name.is_empty() || name.contains('/') {
-            return Err(IdmError::Provider {
-                detail: format!("vfs: invalid node name '{name}'"),
-            });
+            return Err(IdmError::provider(format!(
+                "vfs: invalid node name '{name}'"
+            )));
         }
         if self.child_named(parent, name)?.is_some() {
-            return Err(IdmError::Provider {
-                detail: format!("vfs: '{name}' already exists in {parent}"),
-            });
+            return Err(IdmError::provider(format!(
+                "vfs: '{name}' already exists in {parent}"
+            )));
         }
         Ok(())
     }
@@ -470,13 +490,9 @@ impl VirtualFs {
                 .nodes
                 .get_mut(id.0 as usize)
                 .and_then(Option::as_mut)
-                .ok_or_else(|| IdmError::Provider {
-                    detail: format!("vfs: no node {id}"),
-                })?;
+                .ok_or_else(|| IdmError::provider(format!("vfs: no node {id}")))?;
             if node.kind != NodeKind::File {
-                return Err(IdmError::Provider {
-                    detail: format!("vfs: {id} is not a file"),
-                });
+                return Err(IdmError::provider(format!("vfs: {id} is not a file")));
             }
             node.meta.size = content.len() as u64;
             node.meta.modified = at;
@@ -489,18 +505,22 @@ impl VirtualFs {
 
     /// Reads a file's content.
     pub fn read_file(&self, id: NodeId) -> Result<Bytes> {
+        let action = self.fault_check("read_file")?;
         if let Ok(meta) = self.metadata(id) {
             self.pay(meta.size as usize);
         }
-        self.with_node(id, |n| {
+        let content = self.with_node(id, |n| {
             if n.kind == NodeKind::File {
                 Ok(n.content.clone())
             } else {
-                Err(IdmError::Provider {
-                    detail: format!("vfs: {id} is not a file"),
-                })
+                Err(IdmError::provider(format!("vfs: {id} is not a file")))
             }
-        })?
+        })??;
+        Ok(match action {
+            // Torn read: the transfer was interrupted mid-stream.
+            FaultAction::Truncate(keep) => content.slice(..keep.min(content.len())),
+            FaultAction::Proceed => content,
+        })
     }
 
     /// A node's metadata.
@@ -525,14 +545,14 @@ impl VirtualFs {
 
     /// Lists a folder's entries in creation order.
     pub fn list(&self, id: NodeId) -> Result<Vec<DirEntry>> {
+        // Torn reads do not apply to listings; only injected errors do.
+        self.fault_check("list")?;
         self.pay(0);
         let children = self.with_node(id, |n| {
             if n.kind == NodeKind::Folder {
                 Ok(n.children.clone())
             } else {
-                Err(IdmError::Provider {
-                    detail: format!("vfs: {id} is not a folder"),
-                })
+                Err(IdmError::provider(format!("vfs: {id} is not a folder")))
             }
         })??;
         let mut out = Vec::with_capacity(children.len());
@@ -550,9 +570,7 @@ impl VirtualFs {
     /// Removes a node (recursively for folders).
     pub fn remove(&self, id: NodeId) -> Result<()> {
         if id == NodeId::ROOT {
-            return Err(IdmError::Provider {
-                detail: "vfs: cannot remove the root".into(),
-            });
+            return Err(IdmError::provider("vfs: cannot remove the root"));
         }
         let path = self.path_of(id)?;
         let mut stack = vec![id];
@@ -587,6 +605,7 @@ impl VirtualFs {
     /// filesystems terminate). Returns `(id, depth)` pairs, parent before
     /// children, siblings in creation order.
     pub fn walk(&self, from: NodeId) -> Result<Vec<(NodeId, usize)>> {
+        self.fault_check("walk")?;
         let mut out = Vec::new();
         let mut stack = vec![(from, 0usize)];
         while let Some((id, depth)) = stack.pop() {

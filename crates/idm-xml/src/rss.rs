@@ -118,12 +118,38 @@ impl Feed {
 #[derive(Default)]
 pub struct FeedServer {
     feeds: RwLock<HashMap<String, Feed>>,
+    #[cfg(feature = "fault-injection")]
+    faults: FaultPoint,
 }
 
 impl FeedServer {
     /// An empty server.
     pub fn new() -> Self {
         FeedServer::default()
+    }
+
+    /// Installs a fault plan on this server's fetches; returns the
+    /// injector for call/fault counting.
+    #[cfg(feature = "fault-injection")]
+    pub fn install_faults(&self, plan: FaultPlan) -> std::sync::Arc<FaultInjector> {
+        self.faults.install(plan)
+    }
+
+    /// Removes any installed fault plan (the server heals).
+    #[cfg(feature = "fault-injection")]
+    pub fn clear_faults(&self) {
+        self.faults.clear()
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn fault_check(&self, op: &str) -> Result<FaultAction> {
+        self.faults.check("rss", op)
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    fn fault_check(&self, _op: &str) -> Result<FaultAction> {
+        Ok(FaultAction::Proceed)
     }
 
     /// Creates (or replaces) the feed at `url`.
@@ -144,13 +170,24 @@ impl FeedServer {
 
     /// Fetches the current document at `url` (one HTTP GET's worth).
     pub fn fetch(&self, url: &str) -> Result<String> {
-        self.feeds
+        let action = self.fault_check("fetch")?;
+        let mut xml = self
+            .feeds
             .read()
             .get(url)
             .map(Feed::to_xml)
-            .ok_or_else(|| IdmError::Provider {
-                detail: format!("feed server: 404 for '{url}'"),
-            })
+            .ok_or_else(|| IdmError::provider(format!("feed server: 404 for '{url}'")))?;
+        // Torn read: the HTTP response was cut short mid-document.
+        if let FaultAction::Truncate(keep) = action {
+            let keep = xml
+                .char_indices()
+                .map(|(i, _)| i)
+                .take_while(|i| *i <= keep)
+                .last()
+                .unwrap_or(0);
+            xml.truncate(keep);
+        }
+        Ok(xml)
     }
 
     /// Number of items currently in the feed at `url`.

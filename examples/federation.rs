@@ -65,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // desktop outranks the laptop's passing mention.
     println!("\nglobally ranked:");
     let ranked = federation.query_ranked(query)?;
-    for row in &ranked {
+    assert!(ranked.is_complete(), "every peer answered");
+    for row in &ranked.rows {
         let name = federation
             .peer(&row.peer)
             .unwrap()
@@ -74,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_default();
         println!("  {:>7.3}  {:<12} {}", row.score, row.peer, name);
     }
-    assert_eq!(ranked.first().map(|r| r.peer.as_str()), Some("desktop"));
+    assert_eq!(
+        ranked.rows.first().map(|r| r.peer.as_str()),
+        Some("desktop")
+    );
 
     // Structural queries federate too.
     let sections = federation.query(r#"//docs//*[class="latex_section"]"#)?;
