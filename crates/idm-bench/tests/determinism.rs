@@ -95,6 +95,72 @@ fn idle_fault_layer_leaves_query_rows_unchanged() {
     }
 }
 
+/// Planner determinism: the same query over the same catalog statistics
+/// must produce a byte-identical plan — same render, same fingerprint —
+/// on repeated plans and across independently constructed processors.
+/// The result cache keys on the fingerprint, so any instability here
+/// would silently turn cache hits into misses (or worse, collisions
+/// into wrong answers).
+#[test]
+fn planning_is_deterministic_for_fixed_catalog_stats() {
+    let bench = build(bench_options());
+    let first = bench.processor(ExpansionStrategy::Forward);
+    let second = bench.processor(ExpansionStrategy::Forward);
+    for (qname, iql) in TABLE4_QUERIES {
+        let a = first.plan_iql(iql).expect(qname);
+        let b = first.plan_iql(iql).expect(qname);
+        let c = second.plan_iql(iql).expect(qname);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{qname}: fingerprint unstable across repeated plans"
+        );
+        assert_eq!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "{qname}: fingerprint differs between processors over the same stats"
+        );
+        assert_eq!(
+            a.render(),
+            c.render(),
+            "{qname}: rendered plan differs between processors"
+        );
+        assert_eq!(
+            a.render_with_estimates(),
+            c.render_with_estimates(),
+            "{qname}: estimates differ between processors over the same stats"
+        );
+    }
+}
+
+/// Different expansion strategies are different plans: the strategy is
+/// part of the recorded plan, so path queries must fingerprint apart
+/// (the result cache must never serve a Forward result to a Backward
+/// processor).
+#[test]
+fn fingerprints_separate_expansion_strategies() {
+    let bench = build(bench_options());
+    let forward = bench.processor(ExpansionStrategy::Forward);
+    let backward = bench.processor(ExpansionStrategy::Backward);
+    // Q4 is a path query, so its plan contains Relate nodes.
+    let (_, q4) = TABLE4_QUERIES[3];
+    let f = forward.plan_iql(q4).expect("forward plan");
+    let b = backward.plan_iql(q4).expect("backward plan");
+    assert_ne!(
+        f.fingerprint(),
+        b.fingerprint(),
+        "strategy must be part of the plan identity"
+    );
+    // Q1 has no Relate nodes; the strategy is irrelevant and the plans
+    // coincide — maximizing cache sharing where it is safe.
+    let (_, q1) = TABLE4_QUERIES[0];
+    assert_eq!(
+        forward.plan_iql(q1).expect("q1").fingerprint(),
+        backward.plan_iql(q1).expect("q1").fingerprint(),
+        "strategy-independent plans should share a fingerprint"
+    );
+}
+
 #[test]
 fn parallelism_one_is_the_default_and_bitwise_stable() {
     let bench = build(bench_options());

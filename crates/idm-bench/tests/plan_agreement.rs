@@ -1,0 +1,227 @@
+//! Plan/exec agreement over the paper's Q1–Q8 workload: the operators
+//! named in the rendered plan ARE the operators the executor counts in
+//! `ExecStats::ops`, at any parallelism — EXPLAIN cannot drift from
+//! execution because both walk the same plan object.
+
+use idm_bench::{build, BuildOptions, TABLE4_QUERIES};
+use idm_query::{BuildSide, ExecOptions, ExpansionStrategy, OperatorCounts, Plan, PlanOp};
+
+fn bench_options() -> BuildOptions {
+    BuildOptions {
+        scale: 0.02,
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: false,
+    }
+}
+
+/// Counts the operator keywords in a rendered plan. Every render line
+/// starts with exactly one operator name, so text counts must equal the
+/// structural [`Plan::operator_counts`].
+fn counts_from_text(rendered: &str) -> OperatorCounts {
+    let mut counts = OperatorCounts::default();
+    for line in rendered.lines() {
+        let line = line.trim_start();
+        if line.starts_with("IndexAccess ") {
+            counts.index_accesses += 1;
+        } else if line.starts_with("Scan ") {
+            counts.scans += 1;
+        } else if line.starts_with("Intersect ") {
+            counts.intersects += 1;
+        } else if line.starts_with("Union ") {
+            counts.unions += 1;
+        } else if line.starts_with("Complement ") {
+            counts.complements += 1;
+        } else if line.starts_with("Relate ") {
+            counts.relates += 1;
+        } else if line.starts_with("HashJoin ") {
+            counts.hash_joins += 1;
+        } else {
+            panic!("unrecognized plan line: {line:?}");
+        }
+    }
+    counts
+}
+
+#[test]
+fn q1_to_q8_plans_agree_with_execution_at_any_parallelism() {
+    let bench = build(bench_options());
+    let sequential = bench.processor(ExpansionStrategy::Forward);
+    let parallel = bench
+        .processor(ExpansionStrategy::Forward)
+        .with_options(ExecOptions {
+            parallelism: 4,
+            ..ExecOptions::default()
+        });
+
+    for (qname, iql) in TABLE4_QUERIES {
+        let plan = sequential.plan_iql(iql).expect(qname);
+        let planned = plan.operator_counts();
+        assert_eq!(
+            counts_from_text(&plan.render()),
+            planned,
+            "{qname}: rendered operators differ from the plan tree"
+        );
+
+        let seq = sequential.execute(iql).expect(qname);
+        assert_eq!(
+            seq.stats.ops, planned,
+            "{qname}: executed operators differ from the plan (sequential)"
+        );
+
+        let par = parallel.execute(iql).expect(qname);
+        assert_eq!(par.rows, seq.rows, "{qname}: parallel rows differ");
+        assert_eq!(
+            par.stats.ops, planned,
+            "{qname}: executed operators differ from the plan (parallelism 4)"
+        );
+    }
+}
+
+/// Snapshot of the operator shapes EXPLAIN must name for the workload —
+/// the index accesses, expansions and joins of Table 4, as rendered
+/// from the executable plan.
+#[test]
+fn q1_to_q8_explain_snapshots() {
+    let bench = build(bench_options());
+    let processor = bench.processor(ExpansionStrategy::Forward);
+    let explain = |iql: &str| processor.explain(iql).expect("plan renders");
+
+    let expectations: [(&str, &[&str]); 8] = [
+        ("Q1", &[r#"IndexAccess ContentIndex phrase "database""#]),
+        (
+            "Q2",
+            &[r#"IndexAccess ContentIndex phrase "database tuning""#],
+        ),
+        (
+            "Q3",
+            &[
+                "Intersect (2 inputs, smallest-estimate first)",
+                "IndexAccess TupleIndex size",
+                "IndexAccess TupleIndex lastmodified",
+            ],
+        ),
+        (
+            "Q4",
+            &[
+                "Relate indirectly-related (//), Forward expansion",
+                "Relate directly-related (/), Forward expansion",
+                "IndexAccess NameIndex exact 'papers'",
+                "IndexAccess NameIndex wildcard '*Vision'",
+                r#"IndexAccess ContentIndex phrase "Franklin""#,
+            ],
+        ),
+        (
+            "Q5",
+            &[
+                "IndexAccess NameIndex wildcard 'VLDB200?'",
+                "IndexAccess NameIndex wildcard '?onclusion*'",
+                r#"IndexAccess ContentIndex phrase "systems""#,
+            ],
+        ),
+        (
+            "Q6",
+            &[
+                "Union (2 inputs, dedup)",
+                "IndexAccess NameIndex exact 'VLDB2005'",
+                "IndexAccess NameIndex exact 'VLDB2006'",
+            ],
+        ),
+        (
+            "Q7",
+            &[
+                "HashJoin on A.name = B.tuple.label",
+                "IndexAccess Catalog class 'texref' (+ specializations)",
+                "IndexAccess Catalog class 'environment' (+ specializations)",
+                "IndexAccess NameIndex wildcard 'figure*'",
+            ],
+        ),
+        (
+            "Q8",
+            &[
+                "HashJoin on A.name = B.name",
+                "IndexAccess Catalog class 'emailmessage' (+ specializations)",
+                "IndexAccess NameIndex wildcard '*.tex'",
+            ],
+        ),
+    ];
+
+    for ((qname, iql), (ename, fragments)) in TABLE4_QUERIES.iter().zip(expectations) {
+        assert_eq!(*qname, ename);
+        let rendered = explain(iql);
+        for fragment in fragments {
+            assert!(
+                rendered.contains(fragment),
+                "{qname}: expected {fragment:?} in plan:\n{rendered}"
+            );
+        }
+    }
+}
+
+/// The cost-driven rewrites are visible in the plan: intersections are
+/// ordered by ascending estimate, and hash joins build on the side the
+/// estimator says is smaller.
+#[test]
+fn rewrites_follow_cost_estimates() {
+    let bench = build(bench_options());
+    let processor = bench.processor(ExpansionStrategy::Forward);
+
+    fn walk(node: &idm_query::PlanNode, seen: &mut usize) {
+        match &node.op {
+            PlanOp::Intersect(inputs) => {
+                assert!(
+                    inputs.windows(2).all(|w| w[0].est.rows <= w[1].est.rows),
+                    "intersection inputs not estimate-ordered: {:?}",
+                    inputs.iter().map(|n| n.est.rows).collect::<Vec<_>>()
+                );
+                *seen += 1;
+                for input in inputs {
+                    walk(input, seen);
+                }
+            }
+            PlanOp::HashJoin {
+                left, right, build, ..
+            } => {
+                let expected = if left.est.rows <= right.est.rows {
+                    BuildSide::Left
+                } else {
+                    BuildSide::Right
+                };
+                assert_eq!(
+                    *build, expected,
+                    "build side contradicts estimates ({} vs {})",
+                    left.est.rows, right.est.rows
+                );
+                *seen += 1;
+                walk(left, seen);
+                walk(right, seen);
+            }
+            PlanOp::UnionOp(inputs) => {
+                for input in inputs {
+                    walk(input, seen);
+                }
+            }
+            PlanOp::Complement(inner) => walk(inner, seen),
+            PlanOp::Relate {
+                context,
+                candidates,
+                ..
+            } => {
+                walk(context, seen);
+                walk(candidates, seen);
+            }
+            PlanOp::IndexAccess(_) | PlanOp::Scan => {}
+        }
+    }
+
+    let mut cost_decisions = 0usize;
+    for (qname, iql) in TABLE4_QUERIES {
+        let plan: Plan = processor.plan_iql(iql).expect(qname);
+        walk(&plan.root, &mut cost_decisions);
+    }
+    assert!(
+        cost_decisions >= 3,
+        "workload exercised too few cost decisions ({cost_decisions})"
+    );
+}

@@ -324,6 +324,167 @@ impl std::fmt::Debug for ExpansionCache {
     }
 }
 
+// ---- whole-result caching over plan fingerprints ---------------------
+
+/// Live counter totals for a [`ResultCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to execute the plan.
+    pub misses: u64,
+    /// Entries dropped for capacity.
+    pub evictions: u64,
+    /// Entries dropped because the store changed underneath them.
+    pub invalidations: u64,
+}
+
+struct ResultEntry {
+    tick: u64,
+    rows: crate::exec::ResultRows,
+}
+
+struct ResultCacheInner {
+    entries: HashMap<u64, ResultEntry>,
+    /// LRU order: tick → fingerprint (ticks are unique).
+    order: BTreeMap<u64, u64>,
+    next_tick: u64,
+}
+
+/// Bounded LRU over complete query results, keyed by the **normalized
+/// plan fingerprint** ([`crate::plan::Plan::fingerprint`]).
+///
+/// Keying on the plan rather than the query string means two spellings
+/// that plan identically (whitespace, conjunct order the optimizer
+/// normalizes away) share one entry, and a strategy change — which
+/// produces a different plan — correctly misses.
+///
+/// Invalidation is deliberately coarse: a query result can depend on any
+/// view through ancestry or complements, so *any* store change event
+/// clears the whole cache. The cache therefore only pays off on
+/// read-heavy phases, which is why [`crate::exec::QueryProcessor`]
+/// exposes it through the opt-in `execute_cached` path rather than
+/// every `execute` call.
+pub struct ResultCache {
+    inner: Mutex<ResultCacheInner>,
+    capacity: usize,
+    events: Receiver<ChangeEvent>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache over `store` holding at most `capacity` results.
+    pub fn new(store: &ViewStore, capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(ResultCacheInner {
+                entries: HashMap::new(),
+                order: BTreeMap::new(),
+                next_tick: 0,
+            }),
+            capacity: capacity.max(1),
+            events: store.subscribe(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter totals since construction.
+    pub fn counters(&self) -> ResultCacheCounters {
+        ResultCacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry if the store changed since the last check.
+    fn drain_events(&self) {
+        if self.events.try_iter().next().is_none() {
+            return;
+        }
+        // Drain the rest of the backlog too.
+        for _ in self.events.try_iter() {}
+        let mut inner = self.inner.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.order.clear();
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// The cached rows for a plan fingerprint, if still valid.
+    pub fn get(&self, fingerprint: u64) -> Option<crate::exec::ResultRows> {
+        self.drain_events();
+        let mut inner = self.inner.lock();
+        match inner.entries.get(&fingerprint) {
+            Some(entry) => {
+                let old_tick = entry.tick;
+                let rows = entry.rows.clone();
+                let tick = inner.next_tick;
+                inner.next_tick += 1;
+                inner.order.remove(&old_tick);
+                inner.order.insert(tick, fingerprint);
+                inner.entries.get_mut(&fingerprint).expect("present").tick = tick;
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rows)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores the rows for a plan fingerprint, evicting LRU entries past
+    /// capacity.
+    pub fn insert(&self, fingerprint: u64, rows: crate::exec::ResultRows) {
+        self.drain_events();
+        let mut inner = self.inner.lock();
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        if let Some(old) = inner
+            .entries
+            .insert(fingerprint, ResultEntry { tick, rows })
+        {
+            inner.order.remove(&old.tick);
+        }
+        inner.order.insert(tick, fingerprint);
+        while inner.entries.len() > self.capacity {
+            let (&lru_tick, &lru_key) = inner.order.iter().next().expect("order tracks entries");
+            inner.order.remove(&lru_tick);
+            inner.entries.remove(&lru_key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +625,49 @@ mod tests {
         let cache = ExpansionCache::new(&store, 4);
         assert!(cache.group(&store, Vid::from_raw(99)).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn result_cache_round_trips_by_fingerprint() {
+        use crate::exec::ResultRows;
+        let store = Arc::new(ViewStore::new());
+        let a = store.build("a").insert();
+        let cache = ResultCache::new(&store, 4);
+        assert_eq!(cache.get(7), None);
+        cache.insert(7, ResultRows::Views(vec![a]));
+        assert_eq!(cache.get(7), Some(ResultRows::Views(vec![a])));
+        assert_eq!(cache.get(8), None, "different plan, different key");
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn result_cache_clears_on_any_store_change() {
+        use crate::exec::ResultRows;
+        let store = Arc::new(ViewStore::new());
+        let a = store.build("a").insert();
+        let cache = ResultCache::new(&store, 4);
+        cache.insert(1, ResultRows::Views(vec![a]));
+        assert!(cache.get(1).is_some());
+        // Any mutation — even of an unrelated view — invalidates: results
+        // can depend on arbitrary views via ancestry and complements.
+        store.build("unrelated").insert();
+        assert_eq!(cache.get(1), None);
+        assert!(cache.counters().invalidations >= 1);
+    }
+
+    #[test]
+    fn result_cache_evicts_lru() {
+        use crate::exec::ResultRows;
+        let store = Arc::new(ViewStore::new());
+        let cache = ResultCache::new(&store, 2);
+        cache.insert(1, ResultRows::Views(vec![]));
+        cache.insert(2, ResultRows::Views(vec![]));
+        assert!(cache.get(1).is_some()); // touch 1: now 2 is LRU
+        cache.insert(3, ResultRows::Views(vec![]));
+        assert!(cache.get(2).is_none(), "2 was evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.counters().evictions, 1);
     }
 }

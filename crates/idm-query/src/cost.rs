@@ -27,18 +27,20 @@ pub struct Estimate {
 }
 
 impl Estimate {
-    fn exact(rows: usize) -> Self {
+    /// An exact estimate (computed from a precise statistic).
+    pub fn exact(rows: usize) -> Self {
         Estimate { rows, exact: true }
     }
 
-    fn guess(rows: usize) -> Self {
+    /// A heuristic estimate.
+    pub fn guess(rows: usize) -> Self {
         Estimate { rows, exact: false }
     }
 }
 
 impl QueryProcessor {
     /// Total number of catalogued views (the estimator's universe).
-    fn universe(&self) -> usize {
+    pub(crate) fn universe(&self) -> usize {
         self.index_bundle().catalog.len()
     }
 
@@ -111,16 +113,21 @@ impl QueryProcessor {
         }
     }
 
-    /// Estimates one path step's candidate set (name × predicate).
-    fn estimate_step(&self, step: &crate::ast::Step) -> Estimate {
-        let by_name = if step.name.matches_all() {
+    /// Estimates a name-pattern posting list from name-index statistics.
+    pub(crate) fn estimate_name(&self, pattern: &idm_index::name::NamePattern) -> Estimate {
+        if pattern.matches_all() {
             Estimate::guess(self.universe())
-        } else if step.name.is_exact() {
-            Estimate::exact(self.index_bundle().name.exact(step.name.as_str()).len())
+        } else if pattern.is_exact() {
+            Estimate::exact(self.index_bundle().name.exact(pattern.as_str()).len())
         } else {
             // Wildcards: assume they hit 5% of distinct names.
             Estimate::guess((self.index_bundle().name.entry_count() / 20).max(1))
-        };
+        }
+    }
+
+    /// Estimates one path step's candidate set (name × predicate).
+    fn estimate_step(&self, step: &crate::ast::Step) -> Estimate {
+        let by_name = self.estimate_name(&step.name);
         match &step.pred {
             Some(pred) => {
                 let by_pred = self.estimate_pred(pred);
@@ -167,72 +174,13 @@ impl QueryProcessor {
     }
 }
 
-/// Renders the rule-based plan annotated with cardinality estimates —
-/// the "EXPLAIN (with estimates)" a cost-based optimizer starts from.
+/// Renders the plan annotated with cardinality estimates — the
+/// "EXPLAIN (with estimates)" a cost-based optimizer starts from. The
+/// estimates were attached to the plan nodes when the planner made its
+/// decisions; this renders the same tree the executor runs, it does not
+/// re-walk the AST.
 pub fn explain_with_estimates(processor: &QueryProcessor, iql: &str) -> Result<String> {
-    let query = parse(iql)?;
-    let mut out = String::new();
-    render(processor, &query, 0, &mut out);
-    Ok(out)
-}
-
-fn indent(depth: usize, out: &mut String) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn render(processor: &QueryProcessor, query: &Query, depth: usize, out: &mut String) {
-    let estimate = processor.estimate(query);
-    indent(depth, out);
-    let kind = match query {
-        Query::Filter(_) => "Filter",
-        Query::Path(_) => "Path",
-        Query::Union(_) => "Union",
-        Query::Join(_) => "HashJoin",
-    };
-    out.push_str(&format!(
-        "{kind}  (est. {} rows{})\n",
-        estimate.rows,
-        if estimate.exact { ", exact" } else { "" }
-    ));
-    match query {
-        Query::Union(members) => {
-            for member in members {
-                render(processor, member, depth + 1, out);
-            }
-        }
-        Query::Join(join) => {
-            let left = processor.estimate(&join.left);
-            let right = processor.estimate(&join.right);
-            indent(depth + 1, out);
-            out.push_str(&format!(
-                "build side: {} (est. {} vs {})\n",
-                if left.rows <= right.rows {
-                    "left"
-                } else {
-                    "right"
-                },
-                left.rows,
-                right.rows
-            ));
-            render(processor, &join.left, depth + 1, out);
-            render(processor, &join.right, depth + 1, out);
-        }
-        Query::Path(path) => {
-            for (i, step) in path.steps.iter().enumerate() {
-                let est = processor.estimate_step(step);
-                indent(depth + 1, out);
-                out.push_str(&format!(
-                    "step {i} '{}' (est. {} candidates{})\n",
-                    step.name.as_str(),
-                    est.rows,
-                    if est.exact { ", exact" } else { "" }
-                ));
-            }
-        }
-        Query::Filter(_) => {}
-    }
+    Ok(processor.plan_iql(iql)?.render_with_estimates())
 }
 
 #[cfg(test)]
@@ -324,7 +272,7 @@ mod tests {
         )
         .unwrap();
         assert!(plan.contains("HashJoin"), "{plan}");
-        assert!(plan.contains("build side: left (est. 5 vs 45)"), "{plan}");
+        assert!(plan.contains("build=left (est. 5 vs 45)"), "{plan}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! iQL execution: rule-based planning over the index structures plus
-//! graph expansion strategies.
+//! iQL physical execution: a walker over the plan IR of [`crate::plan`]
+//! plus the graph expansion strategies.
 //!
 //! The paper's processor "fetches the data via index accesses, \[then\]
 //! obtains indirectly related resource views by **forward expansion**"
@@ -8,6 +8,13 @@
 //! many intermediate results. All three strategies are implemented here
 //! and selectable per query, which also powers the expansion-strategy
 //! ablation benchmark.
+//!
+//! The executor holds **no query-shape logic of its own**: every rule
+//! decision (which index to read, intersection order, join build side)
+//! was made by the planner and is recorded in the [`PlanNode`] tree this
+//! module walks. `EXPLAIN` renders the identical tree, so the plan you
+//! read is the plan that ran — per-operator counts in
+//! [`ExecStats::ops`] make that checkable.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -16,9 +23,13 @@ use idm_core::prelude::*;
 use idm_index::IndexBundle;
 
 use crate::ast::*;
-use crate::cache::ExpansionCache;
+use crate::cache::{ExpansionCache, ResultCache};
 use crate::par;
 use crate::parser::parse;
+use crate::plan::{AccessKind, BuildSide, OperatorCounts, Plan, PlanNode, PlanOp};
+
+/// Capacity of the per-processor whole-result cache (entries).
+const RESULT_CACHE_CAPACITY: usize = 256;
 
 /// How `//` (and `/`) steps relate candidates to the current context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +102,12 @@ pub struct ExecStats {
     pub retries: u64,
     /// Circuit breakers tripped during this query (same handle).
     pub breaker_trips: u64,
+    /// Physical operators executed, by kind. Always equal to the plan's
+    /// [`Plan::operator_counts`] — the plan/exec agreement invariant.
+    pub ops: OperatorCounts,
+    /// Whole results served from the [`ResultCache`] (only via
+    /// [`QueryProcessor::execute_cached`]).
+    pub result_cache_hits: u64,
 }
 
 /// Result rows: plain views, or pairs for joins.
@@ -155,6 +172,9 @@ pub struct QueryProcessor {
     indexes: Arc<IndexBundle>,
     options: ExecOptions,
     cache: ExpansionCache,
+    /// Whole-result cache keyed by plan fingerprint (opt-in via
+    /// [`QueryProcessor::execute_cached`]).
+    results: ResultCache,
     /// Shared fault counters of the system's source guards, when the
     /// embedding system installs them; lets per-query stats report the
     /// retries and breaker trips its own expansions caused.
@@ -166,11 +186,13 @@ impl QueryProcessor {
     pub fn new(store: Arc<ViewStore>, indexes: Arc<IndexBundle>) -> Self {
         let options = ExecOptions::default();
         let cache = ExpansionCache::new(&store, options.cache_capacity);
+        let results = ResultCache::new(&store, RESULT_CACHE_CAPACITY);
         QueryProcessor {
             store,
             indexes,
             options,
             cache,
+            results,
             fault_stats: None,
         }
     }
@@ -217,19 +239,27 @@ impl QueryProcessor {
         &self.indexes
     }
 
-    /// Parses and executes an iQL query string.
+    /// Parses, plans and executes an iQL query string.
     pub fn execute(&self, iql: &str) -> Result<QueryResult> {
         let query = parse(iql)?;
         self.execute_ast(&query)
     }
 
-    /// Executes a parsed query.
+    /// Plans and executes a parsed query.
     pub fn execute_ast(&self, query: &Query) -> Result<QueryResult> {
+        let plan = self.plan(query)?;
+        self.execute_plan(&plan)
+    }
+
+    /// Executes a plan — the same object [`Plan::render`] prints. This
+    /// is the only evaluation path; `execute`/`execute_ast` are
+    /// parse/plan front-ends to it.
+    pub fn execute_plan(&self, plan: &Plan) -> Result<QueryResult> {
         self.cache.drain_invalidations();
         let before = self.cache.counters();
         let fault_before = self.fault_stats.as_ref().map(|s| s.snapshot());
         let mut stats = ExecStats::default();
-        let rows = self.eval_query(query, &mut stats)?;
+        let rows = self.eval_node(&plan.root, &mut stats)?;
         let after = self.cache.counters();
         stats.cache_hits = after.hits - before.hits;
         stats.cache_misses = after.misses - before.misses;
@@ -241,6 +271,31 @@ impl QueryProcessor {
             stats.breaker_trips = delta.breaker_trips;
         }
         Ok(QueryResult { rows, stats })
+    }
+
+    /// Like [`QueryProcessor::execute`], but consults the whole-result
+    /// cache first, keyed by the plan's normalized fingerprint. A hit
+    /// returns the cached rows without touching the indexes (stats show
+    /// `result_cache_hits = 1` and no operator work); a miss executes
+    /// the plan and stores the rows. Any store change clears the cache.
+    pub fn execute_cached(&self, iql: &str) -> Result<QueryResult> {
+        let plan = self.plan_iql(iql)?;
+        let fingerprint = plan.fingerprint();
+        if let Some(rows) = self.results.get(fingerprint) {
+            let stats = ExecStats {
+                result_cache_hits: 1,
+                ..ExecStats::default()
+            };
+            return Ok(QueryResult { rows, stats });
+        }
+        let result = self.execute_plan(&plan)?;
+        self.results.insert(fingerprint, result.rows.clone());
+        Ok(result)
+    }
+
+    /// The whole-result cache (counters for benchmarks and tests).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.results
     }
 
     /// Worker-thread count for parallel sites (`>= 1`).
@@ -265,17 +320,49 @@ impl QueryProcessor {
         }
     }
 
-    fn eval_query(&self, query: &Query, stats: &mut ExecStats) -> Result<ResultRows> {
-        match query {
-            Query::Filter(pred) => {
-                let vids = self.eval_pred(pred, stats)?;
+    // ---- the plan walker ---------------------------------------------
+
+    /// Evaluates one plan node. Every node executes exactly once (no
+    /// operator short-circuits), so the per-kind counters in
+    /// `stats.ops` always equal [`Plan::operator_counts`].
+    fn eval_node(&self, node: &PlanNode, stats: &mut ExecStats) -> Result<ResultRows> {
+        match &node.op {
+            PlanOp::IndexAccess(access) => {
+                stats.ops.index_accesses += 1;
+                let vids = self.eval_access(access);
+                stats.candidates_examined += vids.len();
                 Ok(ResultRows::Views(vids))
             }
-            Query::Path(path) => Ok(ResultRows::Views(self.eval_path(path, stats)?)),
-            Query::Union(members) => {
+            PlanOp::Scan => {
+                stats.ops.scans += 1;
+                let vids = self.all_vids();
+                stats.candidates_examined += vids.len();
+                Ok(ResultRows::Views(vids))
+            }
+            PlanOp::Intersect(inputs) => {
+                stats.ops.intersects += 1;
+                // Inputs arrive in the planner's order (smallest
+                // estimate first); intersect left to right. Every leaf
+                // list is sorted, so the running intersection stays
+                // sorted regardless of the chosen order.
+                let mut iter = inputs.iter();
+                let mut acc = match iter.next() {
+                    Some(first) => self.eval_node(first, stats)?.views(),
+                    None => Vec::new(),
+                };
+                for input in iter {
+                    let set: HashSet<Vid> =
+                        self.eval_node(input, stats)?.views().into_iter().collect();
+                    acc.retain(|v| set.contains(v));
+                }
+                stats.candidates_examined += acc.len();
+                Ok(ResultRows::Views(acc))
+            }
+            PlanOp::UnionOp(inputs) => {
+                stats.ops.unions += 1;
                 let mut acc: Vec<Vid> = Vec::new();
-                for member in members {
-                    match self.eval_query(member, stats)? {
+                for input in inputs {
+                    match self.eval_node(input, stats)? {
                         ResultRows::Views(v) => acc.extend(v),
                         ResultRows::Pairs(_) => {
                             return Err(IdmError::Parse {
@@ -286,65 +373,76 @@ impl QueryProcessor {
                 }
                 acc.sort();
                 acc.dedup();
+                stats.candidates_examined += acc.len();
                 Ok(ResultRows::Views(acc))
             }
-            Query::Join(join) => self.eval_join(join, stats),
+            PlanOp::Complement(exclude) => {
+                stats.ops.complements += 1;
+                let exclude: HashSet<Vid> = self
+                    .eval_node(exclude, stats)?
+                    .views()
+                    .into_iter()
+                    .collect();
+                // Full scan over the catalog; chunked across workers when
+                // parallelism is enabled (order-preserving either way).
+                let vids = par::filter(self.all_vids(), self.threads(), |v| !exclude.contains(v));
+                stats.candidates_examined += vids.len();
+                Ok(ResultRows::Views(vids))
+            }
+            PlanOp::Relate {
+                context,
+                candidates,
+                axis,
+                strategy,
+            } => {
+                stats.ops.relates += 1;
+                let ctx = self.eval_node(context, stats)?.views();
+                let cand = self.eval_node(candidates, stats)?.views();
+                Ok(ResultRows::Views(
+                    self.relate(&ctx, cand, *axis, *strategy, stats),
+                ))
+            }
+            PlanOp::HashJoin {
+                left,
+                right,
+                left_field,
+                right_field,
+                build,
+                ..
+            } => {
+                stats.ops.hash_joins += 1;
+                let left_rows = self.eval_node(left, stats)?.views();
+                let right_rows = self.eval_node(right, stats)?.views();
+                Ok(self.hash_join(left_rows, right_rows, left_field, right_field, *build))
+            }
         }
     }
 
-    // ---- predicates --------------------------------------------------
-
-    fn all_vids(&self) -> Vec<Vid> {
-        self.indexes.catalog.vids()
-    }
-
-    fn eval_pred(&self, pred: &Pred, stats: &mut ExecStats) -> Result<Vec<Vid>> {
-        let vids = match pred {
-            Pred::Phrase(phrase) => {
+    /// One index posting-list read — the plan's leaf accesses.
+    fn eval_access(&self, access: &AccessKind) -> Vec<Vid> {
+        match access {
+            AccessKind::Name(pattern) => {
+                let mut v = self.indexes.name.matching(pattern);
+                v.sort();
+                v
+            }
+            AccessKind::Content(phrase) => {
                 let mut v = self.indexes.content.phrase_query(phrase);
                 v.sort();
                 v
             }
-            Pred::Class(class_name) => self.class_members(class_name),
-            Pred::Cmp { attr, op, value } => {
+            AccessKind::Catalog(class_name) => self.class_members(class_name),
+            AccessKind::Tuple { attr, op, value } => {
                 let constant = self.literal_value(value);
                 self.indexes
                     .tuple
                     .compare(&resolve_attr(attr), *op, &constant)
             }
-            Pred::And(members) => {
-                let mut lists = Vec::with_capacity(members.len());
-                for member in members {
-                    lists.push(self.eval_pred(member, stats)?);
-                }
-                // Rule-based ordering: intersect smallest-first.
-                lists.sort_by_key(Vec::len);
-                let mut iter = lists.into_iter();
-                let mut acc = iter.next().unwrap_or_default();
-                for list in iter {
-                    let set: HashSet<Vid> = list.into_iter().collect();
-                    acc.retain(|v| set.contains(v));
-                }
-                acc
-            }
-            Pred::Or(members) => {
-                let mut acc = Vec::new();
-                for member in members {
-                    acc.extend(self.eval_pred(member, stats)?);
-                }
-                acc.sort();
-                acc.dedup();
-                acc
-            }
-            Pred::Not(inner) => {
-                let exclude: HashSet<Vid> = self.eval_pred(inner, stats)?.into_iter().collect();
-                // Full scan over the catalog; chunked across workers when
-                // parallelism is enabled (order-preserving either way).
-                par::filter(self.all_vids(), self.threads(), |v| !exclude.contains(v))
-            }
-        };
-        stats.candidates_examined += vids.len();
-        Ok(vids)
+        }
+    }
+
+    fn all_vids(&self) -> Vec<Vid> {
+        self.indexes.catalog.vids()
     }
 
     fn literal_value(&self, literal: &Literal) -> Value {
@@ -371,58 +469,23 @@ impl QueryProcessor {
 
     // ---- paths --------------------------------------------------------
 
-    fn step_candidates(&self, step: &Step, stats: &mut ExecStats) -> Result<Vec<Vid>> {
-        let by_name = if step.name.matches_all() {
-            None
-        } else {
-            let mut v = self.indexes.name.matching(&step.name);
-            v.sort();
-            Some(v)
-        };
-        let by_pred = match &step.pred {
-            Some(pred) => Some(self.eval_pred(pred, stats)?),
-            None => None,
-        };
-        let candidates = match (by_name, by_pred) {
-            (Some(a), Some(b)) => {
-                let set: HashSet<Vid> = b.into_iter().collect();
-                a.into_iter().filter(|v| set.contains(v)).collect()
-            }
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => self.all_vids(),
-        };
-        stats.candidates_examined += candidates.len();
-        Ok(candidates)
-    }
-
-    fn eval_path(&self, path: &PathExpr, stats: &mut ExecStats) -> Result<Vec<Vid>> {
-        let mut context: Option<Vec<Vid>> = None;
-        for step in &path.steps {
-            let candidates = self.step_candidates(step, stats)?;
-            context = Some(match context {
-                // The first step has no ancestry constraint: `//X`
-                // selects every view matching X anywhere in the graph.
-                None => candidates,
-                Some(ctx) => self.relate(&ctx, candidates, step.axis, stats),
-            });
-        }
-        Ok(context.unwrap_or_default())
-    }
-
     /// Filters `candidates` down to those related to some context view
-    /// along `axis`, using the configured expansion strategy.
+    /// along `axis`. The strategy comes from the plan node; the
+    /// `Bidirectional` hybrid is resolved here, at run time, from the
+    /// actual frontier sizes (the plan records the *policy*, the
+    /// executor the cheap side).
     fn relate(
         &self,
         context: &[Vid],
         candidates: Vec<Vid>,
         axis: Axis,
+        strategy: ExpansionStrategy,
         stats: &mut ExecStats,
     ) -> Vec<Vid> {
         if context.is_empty() || candidates.is_empty() {
             return Vec::new();
         }
-        let strategy = match self.options.expansion {
+        let strategy = match strategy {
             ExpansionStrategy::Bidirectional => {
                 if context.len() <= candidates.len() {
                     ExpansionStrategy::Forward
@@ -647,41 +710,21 @@ impl QueryProcessor {
         }
     }
 
-    fn eval_join(&self, join: &JoinExpr, stats: &mut ExecStats) -> Result<ResultRows> {
-        // Validate binding references.
-        for (field_ref, expected) in [
-            (&join.condition.left, &join.left_binding),
-            (&join.condition.right, &join.right_binding),
-        ] {
-            if &field_ref.binding != expected
-                && field_ref.binding != join.left_binding
-                && field_ref.binding != join.right_binding
-            {
-                return Err(IdmError::Parse {
-                    detail: format!(
-                        "iql: unknown join binding '{}' (have '{}' and '{}')",
-                        field_ref.binding, join.left_binding, join.right_binding
-                    ),
-                });
-            }
-        }
-        let left_rows = self.eval_query(&join.left, stats)?.views();
-        let right_rows = self.eval_query(&join.right, stats)?.views();
-
-        // Orient the condition fields to their sides.
-        let (left_field, right_field) = if join.condition.left.binding == join.left_binding {
-            (&join.condition.left.field, &join.condition.right.field)
-        } else {
-            (&join.condition.right.field, &join.condition.left.field)
+    /// Hash equi-join. The build side was chosen by the planner from
+    /// cardinality estimates and is recorded in the plan node — binding
+    /// validation happened at plan time too.
+    fn hash_join(
+        &self,
+        left_rows: Vec<Vid>,
+        right_rows: Vec<Vid>,
+        left_field: &Field,
+        right_field: &Field,
+        build: BuildSide,
+    ) -> ResultRows {
+        let (build_rows, probe_rows, build_field, probe_field, build_is_left) = match build {
+            BuildSide::Left => (&left_rows, &right_rows, left_field, right_field, true),
+            BuildSide::Right => (&right_rows, &left_rows, right_field, left_field, false),
         };
-
-        // Hash join: build on the smaller input.
-        let (build_rows, probe_rows, build_field, probe_field, build_is_left) =
-            if left_rows.len() <= right_rows.len() {
-                (&left_rows, &right_rows, left_field, right_field, true)
-            } else {
-                (&right_rows, &left_rows, right_field, left_field, false)
-            };
 
         // Hash-table build, chunk-parallel when enabled: workers extract
         // `(key, vid)` pairs and the coordinator merges them in chunk
@@ -717,7 +760,7 @@ impl QueryProcessor {
         }
         pairs.sort();
         pairs.dedup();
-        Ok(ResultRows::Pairs(pairs))
+        ResultRows::Pairs(pairs)
     }
 }
 
@@ -932,6 +975,67 @@ mod tests {
             .execute(r#"join( //a as A, //b as B, C.name = B.name )"#)
             .unwrap_err();
         assert!(err.to_string().contains("binding"), "{err}");
+    }
+
+    #[test]
+    fn join_rejects_ambiguous_condition_referencing_one_binding_twice() {
+        // Regression: the old validator's first clause was redundant and
+        // `A.name = A.name` slipped through as a cross product of A with
+        // every right row sharing a name. It is now a plan-time error.
+        let p = processor(ExpansionStrategy::Forward);
+        let err = p
+            .execute(
+                r#"join( //papers//*.tex as A, //*[class="emailmessage"] as B, A.name = A.name )"#,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        let err = p
+            .execute(r#"join( //a as A, //b as B, B.name = B.name )"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn executed_operators_match_the_plan() {
+        let p = processor(ExpansionStrategy::Forward);
+        for iql in [
+            r#""Mike Franklin""#,
+            r#"//papers//*Vision/*["Franklin"]"#,
+            r#"union( //papers//*["systems"], //papers//?onclusion* )"#,
+            r#"[class="file" and not class="file"]"#,
+            r#"join ( //*[class = "emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )"#,
+        ] {
+            let plan = p.plan_iql(iql).unwrap();
+            let result = p.execute(iql).unwrap();
+            assert_eq!(
+                result.stats.ops,
+                plan.operator_counts(),
+                "plan/exec operator divergence on {iql}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_execution_replays_rows_without_index_work() {
+        let p = processor(ExpansionStrategy::Forward);
+        let iql = r#"//papers//*[class="latex_section"]"#;
+        let first = p.execute_cached(iql).unwrap();
+        assert_eq!(first.stats.result_cache_hits, 0);
+        assert!(first.stats.ops.total() > 0);
+        let second = p.execute_cached(iql).unwrap();
+        assert_eq!(second.rows, first.rows);
+        assert_eq!(second.stats.result_cache_hits, 1);
+        assert_eq!(second.stats.ops.total(), 0, "no operators ran");
+        // Whitespace differences plan identically → same fingerprint.
+        let respaced = p
+            .execute_cached(r#"//papers//*[ class = "latex_section" ]"#)
+            .unwrap();
+        assert_eq!(respaced.stats.result_cache_hits, 1);
+        // A store change invalidates: the third run recomputes.
+        p.store.build("new view").insert();
+        let third = p.execute_cached(iql).unwrap();
+        assert_eq!(third.stats.result_cache_hits, 0);
+        assert_eq!(third.rows, first.rows);
     }
 
     #[test]

@@ -18,13 +18,16 @@
 //!            //papers//*.tex as B, A.name = B.name )
 //! ```
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`exec::QueryProcessor`] running
-//! rule-based plans ([`plan::explain`] renders them) against the
-//! [`idm_index::IndexBundle`]. Path steps relate to their context via
-//! forward, backward or bidirectional expansion
-//! ([`exec::ExpansionStrategy`]) — forward is what the paper's
-//! prototype shipped; the others are its stated future work, included
-//! here for the ablation benchmarks.
+//! Pipeline: [`lexer`] → [`parser`] → AST → [`plan`] (a typed logical
+//! operator tree, rewritten under [`cost`] estimates) →
+//! [`exec::QueryProcessor`] walking that same plan against the
+//! [`idm_index::IndexBundle`]. `EXPLAIN`
+//! ([`exec::QueryProcessor::explain`]) renders the identical plan
+//! object the executor runs, and [`plan::Plan::fingerprint`] keys the
+//! whole-result cache. Path steps relate to their context via forward,
+//! backward or bidirectional expansion ([`exec::ExpansionStrategy`]) —
+//! forward is what the paper's prototype shipped; the others are its
+//! stated future work, included here for the ablation benchmarks.
 
 #![warn(missing_docs)]
 
@@ -40,12 +43,12 @@ pub mod rank;
 pub mod update;
 
 pub use ast::Query;
-pub use cache::{CacheCounters, ExpansionCache};
+pub use cache::{CacheCounters, ExpansionCache, ResultCache, ResultCacheCounters};
 pub use cost::{explain_with_estimates, Estimate};
 pub use exec::{
     ExecOptions, ExecStats, ExpansionStrategy, QueryProcessor, QueryResult, ResultRows,
 };
 pub use parser::parse;
-pub use plan::explain;
+pub use plan::{AccessKind, BuildSide, OperatorCounts, Plan, PlanNode, PlanOp};
 pub use rank::{RankWeights, RankedResult};
 pub use update::{parse_update, UpdateAction, UpdateOutcome, UpdateStatement};

@@ -1,92 +1,323 @@
-//! Rule-based plan rendering (`EXPLAIN` for iQL).
+//! The iQL plan IR: one typed operator tree shared by the optimizer,
+//! the executor and `EXPLAIN`.
 //!
-//! The paper's query processor uses rule-based optimization
-//! (Section 5.1; cost-based optimization is future work). The rules
-//! applied by the executor are deterministic:
+//! The paper's query processor is rule-based (Section 5.1; cost-based
+//! optimization is named as future work). Earlier revisions of this
+//! crate applied those rules twice — once inline in the executor and
+//! once as prose in `EXPLAIN` — which let the two drift. This module
+//! replaces both with a single pipeline:
 //!
-//! 1. every step predicate conjunct is mapped to its index (phrases →
-//!    content index, comparisons → tuple index, `class=` → catalog,
-//!    name patterns → name index),
-//! 2. conjunctions intersect smallest-first,
-//! 3. path steps relate to their context via the configured expansion
-//!    strategy (forward / backward / bidirectional),
-//! 4. joins build the hash table on the smaller input.
+//! ```text
+//! AST ──plan()──▶ logical plan (PlanNode tree, cost-annotated)
+//!                 │  rewrites driven by `cost.rs` estimates:
+//!                 │   · conjuncts intersect smallest-estimate first
+//!                 │   · hash joins build on the smaller-estimate side
+//!                 │   · index access vs. full catalog scan per step
+//!                 ▼
+//!          physical execution (exec.rs walks the same tree)
+//!          EXPLAIN            (render() prints the same tree)
+//! ```
 //!
-//! [`explain`] renders the resulting plan as text.
+//! [`Plan::fingerprint`] hashes the normalized structure (operators,
+//! accesses, decisions — not the volatile estimates) into a stable key
+//! used by the [`crate::cache::ResultCache`] and by the
+//! planner-determinism guard in `idm-bench`.
 
-use idm_core::prelude::Result;
+use idm_core::prelude::{IdmError, Result};
+use idm_index::name::NamePattern;
+use idm_index::tuple::CompareOp;
 
 use crate::ast::*;
-use crate::exec::ExpansionStrategy;
+use crate::cost::Estimate;
+use crate::exec::{ExpansionStrategy, QueryProcessor};
 use crate::parser::parse;
 
-/// Renders the execution plan of an iQL query as indented text.
-pub fn explain(iql: &str, strategy: ExpansionStrategy) -> Result<String> {
-    let query = parse(iql)?;
-    let mut out = String::new();
-    render_query(&query, strategy, 0, &mut out);
-    Ok(out)
+/// Which index a leaf access reads, with its argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessKind {
+    /// Name index lookup (exact or wildcard pattern).
+    Name(NamePattern),
+    /// Content (full-text) index phrase lookup.
+    Content(String),
+    /// Tuple index comparison against a literal.
+    Tuple {
+        /// Attribute name as written (aliases resolved at execution).
+        attr: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right-hand literal (date functions evaluated at execution).
+        value: Literal,
+    },
+    /// Catalog lookup of a class and its specializations.
+    Catalog(String),
+}
+
+/// Which join input the hash table is built on (a plan-time decision
+/// driven by cardinality estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    /// Build on the left input, probe with the right.
+    Left,
+    /// Build on the right input, probe with the left.
+    Right,
+}
+
+/// A logical/physical plan operator. The executor walks this tree; the
+/// renderer prints it; there is no second interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Leaf: read one posting list from an index.
+    IndexAccess(AccessKind),
+    /// Leaf: enumerate the whole catalog (no usable index).
+    Scan,
+    /// Intersect the inputs, in plan order (smallest estimate first).
+    Intersect(Vec<PlanNode>),
+    /// Union the inputs and deduplicate.
+    UnionOp(Vec<PlanNode>),
+    /// Complement of the input against the catalog.
+    Complement(Box<PlanNode>),
+    /// Keep the candidates related to some context view along `axis`,
+    /// using `strategy` to expand group edges.
+    Relate {
+        /// Produces the context views (the previous path steps).
+        context: Box<PlanNode>,
+        /// Produces the candidate views of this step.
+        candidates: Box<PlanNode>,
+        /// `/` (direct) or `//` (indirect) relatedness.
+        axis: Axis,
+        /// Forward, backward, or size-adaptive bidirectional expansion.
+        strategy: ExpansionStrategy,
+    },
+    /// Hash equi-join of two inputs on component fields.
+    HashJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Left binding name (for rendering).
+        left_binding: String,
+        /// Right binding name (for rendering).
+        right_binding: String,
+        /// Key field of the left input.
+        left_field: Field,
+        /// Key field of the right input.
+        right_field: Field,
+        /// Which side the hash table is built on (cost-chosen).
+        build: BuildSide,
+    },
+}
+
+/// One plan node: an operator plus its cardinality estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The operator.
+    pub op: PlanOp,
+    /// Estimated output cardinality (from `cost.rs`, at plan time).
+    pub est: Estimate,
+}
+
+/// A complete, executable query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The root operator.
+    pub root: PlanNode,
+}
+
+/// Per-operator counts — of nodes in a plan, or of operators actually
+/// executed (folded into [`crate::exec::ExecStats::ops`]). The
+/// plan/exec agreement suite asserts the two are equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorCounts {
+    /// Index posting-list reads.
+    pub index_accesses: usize,
+    /// Full catalog scans.
+    pub scans: usize,
+    /// Intersections.
+    pub intersects: usize,
+    /// Unions.
+    pub unions: usize,
+    /// Complements against the catalog.
+    pub complements: usize,
+    /// Path-step relate (expansion) operators.
+    pub relates: usize,
+    /// Hash joins.
+    pub hash_joins: usize,
+}
+
+impl OperatorCounts {
+    /// Total operators.
+    pub fn total(&self) -> usize {
+        self.index_accesses
+            + self.scans
+            + self.intersects
+            + self.unions
+            + self.complements
+            + self.relates
+            + self.hash_joins
+    }
+}
+
+impl Plan {
+    /// Counts the operators in the plan tree.
+    pub fn operator_counts(&self) -> OperatorCounts {
+        let mut counts = OperatorCounts::default();
+        count_ops(&self.root, &mut counts);
+        counts
+    }
+
+    /// Renders the plan as indented text (the `EXPLAIN` output). This
+    /// prints the *same* tree the executor walks.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, false, &mut out);
+        out
+    }
+
+    /// [`Plan::render`] with per-node cardinality estimates — the
+    /// "EXPLAIN (with estimates)" a cost-based optimizer starts from.
+    pub fn render_with_estimates(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, true, &mut out);
+        out
+    }
+
+    /// A stable 64-bit fingerprint of the normalized plan structure
+    /// (operators, accesses and rewrite decisions; estimates excluded).
+    /// Same query + same catalog statistics ⇒ identical fingerprint,
+    /// which is what lets result caches key on it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut canonical = String::new();
+        canonicalize(&self.root, &mut canonical);
+        fnv1a(canonical.as_bytes())
+    }
+}
+
+fn count_ops(node: &PlanNode, counts: &mut OperatorCounts) {
+    match &node.op {
+        PlanOp::IndexAccess(_) => counts.index_accesses += 1,
+        PlanOp::Scan => counts.scans += 1,
+        PlanOp::Intersect(inputs) => {
+            counts.intersects += 1;
+            for input in inputs {
+                count_ops(input, counts);
+            }
+        }
+        PlanOp::UnionOp(inputs) => {
+            counts.unions += 1;
+            for input in inputs {
+                count_ops(input, counts);
+            }
+        }
+        PlanOp::Complement(exclude) => {
+            counts.complements += 1;
+            count_ops(exclude, counts);
+        }
+        PlanOp::Relate {
+            context,
+            candidates,
+            ..
+        } => {
+            counts.relates += 1;
+            count_ops(context, counts);
+            count_ops(candidates, counts);
+        }
+        PlanOp::HashJoin { left, right, .. } => {
+            counts.hash_joins += 1;
+            count_ops(left, counts);
+            count_ops(right, counts);
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: deterministic across runs, processes and platforms
+/// (unlike the std hasher, whose keys are unspecified).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn canonicalize(node: &PlanNode, out: &mut String) {
+    match &node.op {
+        PlanOp::IndexAccess(access) => match access {
+            AccessKind::Name(pattern) => {
+                out.push_str("ia:name:");
+                out.push_str(pattern.as_str());
+            }
+            AccessKind::Content(phrase) => {
+                out.push_str("ia:content:");
+                out.push_str(phrase);
+            }
+            AccessKind::Tuple { attr, op, value } => {
+                out.push_str(&format!("ia:tuple:{attr}:{op:?}:{value:?}"));
+            }
+            AccessKind::Catalog(class) => {
+                out.push_str("ia:catalog:");
+                out.push_str(class);
+            }
+        },
+        PlanOp::Scan => out.push_str("scan"),
+        PlanOp::Intersect(inputs) => {
+            out.push_str("and(");
+            for input in inputs {
+                canonicalize(input, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        PlanOp::UnionOp(inputs) => {
+            out.push_str("or(");
+            for input in inputs {
+                canonicalize(input, out);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        PlanOp::Complement(exclude) => {
+            out.push_str("not(");
+            canonicalize(exclude, out);
+            out.push(')');
+        }
+        PlanOp::Relate {
+            context,
+            candidates,
+            axis,
+            strategy,
+        } => {
+            out.push_str(&format!("rel:{axis:?}:{strategy:?}("));
+            canonicalize(context, out);
+            out.push(',');
+            canonicalize(candidates, out);
+            out.push(')');
+        }
+        PlanOp::HashJoin {
+            left,
+            right,
+            left_field,
+            right_field,
+            build,
+            ..
+        } => {
+            out.push_str(&format!(
+                "join:{}:{}:{build:?}(",
+                field_name(left_field),
+                field_name(right_field)
+            ));
+            canonicalize(left, out);
+            out.push(',');
+            canonicalize(right, out);
+            out.push(')');
+        }
+    }
+    out.push(';');
 }
 
 fn indent(depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");
-    }
-}
-
-fn render_query(query: &Query, strategy: ExpansionStrategy, depth: usize, out: &mut String) {
-    match query {
-        Query::Filter(pred) => {
-            indent(depth, out);
-            out.push_str("Filter (dataspace-wide)\n");
-            render_pred(pred, depth + 1, out);
-        }
-        Query::Path(path) => {
-            indent(depth, out);
-            out.push_str(&format!("Path ({} steps)\n", path.steps.len()));
-            for (i, step) in path.steps.iter().enumerate() {
-                indent(depth + 1, out);
-                let axis = match step.axis {
-                    Axis::Descendant => "indirectly-related (//)",
-                    Axis::Child => "directly-related (/)",
-                };
-                let relate = if i == 0 {
-                    "index-only".to_owned()
-                } else {
-                    format!("{strategy:?} expansion over the group replica")
-                };
-                let access = if step.name.matches_all() {
-                    "scan".to_owned()
-                } else if step.name.is_exact() {
-                    format!("NameIndex exact '{}'", step.name.as_str())
-                } else {
-                    format!("NameIndex wildcard '{}'", step.name.as_str())
-                };
-                out.push_str(&format!("Step {i}: {axis}, {access}, relate: {relate}\n"));
-                if let Some(pred) = &step.pred {
-                    render_pred(pred, depth + 2, out);
-                }
-            }
-        }
-        Query::Union(members) => {
-            indent(depth, out);
-            out.push_str(&format!("Union ({} inputs, dedup)\n", members.len()));
-            for member in members {
-                render_query(member, strategy, depth + 1, out);
-            }
-        }
-        Query::Join(join) => {
-            indent(depth, out);
-            out.push_str(&format!(
-                "HashJoin on {}.{} = {}.{} (build on smaller input)\n",
-                join.condition.left.binding,
-                field_name(&join.condition.left.field),
-                join.condition.right.binding,
-                field_name(&join.condition.right.field),
-            ));
-            render_query(&join.left, strategy, depth + 1, out);
-            render_query(&join.right, strategy, depth + 1, out);
-        }
     }
 }
 
@@ -98,74 +329,499 @@ fn field_name(field: &Field) -> String {
     }
 }
 
-fn render_pred(pred: &Pred, depth: usize, out: &mut String) {
+fn render_node(node: &PlanNode, depth: usize, estimates: bool, out: &mut String) {
     indent(depth, out);
-    match pred {
-        Pred::And(members) => {
-            out.push_str("And (intersect smallest-first)\n");
-            for member in members {
-                render_pred(member, depth + 1, out);
+    let est_suffix = |node: &PlanNode| {
+        if estimates {
+            format!(
+                "  (est. {} rows{})",
+                node.est.rows,
+                if node.est.exact { ", exact" } else { "" }
+            )
+        } else {
+            String::new()
+        }
+    };
+    match &node.op {
+        PlanOp::IndexAccess(access) => {
+            let what = match access {
+                AccessKind::Name(pattern) if pattern.is_exact() => {
+                    format!("NameIndex exact '{}'", pattern.as_str())
+                }
+                AccessKind::Name(pattern) => {
+                    format!("NameIndex wildcard '{}'", pattern.as_str())
+                }
+                AccessKind::Content(phrase) => format!("ContentIndex phrase \"{phrase}\""),
+                AccessKind::Tuple { attr, op, value } => {
+                    format!("TupleIndex {attr} {op:?} {value:?}")
+                }
+                AccessKind::Catalog(class) => {
+                    format!("Catalog class '{class}' (+ specializations)")
+                }
+            };
+            out.push_str(&format!("IndexAccess {what}{}\n", est_suffix(node)));
+        }
+        PlanOp::Scan => {
+            out.push_str(&format!("Scan (full catalog){}\n", est_suffix(node)));
+        }
+        PlanOp::Intersect(inputs) => {
+            out.push_str(&format!(
+                "Intersect ({} inputs, smallest-estimate first){}\n",
+                inputs.len(),
+                est_suffix(node)
+            ));
+            for input in inputs {
+                render_node(input, depth + 1, estimates, out);
             }
         }
-        Pred::Or(members) => {
-            out.push_str("Or (union)\n");
-            for member in members {
-                render_pred(member, depth + 1, out);
+        PlanOp::UnionOp(inputs) => {
+            out.push_str(&format!(
+                "Union ({} inputs, dedup){}\n",
+                inputs.len(),
+                est_suffix(node)
+            ));
+            for input in inputs {
+                render_node(input, depth + 1, estimates, out);
             }
         }
-        Pred::Not(inner) => {
-            out.push_str("Not (complement against catalog)\n");
-            render_pred(inner, depth + 1, out);
+        PlanOp::Complement(exclude) => {
+            out.push_str(&format!(
+                "Complement (against catalog){}\n",
+                est_suffix(node)
+            ));
+            render_node(exclude, depth + 1, estimates, out);
         }
-        Pred::Phrase(phrase) => {
-            out.push_str(&format!("ContentIndex phrase \"{phrase}\"\n"));
+        PlanOp::Relate {
+            context,
+            candidates,
+            axis,
+            strategy,
+        } => {
+            let axis_text = match axis {
+                Axis::Descendant => "indirectly-related (//)",
+                Axis::Child => "directly-related (/)",
+            };
+            out.push_str(&format!(
+                "Relate {axis_text}, {strategy:?} expansion{}\n",
+                est_suffix(node)
+            ));
+            render_node(context, depth + 1, estimates, out);
+            render_node(candidates, depth + 1, estimates, out);
         }
-        Pred::Class(class) => {
-            out.push_str(&format!("Catalog class '{class}' (+ specializations)\n"));
-        }
-        Pred::Cmp { attr, op, value } => {
-            out.push_str(&format!("TupleIndex {attr} {op:?} {value:?}\n"));
+        PlanOp::HashJoin {
+            left,
+            right,
+            left_binding,
+            right_binding,
+            left_field,
+            right_field,
+            build,
+        } => {
+            let build_text = if estimates {
+                format!(
+                    "build={} (est. {} vs {})",
+                    match build {
+                        BuildSide::Left => "left",
+                        BuildSide::Right => "right",
+                    },
+                    left.est.rows,
+                    right.est.rows
+                )
+            } else {
+                format!(
+                    "build={}",
+                    match build {
+                        BuildSide::Left => "left",
+                        BuildSide::Right => "right",
+                    }
+                )
+            };
+            out.push_str(&format!(
+                "HashJoin on {left_binding}.{} = {right_binding}.{}, {build_text}\n",
+                field_name(left_field),
+                field_name(right_field),
+            ));
+            render_node(left, depth + 1, estimates, out);
+            render_node(right, depth + 1, estimates, out);
         }
     }
+}
+
+// ---- the planner -----------------------------------------------------
+
+impl QueryProcessor {
+    /// Parses an iQL query and plans it under the current options.
+    pub fn plan_iql(&self, iql: &str) -> Result<Plan> {
+        self.plan(&parse(iql)?)
+    }
+
+    /// Plans a parsed query: builds the cost-annotated operator tree
+    /// and applies the rule-based rewrites (smallest-estimate-first
+    /// intersections, cost-chosen join build sides, index-vs-scan).
+    pub fn plan(&self, query: &Query) -> Result<Plan> {
+        Ok(Plan {
+            root: self.plan_query(query)?,
+        })
+    }
+
+    /// Renders the execution plan of an iQL query — the same plan
+    /// object [`QueryProcessor::execute`] runs.
+    pub fn explain(&self, iql: &str) -> Result<String> {
+        Ok(self.plan_iql(iql)?.render())
+    }
+
+    fn plan_query(&self, query: &Query) -> Result<PlanNode> {
+        match query {
+            Query::Filter(pred) => Ok(self.plan_pred(pred)),
+            Query::Path(path) => Ok(self.plan_path(path)),
+            Query::Union(members) => {
+                let inputs: Vec<PlanNode> = members
+                    .iter()
+                    .map(|m| self.plan_query(m))
+                    .collect::<Result<_>>()?;
+                let est = self.estimate(query);
+                Ok(PlanNode {
+                    op: PlanOp::UnionOp(inputs),
+                    est,
+                })
+            }
+            Query::Join(join) => self.plan_join(join),
+        }
+    }
+
+    fn plan_pred(&self, pred: &Pred) -> PlanNode {
+        let est = self.estimate_pred(pred);
+        let op = match pred {
+            Pred::Phrase(phrase) => PlanOp::IndexAccess(AccessKind::Content(phrase.clone())),
+            Pred::Class(class) => PlanOp::IndexAccess(AccessKind::Catalog(class.clone())),
+            Pred::Cmp { attr, op, value } => PlanOp::IndexAccess(AccessKind::Tuple {
+                attr: attr.clone(),
+                op: *op,
+                value: value.clone(),
+            }),
+            Pred::And(members) => {
+                let inputs = members.iter().map(|m| self.plan_pred(m)).collect();
+                PlanOp::Intersect(order_smallest_first(inputs))
+            }
+            Pred::Or(members) => {
+                PlanOp::UnionOp(members.iter().map(|m| self.plan_pred(m)).collect())
+            }
+            Pred::Not(inner) => PlanOp::Complement(Box::new(self.plan_pred(inner))),
+        };
+        PlanNode { op, est }
+    }
+
+    /// Plans one path step's candidate set: index accesses intersected
+    /// where available, an explicit full scan where not.
+    fn plan_step_candidates(&self, step: &Step) -> PlanNode {
+        let by_name = if step.name.matches_all() {
+            None
+        } else {
+            Some(PlanNode {
+                est: self.estimate_name(&step.name),
+                op: PlanOp::IndexAccess(AccessKind::Name(step.name.clone())),
+            })
+        };
+        let by_pred = step.pred.as_ref().map(|pred| self.plan_pred(pred));
+        match (by_name, by_pred) {
+            (Some(a), Some(b)) => {
+                let est = Estimate::guess(a.est.rows.min(b.est.rows));
+                PlanNode {
+                    op: PlanOp::Intersect(order_smallest_first(vec![a, b])),
+                    est,
+                }
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            // Index-vs-scan as an explicit plan decision: nothing to
+            // look up, so enumerate the catalog.
+            (None, None) => PlanNode {
+                op: PlanOp::Scan,
+                est: Estimate::exact(self.universe()),
+            },
+        }
+    }
+
+    fn plan_path(&self, path: &PathExpr) -> PlanNode {
+        let strategy = self.options().expansion;
+        let mut node: Option<PlanNode> = None;
+        for step in &path.steps {
+            let candidates = self.plan_step_candidates(step);
+            node = Some(match node {
+                // The first step has no ancestry constraint.
+                None => candidates,
+                Some(context) => {
+                    let est = Estimate::guess((candidates.est.rows / 2).max(1));
+                    PlanNode {
+                        op: PlanOp::Relate {
+                            context: Box::new(context),
+                            candidates: Box::new(candidates),
+                            axis: step.axis,
+                            strategy,
+                        },
+                        est,
+                    }
+                }
+            });
+        }
+        node.unwrap_or(PlanNode {
+            op: PlanOp::Scan,
+            est: Estimate::exact(self.universe()),
+        })
+    }
+
+    fn plan_join(&self, join: &JoinExpr) -> Result<PlanNode> {
+        if join.left_binding == join.right_binding {
+            return Err(IdmError::Parse {
+                detail: format!(
+                    "iql: duplicate join binding '{}' — inputs need distinct names",
+                    join.left_binding
+                ),
+            });
+        }
+        // The condition must reference each binding exactly once; a
+        // condition like `A.name = A.name` is ambiguous (which rows of
+        // B would it constrain?) and is rejected here.
+        for field_ref in [&join.condition.left, &join.condition.right] {
+            if field_ref.binding != join.left_binding && field_ref.binding != join.right_binding {
+                return Err(IdmError::Parse {
+                    detail: format!(
+                        "iql: unknown join binding '{}' (have '{}' and '{}')",
+                        field_ref.binding, join.left_binding, join.right_binding
+                    ),
+                });
+            }
+        }
+        if join.condition.left.binding == join.condition.right.binding {
+            return Err(IdmError::Parse {
+                detail: format!(
+                    "iql: ambiguous join condition — both sides reference binding '{}'; \
+                     the condition must mention '{}' and '{}' once each",
+                    join.condition.left.binding, join.left_binding, join.right_binding
+                ),
+            });
+        }
+        let left = self.plan_query(&join.left)?;
+        let right = self.plan_query(&join.right)?;
+
+        // Orient the condition fields to their sides.
+        let (left_field, right_field) = if join.condition.left.binding == join.left_binding {
+            (
+                join.condition.left.field.clone(),
+                join.condition.right.field.clone(),
+            )
+        } else {
+            (
+                join.condition.right.field.clone(),
+                join.condition.left.field.clone(),
+            )
+        };
+
+        // Cost-driven build side: hash the smaller estimated input.
+        let build = if left.est.rows <= right.est.rows {
+            BuildSide::Left
+        } else {
+            BuildSide::Right
+        };
+        let est = Estimate::guess(left.est.rows.min(right.est.rows));
+        Ok(PlanNode {
+            op: PlanOp::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_binding: join.left_binding.clone(),
+                right_binding: join.right_binding.clone(),
+                left_field,
+                right_field,
+                build,
+            },
+            est,
+        })
+    }
+}
+
+/// Rewrite rule: order intersection inputs by ascending estimate.
+/// Ties keep the written order (stable), so plans are deterministic.
+fn order_smallest_first(mut inputs: Vec<PlanNode>) -> Vec<PlanNode> {
+    inputs.sort_by_key(|n| n.est.rows);
+    inputs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idm_core::prelude::*;
+    use idm_index::IndexBundle;
+    use std::sync::Arc;
+
+    fn space() -> QueryProcessor {
+        let store = Arc::new(ViewStore::new());
+        let indexes = Arc::new(IndexBundle::new());
+        for i in 0..40 {
+            store
+                .build(if i == 0 {
+                    "VLDB2006".to_owned()
+                } else {
+                    format!("figure{i}")
+                })
+                .tuple(TupleComponent::of(vec![
+                    ("size", Value::Integer(i)),
+                    ("label", Value::Text(format!("fig:{i}"))),
+                ]))
+                .text(if i < 4 {
+                    "rare texref needle".to_owned()
+                } else {
+                    "common haystack words".to_owned()
+                })
+                .class_named("file")
+                .insert();
+        }
+        for vid in store.vids() {
+            indexes.index_view(&store, vid, "test").unwrap();
+        }
+        QueryProcessor::new(store, indexes)
+    }
 
     #[test]
     fn explains_q7_shape() {
-        let plan = explain(
-            r#"join( //VLDB2006//*[class="texref"] as A,
-                     //VLDB2006//*[class="environment"]//figure* as B,
-                     A.name=B.tuple.label)"#,
-            ExpansionStrategy::Forward,
-        )
-        .unwrap();
-        assert!(plan.contains("HashJoin on A.name = B.tuple.label"));
-        assert!(plan.contains("NameIndex exact 'VLDB2006'"));
-        assert!(plan.contains("NameIndex wildcard 'figure*'"));
-        assert!(plan.contains("Catalog class 'texref'"));
-        assert!(plan.contains("Forward expansion"));
+        let p = space();
+        let plan = p
+            .explain(
+                r#"join( //VLDB2006//*[class="texref"] as A,
+                         //VLDB2006//*[class="environment"]//figure* as B,
+                         A.name=B.tuple.label)"#,
+            )
+            .unwrap();
+        assert!(
+            plan.contains("HashJoin on A.name = B.tuple.label"),
+            "{plan}"
+        );
+        assert!(plan.contains("NameIndex exact 'VLDB2006'"), "{plan}");
+        assert!(plan.contains("NameIndex wildcard 'figure*'"), "{plan}");
+        assert!(plan.contains("Catalog class 'texref'"), "{plan}");
+        assert!(plan.contains("Forward expansion"), "{plan}");
+        assert!(plan.contains("build="), "{plan}");
     }
 
     #[test]
     fn explains_filters_and_unions() {
-        let plan = explain(
-            r#"union( //A//*["x" and size > 3], "y" )"#,
-            ExpansionStrategy::Backward,
-        )
-        .unwrap();
-        assert!(plan.contains("Union (2 inputs"));
-        assert!(plan.contains("ContentIndex phrase \"x\""));
-        assert!(plan.contains("TupleIndex size"));
-        assert!(plan.contains("Backward expansion"));
-        assert!(plan.contains("Filter (dataspace-wide)"));
+        let mut p = space();
+        p.set_expansion(ExpansionStrategy::Backward);
+        let plan = p
+            .explain(r#"union( //A//*["x" and size > 3], "y" )"#)
+            .unwrap();
+        assert!(plan.contains("Union (2 inputs"), "{plan}");
+        assert!(plan.contains("ContentIndex phrase \"x\""), "{plan}");
+        assert!(plan.contains("TupleIndex size"), "{plan}");
+        assert!(plan.contains("Backward expansion"), "{plan}");
     }
 
     #[test]
     fn explain_propagates_parse_errors() {
-        assert!(explain("[size >", ExpansionStrategy::Forward).is_err());
-        assert!(explain("", ExpansionStrategy::Forward).is_err());
+        let p = space();
+        assert!(p.explain("[size >").is_err());
+        assert!(p.explain("").is_err());
+    }
+
+    #[test]
+    fn intersections_order_smallest_estimate_first() {
+        let p = space();
+        // "haystack" (36 docs) written before "needle" (4 docs): the
+        // rewrite must flip them.
+        let plan = p.plan_iql(r#"["haystack" and "needle"]"#).unwrap();
+        let PlanOp::Intersect(inputs) = &plan.root.op else {
+            panic!("expected an intersection, got {:?}", plan.root.op);
+        };
+        assert!(
+            inputs.windows(2).all(|w| w[0].est.rows <= w[1].est.rows),
+            "inputs not estimate-ordered: {inputs:?}"
+        );
+        assert_eq!(
+            inputs[0].op,
+            PlanOp::IndexAccess(AccessKind::Content("needle".into()))
+        );
+    }
+
+    #[test]
+    fn join_build_side_follows_estimates() {
+        let p = space();
+        let plan = p
+            .plan_iql(r#"join( "haystack" as A, "needle" as B, A.name = B.name )"#)
+            .unwrap();
+        let PlanOp::HashJoin {
+            left, right, build, ..
+        } = &plan.root.op
+        else {
+            panic!()
+        };
+        assert!(left.est.rows > right.est.rows);
+        assert_eq!(*build, BuildSide::Right, "hash the rare side");
+    }
+
+    #[test]
+    fn bare_wildcard_step_is_an_explicit_scan() {
+        let p = space();
+        let plan = p.plan_iql("//*").unwrap();
+        assert_eq!(plan.root.op, PlanOp::Scan);
+        assert_eq!(plan.root.est.rows, 40);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_structural() {
+        let p = space();
+        let a = p.plan_iql(r#"["needle" and "haystack"]"#).unwrap();
+        let b = p.plan_iql(r#"["needle" and "haystack"]"#).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same query, same key");
+        let c = p.plan_iql(r#"["needle" and "words"]"#).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "different query");
+        // The fingerprint reflects decisions, not estimate numbers:
+        // rendering differs only in estimates, fingerprints agree.
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn operator_counts_cover_every_node() {
+        let p = space();
+        let plan = p
+            .plan_iql(r#"union( //VLDB2006//*[class="file" and "needle"], [not "needle"] )"#)
+            .unwrap();
+        let counts = plan.operator_counts();
+        assert_eq!(counts.unions, 1);
+        assert_eq!(counts.relates, 1);
+        assert_eq!(counts.complements, 1);
+        assert!(counts.index_accesses >= 3, "{counts:?}");
+        assert_eq!(counts.total(), {
+            let c = counts;
+            c.index_accesses
+                + c.scans
+                + c.intersects
+                + c.unions
+                + c.complements
+                + c.relates
+                + c.hash_joins
+        });
+    }
+
+    #[test]
+    fn ambiguous_join_conditions_are_rejected_at_plan_time() {
+        let p = space();
+        // Both sides reference the same binding.
+        let err = p
+            .plan_iql(r#"join( //a as A, //b as B, A.name = A.name )"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        // Unknown binding.
+        let err = p
+            .plan_iql(r#"join( //a as A, //b as B, C.name = B.name )"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("binding"), "{err}");
+        // Duplicate binding names.
+        let err = p
+            .plan_iql(r#"join( //a as A, //b as A, A.name = A.name )"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // Swapped-order conditions stay legal.
+        assert!(p
+            .plan_iql(r#"join( //a as A, //b as B, B.name = A.name )"#)
+            .is_ok());
     }
 }

@@ -16,9 +16,8 @@ use std::collections::HashMap;
 use idm_core::prelude::*;
 use idm_index::tokenizer::terms;
 
-use crate::ast::{Pred, Query};
 use crate::exec::{QueryProcessor, ResultRows};
-use crate::parser::parse;
+use crate::plan::{AccessKind, Plan, PlanNode, PlanOp};
 
 /// One scored result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,39 +50,31 @@ impl Default for RankWeights {
     }
 }
 
-/// Collects every phrase and class constraint mentioned in a query
-/// (these are the ranking signals).
-fn collect_signals(query: &Query, phrases: &mut Vec<String>, classes: &mut usize) {
-    fn walk_pred(pred: &Pred, phrases: &mut Vec<String>, classes: &mut usize) {
-        match pred {
-            Pred::Phrase(p) => phrases.push(p.clone()),
-            Pred::Class(_) => *classes += 1,
-            Pred::And(ms) | Pred::Or(ms) => {
-                for m in ms {
-                    walk_pred(m, phrases, classes);
-                }
-            }
-            Pred::Not(inner) => walk_pred(inner, phrases, classes),
-            Pred::Cmp { .. } => {}
-        }
-    }
-    match query {
-        Query::Filter(pred) => walk_pred(pred, phrases, classes),
-        Query::Path(path) => {
-            for step in &path.steps {
-                if let Some(pred) = &step.pred {
-                    walk_pred(pred, phrases, classes);
-                }
+/// Collects every content-phrase and catalog-class access mentioned in
+/// a plan (these are the ranking signals). Walking the plan rather than
+/// the AST means ranking sees exactly the accesses that ran.
+fn collect_signals(node: &PlanNode, phrases: &mut Vec<String>, classes: &mut usize) {
+    match &node.op {
+        PlanOp::IndexAccess(AccessKind::Content(p)) => phrases.push(p.clone()),
+        PlanOp::IndexAccess(AccessKind::Catalog(_)) => *classes += 1,
+        PlanOp::IndexAccess(_) | PlanOp::Scan => {}
+        PlanOp::Intersect(inputs) | PlanOp::UnionOp(inputs) => {
+            for input in inputs {
+                collect_signals(input, phrases, classes);
             }
         }
-        Query::Union(members) => {
-            for member in members {
-                collect_signals(member, phrases, classes);
-            }
+        PlanOp::Complement(inner) => collect_signals(inner, phrases, classes),
+        PlanOp::Relate {
+            context,
+            candidates,
+            ..
+        } => {
+            collect_signals(context, phrases, classes);
+            collect_signals(candidates, phrases, classes);
         }
-        Query::Join(join) => {
-            collect_signals(&join.left, phrases, classes);
-            collect_signals(&join.right, phrases, classes);
+        PlanOp::HashJoin { left, right, .. } => {
+            collect_signals(left, phrases, classes);
+            collect_signals(right, phrases, classes);
         }
     }
 }
@@ -103,12 +94,22 @@ impl QueryProcessor {
         iql: &str,
         weights: RankWeights,
     ) -> Result<Vec<RankedResult>> {
-        let query = parse(iql)?;
-        let result = self.execute_ast(&query)?;
+        let plan = self.plan_iql(iql)?;
+        self.execute_ranked_plan(&plan, weights)
+    }
+
+    /// Executes an already-planned query and ranks its rows. Federation
+    /// uses this to plan once at the coordinator and rank per peer.
+    pub fn execute_ranked_plan(
+        &self,
+        plan: &Plan,
+        weights: RankWeights,
+    ) -> Result<Vec<RankedResult>> {
+        let result = self.execute_plan(plan)?;
 
         let mut phrases = Vec::new();
         let mut class_constraints = 0usize;
-        collect_signals(&query, &mut phrases, &mut class_constraints);
+        collect_signals(&plan.root, &mut phrases, &mut class_constraints);
         let query_terms: Vec<String> = phrases.iter().flat_map(|p| terms(p)).collect();
 
         let rows = match result.rows {

@@ -180,9 +180,12 @@ impl QueryProcessor {
         self.apply_update(&statement)
     }
 
-    /// Applies a parsed update statement.
+    /// Applies a parsed update statement. The target query runs through
+    /// the same plan pipeline as reads — `explain` on the target shows
+    /// exactly how the update located its victims.
     pub fn apply_update(&self, statement: &UpdateStatement) -> Result<UpdateOutcome> {
-        let targets = self.execute_ast(&statement.target)?.rows.views();
+        let plan = self.plan(&statement.target)?;
+        let targets = self.execute_plan(&plan)?.rows.views();
         let mut outcome = UpdateOutcome {
             matched: targets.len(),
             applied: 0,

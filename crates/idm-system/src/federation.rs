@@ -9,7 +9,7 @@
 //! a multi-device personal dataspace UI would show.
 
 use idm_core::prelude::*;
-use idm_query::{ExpansionStrategy, RankedResult};
+use idm_query::{Plan, RankWeights, RankedResult};
 
 use crate::Pdsms;
 
@@ -86,20 +86,35 @@ impl Federation {
         self.peers.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
+    /// Plans the query once, at the coordinator (the first peer): iDM's
+    /// single model means the same plan runs on every peer, so the
+    /// planning work — and the planner's validation — is not repeated
+    /// per peer. Plan-time errors (syntax, ambiguous join bindings),
+    /// which would fail identically everywhere, surface here.
+    fn coordinate(&self, iql: &str) -> Result<Option<Plan>> {
+        // Validate the syntax once, even with no peers to plan on.
+        idm_query::parse(iql)?;
+        match self.peers.first() {
+            Some((_, coordinator)) => Ok(Some(coordinator.query_processor().plan_iql(iql)?)),
+            None => Ok(None),
+        }
+    }
+
     /// Runs a query on every peer; rows are tagged with their peer.
     ///
-    /// Peers that fail to execute the query (a class unknown to that
+    /// The plan is built once at the coordinator and executed
+    /// per peer. Peers that fail to execute it (a class unknown to that
     /// peer's registry, a substrate down) contribute their error to
     /// [`FederatedResult::errors`] rather than failing the federation —
     /// availability over completeness, as in any P2P setting, but with
-    /// the partiality visible to the caller. Parse errors, which would
-    /// fail identically everywhere, are reported up front.
+    /// the partiality visible to the caller.
     pub fn query(&self, iql: &str) -> Result<FederatedResult> {
-        // Validate the syntax once, up front.
-        idm_query::parse(iql)?;
         let mut result = FederatedResult::default();
+        let Some(plan) = self.coordinate(iql)? else {
+            return Ok(result);
+        };
         for (name, system) in &self.peers {
-            match system.query(iql) {
+            match system.query_processor().execute_plan(&plan) {
                 Ok(answer) => {
                     for vid in answer.rows.views() {
                         result.rows.push(FederatedRow {
@@ -116,15 +131,17 @@ impl Federation {
     }
 
     /// Runs a ranked query on every peer and merges by score (global
-    /// ranking across the federation). Partial like
-    /// [`Federation::query`]: failing peers land in the error list.
+    /// ranking across the federation). Planned once like
+    /// [`Federation::query`], and partial like it: failing peers land in
+    /// the error list.
     pub fn query_ranked(&self, iql: &str) -> Result<FederatedResult> {
-        idm_query::parse(iql)?;
         let mut result = FederatedResult::default();
+        let Some(plan) = self.coordinate(iql)? else {
+            return Ok(result);
+        };
         for (name, system) in &self.peers {
-            let mut processor = system.query_processor();
-            processor.set_expansion(ExpansionStrategy::Forward);
-            match processor.execute_ranked(iql) {
+            let processor = system.query_processor();
+            match processor.execute_ranked_plan(&plan, RankWeights::default()) {
                 Ok(ranked) => {
                     for RankedResult { vid, score } in ranked {
                         result.rows.push(FederatedRow {
@@ -149,10 +166,16 @@ impl Federation {
 
     /// Per-peer result counts for a query (the P2P dashboard number).
     pub fn count_by_peer(&self, iql: &str) -> Result<Vec<(String, usize)>> {
-        idm_query::parse(iql)?;
+        let Some(plan) = self.coordinate(iql)? else {
+            return Ok(Vec::new());
+        };
         let mut out = Vec::with_capacity(self.peers.len());
         for (name, system) in &self.peers {
-            let count = system.query(iql).map(|r| r.rows.len()).unwrap_or(0);
+            let count = system
+                .query_processor()
+                .execute_plan(&plan)
+                .map(|r| r.rows.len())
+                .unwrap_or(0);
             out.push((name.clone(), count));
         }
         Ok(out)
@@ -264,6 +287,18 @@ mod tests {
         let fed = federation();
         assert!(fed.query("[size >").is_err());
         assert!(fed.count_by_peer("[size >").is_err());
+    }
+
+    #[test]
+    fn plan_time_errors_fail_fast_like_parse_errors() {
+        // An ambiguous join binding is rejected by the coordinator's
+        // planner before any peer runs — it would fail identically on
+        // every peer.
+        let fed = federation();
+        let err = fed
+            .query(r#"join(//notes as a, //notes as b, a.name = a.name)"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
     }
 
     #[test]

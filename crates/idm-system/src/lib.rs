@@ -50,6 +50,9 @@ pub struct Pdsms {
     store: Arc<ViewStore>,
     indexes: Arc<IndexBundle>,
     rvm: ResourceViewManager,
+    /// The expansion strategy every query processor of this system uses
+    /// — and therefore the one its plans record and `explain` renders.
+    expansion: ExpansionStrategy,
 }
 
 impl Pdsms {
@@ -63,7 +66,19 @@ impl Pdsms {
             store,
             indexes,
             rvm,
+            expansion: ExpansionStrategy::default(),
         }
+    }
+
+    /// Sets the expansion strategy used by this system's queries (and
+    /// rendered in its plans).
+    pub fn set_expansion(&mut self, strategy: ExpansionStrategy) {
+        self.expansion = strategy;
+    }
+
+    /// The configured expansion strategy.
+    pub fn expansion(&self) -> ExpansionStrategy {
+        self.expansion
     }
 
     /// The resource view store.
@@ -116,18 +131,31 @@ impl Pdsms {
     pub fn query_processor(&self) -> QueryProcessor {
         let mut processor = QueryProcessor::new(Arc::clone(&self.store), Arc::clone(&self.indexes));
         processor.set_fault_stats(Arc::clone(self.rvm.fault_stats()));
+        processor.set_expansion(self.expansion);
         processor
     }
 
-    /// Parses and executes an iQL query with the default (forward
-    /// expansion) options.
+    /// Parses, plans and executes an iQL query under the system's
+    /// configured expansion strategy.
     pub fn query(&self, iql: &str) -> Result<QueryResult> {
         self.query_processor().execute(iql)
     }
 
-    /// Renders the execution plan of a query.
+    /// Renders the execution plan of a query — under the system's
+    /// configured expansion strategy, so EXPLAIN always matches what
+    /// [`Pdsms::query`] would run.
     pub fn explain(&self, iql: &str) -> Result<String> {
-        idm_query::explain(iql, ExpansionStrategy::Forward)
+        self.query_processor().explain(iql)
+    }
+
+    /// Executes a query and returns its result *together with* the
+    /// rendered plan. The plan is built exactly once; the executor runs
+    /// it and the renderer prints it — the two cannot diverge.
+    pub fn query_explained(&self, iql: &str) -> Result<(QueryResult, String)> {
+        let processor = self.query_processor();
+        let plan = processor.plan_iql(iql)?;
+        let result = processor.execute_plan(&plan)?;
+        Ok((result, plan.render()))
     }
 }
 
@@ -243,5 +271,39 @@ mod tests {
             .explain(r#"//PIM//Introduction["Mike Franklin"]"#)
             .unwrap();
         assert!(plan.contains("Forward expansion"));
+    }
+
+    #[test]
+    fn explain_uses_the_configured_strategy() {
+        // Regression: explain used to hardcode forward expansion, so a
+        // backward-configured system rendered plans it would never run.
+        let mut system = Pdsms::new();
+        system.set_expansion(idm_query::ExpansionStrategy::Backward);
+        let plan = system
+            .explain(r#"//PIM//Introduction["Mike Franklin"]"#)
+            .unwrap();
+        assert!(plan.contains("Backward expansion"), "{plan}");
+        assert!(!plan.contains("Forward expansion"), "{plan}");
+    }
+
+    #[test]
+    fn query_explained_runs_the_rendered_plan() {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let dir = fs.mkdir_p("/docs", t()).unwrap();
+        fs.create_file(dir, "a.txt", "some database notes", t())
+            .unwrap();
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(fs, NodeId::ROOT)));
+        system.index_all().unwrap();
+        let (result, plan) = system.query_explained(r#"//docs//*["database"]"#).unwrap();
+        assert_eq!(result.rows.len(), 1);
+        // The rendered operators are the executed operators.
+        assert!(plan.contains("Relate"), "{plan}");
+        assert_eq!(result.stats.ops.relates, 1);
+        assert_eq!(result.stats.ops.index_accesses, 2);
+        assert_eq!(
+            plan.matches("IndexAccess").count(),
+            result.stats.ops.index_accesses
+        );
     }
 }

@@ -23,6 +23,9 @@ use imemex::vfs::NodeId;
 struct Shell {
     system: Pdsms,
     strategy: ExpansionStrategy,
+    /// One long-lived processor, so the expansion and whole-result
+    /// caches stay warm across commands.
+    processor: QueryProcessor,
 }
 
 impl Shell {
@@ -47,16 +50,19 @@ impl Shell {
             stats.len(),
             start.elapsed().as_secs_f64()
         );
+        let processor = system.query_processor();
         Shell {
             system,
             strategy: ExpansionStrategy::Forward,
+            processor,
         }
     }
 
-    fn processor(&self) -> QueryProcessor {
-        let mut processor = self.system.query_processor();
-        processor.set_expansion(self.strategy);
-        processor
+    fn set_strategy(&mut self, strategy: ExpansionStrategy) {
+        self.strategy = strategy;
+        // Plans record the strategy, so the processor's caches need no
+        // flush: a different strategy yields a different fingerprint.
+        self.processor.set_expansion(strategy);
     }
 
     fn describe(&self, vid: imemex::Vid) -> String {
@@ -75,17 +81,22 @@ impl Shell {
     }
 
     fn run_query(&self, iql: &str) {
-        let processor = self.processor();
         let start = Instant::now();
-        match processor.execute(iql) {
+        match self.processor.execute_cached(iql) {
             Ok(result) => {
                 let elapsed = start.elapsed();
                 println!(
-                    "{} result(s) in {:.3} ms  (expanded {} nodes, examined {} candidates)",
+                    "{} result(s) in {:.3} ms  ({})",
                     result.rows.len(),
                     elapsed.as_secs_f64() * 1e3,
-                    result.stats.nodes_expanded,
-                    result.stats.candidates_examined
+                    if result.stats.result_cache_hits > 0 {
+                        "result cache hit".to_owned()
+                    } else {
+                        format!(
+                            "expanded {} nodes, examined {} candidates",
+                            result.stats.nodes_expanded, result.stats.candidates_examined
+                        )
+                    }
                 );
                 for vid in result.rows.views().iter().take(10) {
                     println!("  {}", self.describe(*vid));
@@ -99,7 +110,7 @@ impl Shell {
     }
 
     fn run_ranked(&self, iql: &str) {
-        match self.processor().execute_ranked(iql) {
+        match self.processor.execute_ranked(iql) {
             Ok(ranked) => {
                 println!("{} result(s), ranked:", ranked.len());
                 for r in ranked.iter().take(10) {
@@ -111,7 +122,7 @@ impl Shell {
     }
 
     fn run_update(&self, statement: &str) {
-        match self.processor().execute_update(statement) {
+        match self.processor.execute_update(statement) {
             Ok(outcome) => println!(
                 "matched {} view(s), applied {}",
                 outcome.matched, outcome.applied
@@ -134,6 +145,11 @@ impl Shell {
             mb(sizes.catalog)
         );
         println!("expansion:        {:?}", self.strategy);
+        let results = self.processor.result_cache().counters();
+        println!(
+            "result cache:     {} hit(s), {} miss(es), {} invalidation(s)",
+            results.hits, results.misses, results.invalidations
+        );
     }
 }
 
@@ -198,17 +214,17 @@ fn main() {
                 "rank" => shell.run_ranked(arg.trim()),
                 "update" => shell.run_update(arg.trim()),
                 "estimate" => {
-                    match imemex::query::explain_with_estimates(&shell.processor(), arg.trim()) {
+                    match imemex::query::explain_with_estimates(&shell.processor, arg.trim()) {
                         Ok(plan) => print!("{plan}"),
                         Err(e) => println!("error: {e}"),
                     }
                 }
-                "explain" => match imemex::query::explain(arg.trim(), shell.strategy) {
+                "explain" => match shell.processor.explain(arg.trim()) {
                     Ok(plan) => print!("{plan}"),
                     Err(e) => println!("error: {e}"),
                 },
                 "strategy" => {
-                    shell.strategy = match arg.trim() {
+                    let strategy = match arg.trim() {
                         "forward" => ExpansionStrategy::Forward,
                         "backward" => ExpansionStrategy::Backward,
                         "bidirectional" => ExpansionStrategy::Bidirectional,
@@ -217,6 +233,7 @@ fn main() {
                             continue;
                         }
                     };
+                    shell.set_strategy(strategy);
                     println!("expansion strategy: {:?}", shell.strategy);
                 }
                 other => println!("unknown command ':{other}' — :help lists commands"),
