@@ -91,7 +91,7 @@ pub enum ChildClasses {
 }
 
 /// The full restriction set of one resource view class.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Constraints {
     /// Emptiness of the name component `η`.
     pub name: Emptiness,
@@ -115,7 +115,7 @@ pub struct Constraints {
 }
 
 /// One registered class: its name, optional generalization, constraints.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassDef {
     /// Class name (unique within the registry), e.g. `"xmlelem"`.
     pub name: String,
@@ -258,6 +258,43 @@ impl ClassRegistry {
             .map(ClassId)
             .filter(|c| self.is_subclass(*c, sup))
             .collect()
+    }
+
+    /// Looks a class up by name, registering it with default
+    /// (unconstrained) restrictions if unknown — schema-later modeling,
+    /// used by durability recovery where a WAL record may carry a class
+    /// name the replaying registry has not seen yet.
+    pub fn lookup_or_register(&self, name: &str) -> ClassId {
+        let mut inner = self.inner.write();
+        if let Some(id) = inner.by_name.get(name).copied() {
+            return id;
+        }
+        let id = ClassId(inner.defs.len() as u32);
+        inner.by_name.insert(name.to_owned(), id);
+        inner.defs.push(ClassDef {
+            name: name.to_owned(),
+            parent: None,
+            constraints: Constraints::default(),
+        });
+        id
+    }
+
+    /// Every registered definition in id order — the durable image of
+    /// this registry. Parent ids refer to positions in the returned
+    /// vector, so replaying the list through [`ClassRegistry::from_defs`]
+    /// reproduces identical interned ids.
+    pub fn export_defs(&self) -> Vec<ClassDef> {
+        self.inner.read().defs.clone()
+    }
+
+    /// Rebuilds a registry from an exported definition list, preserving
+    /// interned id assignment.
+    pub fn from_defs(defs: Vec<ClassDef>) -> Result<ClassRegistry> {
+        let registry = ClassRegistry::empty();
+        for def in defs {
+            registry.register(def)?;
+        }
+        Ok(registry)
     }
 
     /// The class and all of its generalizations, most specific first.

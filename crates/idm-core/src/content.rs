@@ -99,6 +99,13 @@ impl LazyContent {
         self.cell.cached.lock().is_some()
     }
 
+    /// The cached bytes, if already materialized — never computes.
+    /// Durability snapshots use this to persist what exists without
+    /// forcing intensional work.
+    pub fn peek(&self) -> Option<Bytes> {
+        self.cell.cached.lock().clone()
+    }
+
     fn size_hint(&self) -> Option<u64> {
         if let Some(bytes) = self.cell.cached.lock().as_ref() {
             return Some(bytes.len() as u64);

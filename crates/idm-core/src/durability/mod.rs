@@ -1,0 +1,712 @@
+//! Crash-safe dataspace durability: write-ahead logging, checkpoint
+//! snapshots and verified recovery (ARIES-style log-then-checkpoint,
+//! redo-only).
+//!
+//! A durable dataspace directory contains:
+//!
+//! - `snap-<N>.idmsnap` — checkpoint snapshots ([`snapshot`]), each the
+//!   full store image as of one log sequence number;
+//! - `wal-<N>.idmlog` — WAL segments ([`wal`]); segment `N` holds every
+//!   change committed after snapshot `N` was begun.
+//!
+//! The protocol, end to end:
+//!
+//! 1. **Attach** ([`DurabilityManager::attach`]): under one store
+//!    freeze, write `snap-1` and arm logging into a fresh `wal-1` — no
+//!    mutation can slip between the image and the log.
+//! 2. **Log**: every `ViewStore` mutator appends one logical
+//!    [`record::ChangeRecord`] under its shard write lock.
+//! 3. **Checkpoint** ([`DurabilityManager::checkpoint`]): freeze just
+//!    long enough to export the store and rotate the WAL into a new
+//!    segment, then write the snapshot outside the freeze (temp file +
+//!    fsync + atomic rename) and prune segments no recovery will need.
+//! 4. **Recover** ([`DurabilityManager::open`]): load the newest *valid*
+//!    snapshot (corrupt ones are skipped and counted), replay every WAL
+//!    segment at or after it, truncate at the first torn or corrupt
+//!    record, and report what happened in a [`RecoveryReport`].
+//!
+//! What survives a `kill -9`: every extensional component of every
+//! committed mutation, class bindings, version counters, the vid
+//! allocator, and lineage edges as of the last checkpoint. Intensional
+//! (lazy) components that were never forced recover as empty — their
+//! providers are process-local closures; forced *groups* are made
+//! durable at force time via [`record::ChangeRecord::GroupForced`].
+
+pub mod codec;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::class::ClassRegistry;
+use crate::lineage::LineageGraph;
+use crate::store::{StoreExport, Vid, ViewStore};
+
+use record::{group_data, ChangeRecord, SerialView};
+use snapshot::SnapshotData;
+use wal::{read_segment, WalWriter};
+
+pub use wal::SyncPolicy;
+
+/// What recovery found and did, returned by [`DurabilityManager::open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery started from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Snapshot files that existed but failed validation and were
+    /// skipped in favor of an older one.
+    pub snapshots_skipped: usize,
+    /// WAL segments replayed (including empty ones).
+    pub wal_segments: usize,
+    /// Change records replayed from the WAL tail.
+    pub records_replayed: u64,
+    /// Records that decoded but failed to apply (counted, not fatal).
+    pub replay_errors: u64,
+    /// Bytes of torn/corrupt WAL tail discarded (including orphaned
+    /// segments after a mid-chain tear).
+    pub bytes_truncated: u64,
+    /// The log sequence number after recovery.
+    pub lsn: u64,
+    /// Group edges pointing at missing views (allowed by the model;
+    /// reported for diagnostics).
+    pub dangling_group_edges: usize,
+    /// Live views after recovery.
+    pub views: usize,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.snapshot_seq {
+            Some(seq) => write!(f, "recovered from snapshot {seq}")?,
+            None => write!(f, "recovered without a snapshot")?,
+        }
+        if self.snapshots_skipped > 0 {
+            write!(
+                f,
+                " ({} corrupt snapshot(s) skipped)",
+                self.snapshots_skipped
+            )?;
+        }
+        write!(
+            f,
+            ", replayed {} record(s) from {} wal segment(s)",
+            self.records_replayed, self.wal_segments
+        )?;
+        if self.replay_errors > 0 {
+            write!(f, " ({} failed to apply)", self.replay_errors)?;
+        }
+        if self.bytes_truncated > 0 {
+            write!(f, ", truncated {} torn byte(s)", self.bytes_truncated)?;
+        }
+        write!(
+            f,
+            "; {} view(s) live at lsn {}, {} dangling group edge(s)",
+            self.views, self.lsn, self.dangling_group_edges
+        )
+    }
+}
+
+/// What one checkpoint wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Sequence number of the snapshot written.
+    pub seq: u64,
+    /// Views captured in the snapshot.
+    pub views: usize,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// The log sequence number the snapshot is consistent as of. Doubles
+    /// as the index epoch for the `IDMIDX02` handshake.
+    pub lsn: u64,
+}
+
+/// Owns the durable state of one dataspace directory: the current WAL
+/// writer and the snapshot/segment sequence numbers.
+#[derive(Debug)]
+pub struct DurabilityManager {
+    dir: PathBuf,
+    /// Sequence of the newest snapshot on disk.
+    seq: u64,
+    /// Sequence of the segment the WAL currently appends to. Tracked
+    /// separately from `seq`: if a snapshot write fails after a
+    /// successful rotation, the next checkpoint must rotate *forward*,
+    /// never reuse (and truncate) a live segment name.
+    wal_seq: u64,
+    wal: Arc<WalWriter>,
+    sync: SyncPolicy,
+}
+
+fn snap_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq}.idmsnap"))
+}
+
+fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq}.idmlog"))
+}
+
+/// Scans a dataspace directory for `snap-N.idmsnap` / `wal-N.idmlog`
+/// files, returning `(snapshot seqs, wal seqs)` ascending.
+fn scan_dir(dir: &Path) -> io::Result<(Vec<u64>, Vec<u64>)> {
+    let mut snaps = Vec::new();
+    let mut wals = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|r| r.strip_suffix(".idmsnap"))
+            .and_then(|r| r.parse::<u64>().ok())
+        {
+            snaps.push(seq);
+        } else if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|r| r.strip_suffix(".idmlog"))
+            .and_then(|r| r.parse::<u64>().ok())
+        {
+            wals.push(seq);
+        }
+    }
+    snaps.sort_unstable();
+    wals.sort_unstable();
+    Ok((snaps, wals))
+}
+
+fn snapshot_of(
+    export: &StoreExport,
+    store: &ViewStore,
+    lineage: &LineageGraph,
+    base_lsn: u64,
+) -> SnapshotData {
+    SnapshotData {
+        base_lsn,
+        next_vid: export.next_vid,
+        classes: store.classes().export_defs(),
+        views: export
+            .views
+            .iter()
+            .map(|(vid, version, record)| {
+                (
+                    vid.as_u64(),
+                    *version,
+                    SerialView::of(record, store.classes()),
+                )
+            })
+            .collect(),
+        lineage: SnapshotData::lineage_from(lineage.export_edges()),
+    }
+}
+
+/// Applies one replayed change record through the store's ordinary
+/// mutators (the WAL is not armed during replay, so nothing re-logs).
+fn apply_record(store: &ViewStore, record: ChangeRecord) -> crate::error::Result<()> {
+    let classes = Arc::clone(store.classes());
+    match record {
+        ChangeRecord::Insert { vid, view } => {
+            let rec = view.into_record(&classes)?;
+            store.restore_insert(Vid::from_raw(vid), rec, 0)
+        }
+        ChangeRecord::Remove { vid } => store.remove(Vid::from_raw(vid)).map(|_| ()),
+        ChangeRecord::SetName { vid, name } => store.set_name(Vid::from_raw(vid), name),
+        ChangeRecord::SetTuple { vid, tuple } => store.set_tuple(Vid::from_raw(vid), tuple),
+        ChangeRecord::SetContent { vid, content } => {
+            store.set_content(Vid::from_raw(vid), content.into_content())
+        }
+        ChangeRecord::SetGroup { vid, group } => {
+            store.set_group(Vid::from_raw(vid), group.into_group()?)
+        }
+        ChangeRecord::SetClass { vid, class } => store.set_class(
+            Vid::from_raw(vid),
+            class.map(|name| classes.lookup_or_register(&name)),
+        ),
+        ChangeRecord::AddGroupMember {
+            vid,
+            member,
+            ordered,
+        } => store.add_group_member(Vid::from_raw(vid), Vid::from_raw(member), ordered),
+        ChangeRecord::GroupForced { vid, set, seq } => {
+            store.apply_group_forced(Vid::from_raw(vid), group_data(set, seq)?)
+        }
+    }
+}
+
+impl DurabilityManager {
+    /// Makes a live in-memory store durable in `dir` (which must not
+    /// already hold a dataspace): under one store freeze, writes the
+    /// initial snapshot `snap-1` *and* arms logging into a fresh
+    /// `wal-1` — so there is no window in which a mutation could land in
+    /// neither the image nor the log.
+    pub fn attach(
+        dir: &Path,
+        store: &Arc<ViewStore>,
+        lineage: &LineageGraph,
+        sync: SyncPolicy,
+    ) -> io::Result<(DurabilityManager, CheckpointStats)> {
+        std::fs::create_dir_all(dir)?;
+        let (snaps, wals) = scan_dir(dir)?;
+        if !snaps.is_empty() || !wals.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already holds a dataspace; open it instead",
+                    dir.display()
+                ),
+            ));
+        }
+
+        let (export, frozen) = store.frozen_export(|export| -> io::Result<(Arc<WalWriter>, u64)> {
+            let data = snapshot_of(export, store, lineage, 0);
+            let bytes = snapshot::write(&snap_path(dir, 1), &data)?;
+            let wal = Arc::new(WalWriter::create(&wal_path(dir, 1), 0, sync)?);
+            store.set_wal(Arc::clone(&wal));
+            Ok((wal, bytes))
+        });
+        let (wal, bytes) = match frozen {
+            Ok(parts) => parts,
+            Err(e) => {
+                store.clear_wal();
+                return Err(e);
+            }
+        };
+
+        let stats = CheckpointStats {
+            seq: 1,
+            views: export.views.len(),
+            bytes,
+            lsn: 0,
+        };
+        Ok((
+            DurabilityManager {
+                dir: dir.to_path_buf(),
+                seq: 1,
+                wal_seq: 1,
+                wal,
+                sync,
+            },
+            stats,
+        ))
+    }
+
+    /// Opens (recovers) a durable dataspace: newest valid snapshot, WAL
+    /// tail replay, torn-tail truncation. Returns the recovered store,
+    /// its lineage graph, the manager now appending to the live segment,
+    /// and the recovery report.
+    pub fn open(
+        dir: &Path,
+        sync: SyncPolicy,
+    ) -> io::Result<(
+        Arc<ViewStore>,
+        Arc<LineageGraph>,
+        DurabilityManager,
+        RecoveryReport,
+    )> {
+        let (snaps, wals) = scan_dir(dir)?;
+        if snaps.is_empty() && wals.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "{} holds no dataspace (no snapshots, no wal)",
+                    dir.display()
+                ),
+            ));
+        }
+
+        // Newest valid snapshot wins; corrupt ones are skipped, counted.
+        let mut snapshots_skipped = 0usize;
+        let mut found: Option<(u64, SnapshotData)> = None;
+        for &seq in snaps.iter().rev() {
+            match snapshot::read(&snap_path(dir, seq)) {
+                Ok(data) => {
+                    found = Some((seq, data));
+                    break;
+                }
+                Err(_) => snapshots_skipped += 1,
+            }
+        }
+
+        let (base_seq, registry, base_lsn, views, next_vid, lineage_edges) = match found {
+            Some((seq, data)) => {
+                let registry = ClassRegistry::from_defs(data.classes)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                (
+                    Some(seq),
+                    registry,
+                    data.base_lsn,
+                    data.views,
+                    data.next_vid,
+                    data.lineage,
+                )
+            }
+            None => (
+                None,
+                ClassRegistry::with_builtins(),
+                0,
+                Vec::new(),
+                0,
+                Vec::new(),
+            ),
+        };
+
+        let store = Arc::new(ViewStore::with_registry(Arc::new(registry)));
+        for (vid, version, view) in views {
+            let record = view
+                .into_record(store.classes())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            store
+                .restore_insert(Vid::from_raw(vid), record, version)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+        store.force_next_vid(next_vid);
+        let lineage = Arc::new(LineageGraph::new());
+        lineage.import_edges(
+            SnapshotData {
+                base_lsn: 0,
+                next_vid: 0,
+                classes: Vec::new(),
+                views: Vec::new(),
+                lineage: lineage_edges,
+            }
+            .lineage_edges(),
+        );
+
+        // Replay segments at or after the snapshot, in contiguous
+        // ascending order. A torn segment ends the chain there; later
+        // (orphaned) segments can hold no replayable history and are
+        // deleted, their bytes counted as truncated.
+        let first_seq = base_seq.unwrap_or_else(|| wals.first().copied().unwrap_or(1));
+        let chain: BTreeMap<u64, PathBuf> = wals
+            .iter()
+            .filter(|&&s| s >= first_seq)
+            .map(|&s| (s, wal_path(dir, s)))
+            .collect();
+
+        let mut report = RecoveryReport {
+            snapshot_seq: base_seq,
+            snapshots_skipped,
+            wal_segments: 0,
+            records_replayed: 0,
+            replay_errors: 0,
+            bytes_truncated: 0,
+            lsn: base_lsn,
+            dangling_group_edges: 0,
+            views: 0,
+        };
+
+        let mut live: Option<(u64, u64)> = None; // (seq, valid_len)
+        let mut expected = first_seq;
+        let mut broken = false;
+        for (&seq, path) in &chain {
+            if broken || seq != expected {
+                // Orphaned segment after a tear or a gap: no record in it
+                // can be contiguous with recovered history.
+                let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                report.bytes_truncated += len;
+                let _ = std::fs::remove_file(path);
+                continue;
+            }
+            expected += 1;
+            let segment = read_segment(path)?;
+            let torn = segment.torn_bytes();
+            report.wal_segments += 1;
+            report.bytes_truncated += torn;
+            for record in segment.records {
+                report.records_replayed += 1;
+                if apply_record(&store, record).is_err() {
+                    report.replay_errors += 1;
+                }
+            }
+            live = Some((seq, segment.valid_len));
+            if torn > 0 {
+                broken = true;
+            }
+        }
+        report.lsn = base_lsn + report.records_replayed;
+
+        // Reopen the live segment for appending (truncating its torn
+        // tail), or start a fresh one if none survived.
+        let (wal_seq, wal) = match live {
+            Some((seq, valid_len)) if valid_len >= 8 => {
+                let writer =
+                    WalWriter::open_append(&wal_path(dir, seq), valid_len, report.lsn, sync)?;
+                (seq, writer)
+            }
+            Some((seq, _)) => {
+                // Magic itself was torn — the segment held nothing.
+                (
+                    seq,
+                    WalWriter::create(&wal_path(dir, seq), report.lsn, sync)?,
+                )
+            }
+            None => {
+                let seq = first_seq;
+                (
+                    seq,
+                    WalWriter::create(&wal_path(dir, seq), report.lsn, sync)?,
+                )
+            }
+        };
+        let wal = Arc::new(wal);
+        store.set_wal(Arc::clone(&wal));
+
+        let invariants = store.verify_invariants();
+        report.dangling_group_edges = invariants.dangling_edges;
+        report.views = invariants.views;
+
+        Ok((
+            store,
+            lineage,
+            DurabilityManager {
+                dir: dir.to_path_buf(),
+                seq: base_seq.unwrap_or(0),
+                wal_seq,
+                wal,
+                sync,
+            },
+            report,
+        ))
+    }
+
+    /// Writes a checkpoint: freeze the store just long enough to export
+    /// it and rotate the WAL, write the snapshot outside the freeze
+    /// (temp + fsync + atomic rename), then prune history no recovery
+    /// will need (everything older than the previous snapshot stays
+    /// until the *next* checkpoint, so one corrupt snapshot never
+    /// strands recovery).
+    pub fn checkpoint(
+        &mut self,
+        store: &Arc<ViewStore>,
+        lineage: &LineageGraph,
+    ) -> io::Result<CheckpointStats> {
+        self.wal.ensure_healthy()?;
+        let new_seq = self.wal_seq + 1;
+        let (export, rotated) = store.frozen_export(|_| -> io::Result<u64> {
+            let lsn = self.wal.lsn();
+            self.wal.rotate(&wal_path(&self.dir, new_seq))?;
+            Ok(lsn)
+        });
+        let lsn = rotated?;
+        self.wal_seq = new_seq;
+
+        let data = snapshot_of(&export, store, lineage, lsn);
+        let bytes = snapshot::write(&snap_path(&self.dir, new_seq), &data)?;
+        let previous = self.seq;
+        self.seq = new_seq;
+
+        // Keep the new and the previous snapshot (and their segments);
+        // prune everything older.
+        let (snaps, wals) = scan_dir(&self.dir)?;
+        for seq in snaps.into_iter().filter(|&s| s < previous) {
+            let _ = std::fs::remove_file(snap_path(&self.dir, seq));
+        }
+        for seq in wals.into_iter().filter(|&s| s < previous) {
+            let _ = std::fs::remove_file(wal_path(&self.dir, seq));
+        }
+
+        Ok(CheckpointStats {
+            seq: new_seq,
+            views: export.views.len(),
+            bytes,
+            lsn,
+        })
+    }
+
+    /// The dataspace directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current log sequence number.
+    pub fn lsn(&self) -> u64 {
+        self.wal.lsn()
+    }
+
+    /// The WAL writer (fault injection and health checks).
+    pub fn wal(&self) -> &Arc<WalWriter> {
+        &self.wal
+    }
+
+    /// The sequence number of the newest snapshot.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The sync policy the WAL was opened with.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Content;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("idm-dur-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn attach_checkpoint_open_roundtrip() {
+        let dir = tmp("roundtrip");
+        let store = Arc::new(ViewStore::new());
+        let a = store.build("a.txt").text("alpha").insert();
+        let lineage = LineageGraph::new();
+
+        let (mut mgr, stats) =
+            DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+        assert_eq!(stats.seq, 1);
+        assert_eq!(stats.views, 1);
+        assert_eq!(stats.lsn, 0);
+
+        // Post-attach mutations are logged.
+        let b = store.build("b.txt").text("beta").insert();
+        store.set_name(a, Some("a2.txt".into())).unwrap();
+        lineage.record(b, a, "copy");
+        assert_eq!(mgr.lsn(), 2);
+
+        let stats = mgr.checkpoint(&store, &lineage).unwrap();
+        assert_eq!(stats.seq, 2);
+        assert_eq!(stats.views, 2);
+        assert_eq!(stats.lsn, 2);
+        drop(store);
+        drop(mgr);
+
+        let (store2, lineage2, mgr2, report) =
+            DurabilityManager::open(&dir, SyncPolicy::WriteBack).unwrap();
+        assert_eq!(report.snapshot_seq, Some(2));
+        assert_eq!(report.records_replayed, 0, "checkpoint folded the log");
+        assert_eq!(report.views, 2);
+        assert_eq!(report.lsn, 2);
+        assert_eq!(store2.name(a).unwrap().as_deref(), Some("a2.txt"));
+        assert_eq!(store2.name(b).unwrap().as_deref(), Some("b.txt"));
+        assert_eq!(store2.version(a).unwrap(), 1);
+        assert_eq!(lineage2.provenance(b).len(), 1);
+        assert_eq!(mgr2.lsn(), 2);
+    }
+
+    #[test]
+    fn wal_tail_replays_without_checkpoint() {
+        let dir = tmp("tail");
+        let store = Arc::new(ViewStore::new());
+        let lineage = LineageGraph::new();
+        let (_mgr, _) =
+            DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+
+        let v = store.build("doc").insert();
+        store.set_content(v, Content::text("hello")).unwrap();
+        store.set_name(v, Some("doc2".into())).unwrap();
+        drop(store);
+
+        let (store2, _, _, report) = DurabilityManager::open(&dir, SyncPolicy::WriteBack).unwrap();
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.replay_errors, 0);
+        assert_eq!(store2.name(v).unwrap().as_deref(), Some("doc2"));
+        assert_eq!(
+            store2.content(v).unwrap().bytes().unwrap().as_ref(),
+            b"hello"
+        );
+        assert_eq!(store2.version(v).unwrap(), 2);
+    }
+
+    #[test]
+    fn attach_rejects_populated_directory() {
+        let dir = tmp("populated");
+        let store = Arc::new(ViewStore::new());
+        let lineage = LineageGraph::new();
+        DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+        let store2 = Arc::new(ViewStore::new());
+        let err =
+            DurabilityManager::attach(&dir, &store2, &lineage, SyncPolicy::WriteBack).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert!(!store2.wal_armed());
+    }
+
+    #[test]
+    fn open_empty_directory_errors() {
+        let dir = tmp("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = DurabilityManager::open(&dir, SyncPolicy::WriteBack).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let dir = tmp("fallback");
+        let store = Arc::new(ViewStore::new());
+        let lineage = LineageGraph::new();
+        let (mut mgr, _) =
+            DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+        store.build("one").insert();
+        mgr.checkpoint(&store, &lineage).unwrap();
+        store.build("two").insert();
+        mgr.checkpoint(&store, &lineage).unwrap();
+        drop(store);
+        drop(mgr);
+
+        // Corrupt the newest snapshot (seq 3).
+        let newest = snap_path(&dir, 3);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (store2, _, _, report) = DurabilityManager::open(&dir, SyncPolicy::WriteBack).unwrap();
+        assert_eq!(report.snapshots_skipped, 1);
+        assert_eq!(report.snapshot_seq, Some(2));
+        // Snapshot 2 plus wal-2's replay ("two" insert) and wal-3 (empty).
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(store2.len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_prunes_old_history_but_keeps_previous() {
+        let dir = tmp("prune");
+        let store = Arc::new(ViewStore::new());
+        let lineage = LineageGraph::new();
+        let (mut mgr, _) =
+            DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+        for i in 0..4 {
+            store.build(format!("v{i}")).insert();
+            mgr.checkpoint(&store, &lineage).unwrap();
+        }
+        let (snaps, wals) = scan_dir(&dir).unwrap();
+        assert_eq!(snaps, vec![4, 5], "current + previous snapshots kept");
+        assert_eq!(wals, vec![4, 5]);
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_and_resumes_appending() {
+        let dir = tmp("resume");
+        let store = Arc::new(ViewStore::new());
+        let lineage = LineageGraph::new();
+        DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+        store.build("a").insert();
+        store.build("b").insert();
+        drop(store);
+
+        // Tear the tail of wal-1 mid-record.
+        let path = wal_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (store2, lineage2, mut mgr, report) =
+            DurabilityManager::open(&dir, SyncPolicy::WriteBack).unwrap();
+        assert_eq!(report.records_replayed, 1, "torn insert discarded");
+        assert!(report.bytes_truncated > 0);
+        assert_eq!(store2.len(), 1);
+
+        // The store keeps working and the next recovery sees new writes.
+        store2.build("c").insert();
+        mgr.checkpoint(&store2, &lineage2).unwrap();
+        drop(store2);
+        let (store3, _, _, report) = DurabilityManager::open(&dir, SyncPolicy::WriteBack).unwrap();
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(store3.len(), 2);
+    }
+}

@@ -109,6 +109,22 @@ pub enum FaultPlan {
         /// How many payload bytes survive.
         keep: usize,
     },
+    /// Simulate a process crash at call `at`: that call and every call
+    /// after it fail permanently, as if the process died mid-operation
+    /// and the handle can never be used again.
+    CrashAt {
+        /// The 1-based call index the crash strikes at.
+        at: u64,
+    },
+    /// Tear exactly one *write*: call `at` persists only the first
+    /// `keep` bytes of its payload, and every later call fails
+    /// permanently (the process died mid-`write(2)`).
+    TornWrite {
+        /// The 1-based call index of the torn write.
+        at: u64,
+        /// How many payload bytes reach the disk.
+        keep: usize,
+    },
 }
 
 impl FaultPlan {
@@ -145,6 +161,20 @@ impl FaultPlan {
     /// Truncate read payloads to `keep` bytes.
     pub fn torn_read(keep: usize) -> Self {
         FaultPlan::TornRead { keep }
+    }
+
+    /// Crash the process at call `at`: that call and all later ones
+    /// fail permanently.
+    pub fn crash_at(at: u64) -> Self {
+        FaultPlan::CrashAt { at: at.max(1) }
+    }
+
+    /// Tear write number `at` down to `keep` bytes, then crash.
+    pub fn torn_write(at: u64, keep: usize) -> Self {
+        FaultPlan::TornWrite {
+            at: at.max(1),
+            keep,
+        }
     }
 
     /// Reclassifies injected failures as permanent (the default is
@@ -232,6 +262,14 @@ impl FaultInjector {
             FaultPlan::TornRead { keep } => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 return Ok(FaultAction::Truncate(*keep));
+            }
+            FaultPlan::CrashAt { at } if call >= *at => Some(SubstrateFaultKind::Permanent),
+            FaultPlan::TornWrite { at, keep } => {
+                if call == *at {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    return Ok(FaultAction::Truncate(*keep));
+                }
+                (call > *at).then_some(SubstrateFaultKind::Permanent)
             }
             _ => None,
         };

@@ -156,6 +156,13 @@ impl LazyGroup {
     pub fn is_materialized(&self) -> bool {
         self.cached.lock().is_some()
     }
+
+    /// The cached group data, if already materialized — never forces.
+    /// Durability snapshots use this to persist what exists without
+    /// triggering intensional work.
+    pub fn peek(&self) -> Option<Arc<GroupData>> {
+        self.cached.lock().clone()
+    }
 }
 
 /// The group component handle stored on a view record.

@@ -42,6 +42,7 @@
 pub mod axml;
 pub mod class;
 pub mod content;
+pub mod durability;
 pub mod error;
 pub mod fault;
 pub mod graph;
@@ -56,6 +57,7 @@ pub mod version;
 pub mod prelude {
     pub use crate::class::{builtin, ClassId, ClassRegistry, Constraints};
     pub use crate::content::{Content, ContentProvider, ContentReader, SymbolSource};
+    pub use crate::durability::{CheckpointStats, DurabilityManager, RecoveryReport, SyncPolicy};
     pub use crate::error::{IdmError, Result, SubstrateFaultKind};
     pub use crate::fault::{
         BreakerState, CircuitBreaker, FaultAction, FaultCounters, FaultInjector, FaultPlan,
@@ -63,7 +65,8 @@ pub mod prelude {
     };
     pub use crate::group::{Group, GroupData, GroupProvider, ViewSequenceSource};
     pub use crate::store::{
-        ChangeEvent, ChangeKind, GroupSnapshot, Vid, ViewBuilder, ViewRecord, ViewStore,
+        ChangeEvent, ChangeKind, GroupSnapshot, InvariantReport, StoreExport, Vid, ViewBuilder,
+        ViewRecord, ViewStore,
     };
     pub use crate::validate::{validate, validate_as, ValidationMode};
     pub use crate::value::{Attribute, Domain, Schema, Timestamp, TupleComponent, Value};

@@ -28,6 +28,14 @@ pub struct LineageGraph {
     inner: RwLock<LineageInner>,
 }
 
+impl std::fmt::Debug for LineageGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineageGraph")
+            .field("edges", &self.len())
+            .finish()
+    }
+}
+
 #[derive(Default)]
 struct LineageInner {
     edges: Vec<Derivation>,
@@ -110,6 +118,19 @@ impl LineageGraph {
             }
         }
         out
+    }
+
+    /// Every recorded edge in insertion order — the durable image of
+    /// this graph, written into checkpoint snapshots.
+    pub fn export_edges(&self) -> Vec<Derivation> {
+        self.inner.read().edges.clone()
+    }
+
+    /// Re-records a previously exported edge list (recovery).
+    pub fn import_edges(&self, edges: Vec<Derivation>) {
+        for edge in edges {
+            self.record(edge.derived, edge.source, edge.transform);
+        }
     }
 
     /// Total number of derivation edges.

@@ -11,6 +11,7 @@
 //! store also emits change events so push-based stream operators
 //! (Section 4.4.2) can subscribe to component updates.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,8 +21,10 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::class::{ClassId, ClassRegistry};
 use crate::content::Content;
+use crate::durability::record::{ChangeRecord, SerialContent, SerialGroup, SerialView};
+use crate::durability::wal::WalWriter;
 use crate::error::{IdmError, Result};
-use crate::group::{Group, GroupData, ViewSequenceSource};
+use crate::group::{Group, GroupData, LazyGroup, ViewSequenceSource};
 use crate::value::TupleComponent;
 
 /// Identifier of a resource view within one [`ViewStore`].
@@ -181,6 +184,10 @@ pub struct ViewStore {
     next_vid: AtomicU64,
     classes: Arc<ClassRegistry>,
     subscribers: Mutex<Vec<Sender<ChangeEvent>>>,
+    /// The attached write-ahead log, if this store is durable. Mutators
+    /// append their change record under the shard write lock, so WAL
+    /// order per view matches commit order.
+    wal: RwLock<Option<Arc<WalWriter>>>,
 }
 
 /// Default shard count: available parallelism rounded up to a power of two,
@@ -224,6 +231,33 @@ impl ViewStore {
             next_vid: AtomicU64::new(0),
             classes,
             subscribers: Mutex::new(Vec::new()),
+            wal: RwLock::new(None),
+        }
+    }
+
+    /// Attaches a WAL writer: every mutation from now on is logged.
+    pub(crate) fn set_wal(&self, wal: Arc<WalWriter>) {
+        *self.wal.write() = Some(wal);
+    }
+
+    /// Detaches the WAL writer (e.g. after a failed attach).
+    pub(crate) fn clear_wal(&self) {
+        *self.wal.write() = None;
+    }
+
+    /// Whether mutations are currently being logged.
+    pub fn wal_armed(&self) -> bool {
+        self.wal.read().is_some()
+    }
+
+    /// Appends a record to the attached WAL, if any. Append errors are
+    /// not surfaced here — the writer goes sticky-dead and the next
+    /// checkpoint (or explicit health check) reports the failure; the
+    /// in-memory mutation has already committed either way.
+    fn wal_append(&self, record: &ChangeRecord) {
+        let wal = self.wal.read().clone();
+        if let Some(wal) = wal {
+            let _ = wal.append(record);
         }
     }
 
@@ -287,15 +321,62 @@ impl ViewStore {
     pub fn insert(&self, record: ViewRecord) -> Vid {
         let vid = Vid(self.next_vid.fetch_add(1, Ordering::Relaxed));
         let slot_idx = self.slot_of(vid);
+        let wal_rec = self.wal_armed().then(|| ChangeRecord::Insert {
+            vid: vid.0,
+            view: SerialView::of(&record, &self.classes),
+        });
         {
             let mut slots = self.shard_of(vid).slots.write();
             if slots.len() <= slot_idx {
                 slots.resize_with(slot_idx + 1, || None);
             }
             slots[slot_idx] = Some(Slot { record, version: 0 });
+            if let Some(rec) = wal_rec {
+                self.wal_append(&rec);
+            }
         }
         self.emit(vid, ChangeKind::Created);
         vid
+    }
+
+    /// Re-inserts a view at an explicit id during recovery: no WAL
+    /// logging, no change event, version restored as given. The vid
+    /// allocator is advanced past `vid` so future inserts never collide.
+    pub(crate) fn restore_insert(&self, vid: Vid, record: ViewRecord, version: u64) -> Result<()> {
+        self.next_vid.fetch_max(vid.0 + 1, Ordering::Relaxed);
+        let slot_idx = self.slot_of(vid);
+        let mut slots = self.shard_of(vid).slots.write();
+        if slots.len() <= slot_idx {
+            slots.resize_with(slot_idx + 1, || None);
+        }
+        if slots[slot_idx].is_some() {
+            return Err(IdmError::Parse {
+                detail: format!("duplicate {vid} during recovery"),
+            });
+        }
+        slots[slot_idx] = Some(Slot { record, version });
+        Ok(())
+    }
+
+    /// Advances the vid allocator to at least `next` (recovery: a
+    /// snapshot's allocator may sit past the highest live vid when views
+    /// were removed — their ids must never be reused).
+    pub(crate) fn force_next_vid(&self, next: u64) {
+        self.next_vid.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// Recovery application of a [`ChangeRecord::GroupForced`] record:
+    /// upgrades the stored group handle to the materialized members
+    /// without a version bump (forcing is a read, not a mutation).
+    pub(crate) fn apply_group_forced(&self, vid: Vid, data: GroupData) -> Result<()> {
+        let slot_idx = self.slot_of(vid);
+        let mut slots = self.shard_of(vid).slots.write();
+        let slot = slots
+            .get_mut(slot_idx)
+            .and_then(Option::as_mut)
+            .ok_or(IdmError::UnknownVid(vid))?;
+        slot.record.group = Group::Materialized(Arc::new(data));
+        Ok(())
     }
 
     /// Starts a builder for ergonomic view construction.
@@ -316,7 +397,9 @@ impl ViewStore {
         let record = {
             let mut slots = self.shard_of(vid).slots.write();
             let slot = slots.get_mut(slot_idx).ok_or(IdmError::UnknownVid(vid))?;
-            slot.take().ok_or(IdmError::UnknownVid(vid))?.record
+            let record = slot.take().ok_or(IdmError::UnknownVid(vid))?.record;
+            self.wal_append(&ChangeRecord::Remove { vid: vid.0 });
+            record
         };
         self.emit(vid, ChangeKind::Removed);
         Ok(record)
@@ -388,6 +471,7 @@ impl ViewStore {
                 // Attribute force failures to the view being expanded so a
                 // failed lazy force is traceable in logs and reports.
                 let data = lazy.force(self, vid).map_err(|e| e.with_vid(vid))?;
+                self.promote_forced_group(vid, &lazy, &data);
                 Ok(GroupSnapshot::Finite(data))
             }
             Group::InfiniteSeq(source) => Ok(GroupSnapshot::Infinite(source)),
@@ -424,7 +508,13 @@ impl ViewStore {
         self.with_record(vid, Clone::clone)
     }
 
-    fn mutate(&self, vid: Vid, kind: ChangeKind, f: impl FnOnce(&mut ViewRecord)) -> Result<()> {
+    fn mutate(
+        &self,
+        vid: Vid,
+        kind: ChangeKind,
+        f: impl FnOnce(&mut ViewRecord),
+        wal_rec: Option<ChangeRecord>,
+    ) -> Result<()> {
         let slot_idx = self.slot_of(vid);
         {
             let mut slots = self.shard_of(vid).slots.write();
@@ -434,6 +524,9 @@ impl ViewStore {
                 .ok_or(IdmError::UnknownVid(vid))?;
             f(&mut slot.record);
             slot.version += 1;
+            if let Some(rec) = wal_rec {
+                self.wal_append(&rec);
+            }
         }
         self.emit(vid, kind);
         Ok(())
@@ -441,27 +534,47 @@ impl ViewStore {
 
     /// Replaces the name component.
     pub fn set_name(&self, vid: Vid, name: Option<String>) -> Result<()> {
-        self.mutate(vid, ChangeKind::Name, |r| r.name = name)
+        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetName {
+            vid: vid.0,
+            name: name.clone(),
+        });
+        self.mutate(vid, ChangeKind::Name, |r| r.name = name, wal_rec)
     }
 
     /// Replaces the tuple component.
     pub fn set_tuple(&self, vid: Vid, tuple: Option<TupleComponent>) -> Result<()> {
-        self.mutate(vid, ChangeKind::Tuple, |r| r.tuple = tuple)
+        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetTuple {
+            vid: vid.0,
+            tuple: tuple.clone(),
+        });
+        self.mutate(vid, ChangeKind::Tuple, |r| r.tuple = tuple, wal_rec)
     }
 
     /// Replaces the content component.
     pub fn set_content(&self, vid: Vid, content: Content) -> Result<()> {
-        self.mutate(vid, ChangeKind::Content, |r| r.content = content)
+        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetContent {
+            vid: vid.0,
+            content: SerialContent::of(&content),
+        });
+        self.mutate(vid, ChangeKind::Content, |r| r.content = content, wal_rec)
     }
 
     /// Replaces the group component.
     pub fn set_group(&self, vid: Vid, group: Group) -> Result<()> {
-        self.mutate(vid, ChangeKind::Group, |r| r.group = group)
+        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetGroup {
+            vid: vid.0,
+            group: SerialGroup::of(&group),
+        });
+        self.mutate(vid, ChangeKind::Group, |r| r.group = group, wal_rec)
     }
 
     /// Replaces the class.
     pub fn set_class(&self, vid: Vid, class: Option<ClassId>) -> Result<()> {
-        self.mutate(vid, ChangeKind::Tuple, |r| r.class = class)
+        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetClass {
+            vid: vid.0,
+            class: class.map(|c| self.classes.name(c)),
+        });
+        self.mutate(vid, ChangeKind::Tuple, |r| r.class = class, wal_rec)
     }
 
     /// Adds a member to a finite group component in place (used e.g. when
@@ -498,6 +611,11 @@ impl ViewStore {
                 if slot.version == version {
                     slot.record.group = Group::Materialized(Arc::new(new_data));
                     slot.version += 1;
+                    self.wal_append(&ChangeRecord::AddGroupMember {
+                        vid: vid.0,
+                        member: member.0,
+                        ordered,
+                    });
                     true
                 } else {
                     false
@@ -524,6 +642,152 @@ impl ViewStore {
         }
         let event = ChangeEvent { vid, kind };
         subs.retain(|tx| tx.send(event).is_ok());
+    }
+
+    /// When a lazy group is first forced on a durable store, upgrade the
+    /// stored handle to the materialized members and log the edge set.
+    /// Without this a crash would lose child edges created by a
+    /// converter force (the lazy cache dies with the process). No
+    /// version bump: forcing is a read, the group *value* is unchanged.
+    fn promote_forced_group(&self, vid: Vid, lazy: &Arc<LazyGroup>, data: &Arc<GroupData>) {
+        if !self.wal_armed() {
+            return;
+        }
+        let slot_idx = self.slot_of(vid);
+        let mut slots = self.shard_of(vid).slots.write();
+        let Some(slot) = slots.get_mut(slot_idx).and_then(Option::as_mut) else {
+            return;
+        };
+        // Only promote the handle we actually forced — a concurrent
+        // set_group may have replaced it, and that mutation (already
+        // logged) wins.
+        match &slot.record.group {
+            Group::Lazy(current) if Arc::ptr_eq(current, lazy) => {
+                slot.record.group = Group::Materialized(Arc::clone(data));
+                self.wal_append(&ChangeRecord::GroupForced {
+                    vid: vid.0,
+                    set: data.set().iter().map(|v| v.0).collect(),
+                    seq: data.seq().iter().map(|v| v.0).collect(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Runs `f` with *every* shard read-locked — a frozen, globally
+    /// consistent image of the store — and returns the exported state
+    /// alongside `f`'s result. Checkpoints use the closure to rotate the
+    /// WAL (and on first attach, to write the initial snapshot and arm
+    /// logging) at an exact record boundary: no mutation can commit
+    /// between the export and whatever `f` does.
+    pub fn frozen_export<R>(&self, f: impl FnOnce(&StoreExport) -> R) -> (StoreExport, R) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.slots.read()).collect();
+        let mut views = Vec::new();
+        for (shard_idx, slots) in guards.iter().enumerate() {
+            for (slot_idx, entry) in slots.iter().enumerate() {
+                if let Some(slot) = entry {
+                    let vid = Vid(((slot_idx as u64) << self.shard_bits) | shard_idx as u64);
+                    views.push((vid, slot.version, slot.record.clone()));
+                }
+            }
+        }
+        views.sort_unstable_by_key(|(vid, _, _)| *vid);
+        let export = StoreExport {
+            next_vid: self.next_vid.load(Ordering::Relaxed),
+            views,
+        };
+        let result = f(&export);
+        drop(guards);
+        (export, result)
+    }
+
+    /// Checks the structural invariants of the store and reports on
+    /// them. Violations (hard failures): a group whose `S` contains
+    /// duplicates or whose `S ∩ Q ≠ ∅`. Warnings (allowed by the model,
+    /// Section 4.2 — a dataspace is never globally consistent): group
+    /// edges pointing at missing views, which traversals skip. Only
+    /// already-materialized groups are inspected; verification never
+    /// forces intensional work.
+    pub fn verify_invariants(&self) -> InvariantReport {
+        let vids = self.vids();
+        let live: HashSet<Vid> = vids.iter().copied().collect();
+        let mut report = InvariantReport {
+            views: vids.len(),
+            violations: Vec::new(),
+            dangling_edges: 0,
+            versions: Vec::new(),
+        };
+        for vid in vids {
+            let Ok((version, group)) = self.with_slot(vid, |s| (s.version, s.record.group.clone()))
+            else {
+                continue; // removed between vids() and here
+            };
+            report.versions.push((vid, version));
+            let data = match &group {
+                Group::Materialized(data) => Some(Arc::clone(data)),
+                Group::Lazy(lazy) => lazy.peek(),
+                Group::Empty | Group::InfiniteSeq(_) => None,
+            };
+            let Some(data) = data else { continue };
+            let set: HashSet<Vid> = data.set().iter().copied().collect();
+            if set.len() != data.set().len() {
+                report
+                    .violations
+                    .push(format!("{vid}: duplicate members in set S"));
+            }
+            for member in data.seq() {
+                if set.contains(member) {
+                    report
+                        .violations
+                        .push(format!("{vid}: member {member} in both S and Q"));
+                    break;
+                }
+            }
+            report.dangling_edges += data.members().filter(|m| !live.contains(m)).count();
+        }
+        report
+    }
+}
+
+/// A frozen, consistent image of the store, as captured by
+/// [`ViewStore::frozen_export`].
+#[derive(Debug)]
+pub struct StoreExport {
+    /// The vid allocator position at freeze time.
+    pub next_vid: u64,
+    /// Every live view as `(vid, version, record)`, vid-ascending.
+    pub views: Vec<(Vid, u64, ViewRecord)>,
+}
+
+/// The result of [`ViewStore::verify_invariants`].
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Number of live views inspected.
+    pub views: usize,
+    /// Hard invariant violations (`S ∩ Q ≠ ∅`, duplicates in `S`).
+    pub violations: Vec<String>,
+    /// Group edges pointing at missing views — allowed by the model
+    /// (traversals skip them), reported for diagnostics.
+    pub dangling_edges: usize,
+    /// Per-view mutation versions at inspection time, vid-ascending.
+    pub versions: Vec<(Vid, u64)>,
+}
+
+impl InvariantReport {
+    /// Whether no hard violation was found.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether every view present in `earlier` is either gone now or at
+    /// a version at least as high — i.e. version counters only moved
+    /// forward between the two inspections.
+    pub fn monotone_since(&self, earlier: &InvariantReport) -> bool {
+        let now: std::collections::HashMap<Vid, u64> = self.versions.iter().copied().collect();
+        earlier
+            .versions
+            .iter()
+            .all(|(vid, v)| now.get(vid).is_none_or(|cur| cur >= v))
     }
 }
 

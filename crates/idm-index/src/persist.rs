@@ -7,19 +7,29 @@
 //! (varint-compressed, length-prefixed) that serializes the whole
 //! [`IndexBundle`] and loads it back, byte-for-byte deterministic.
 //!
-//! The on-disk layout is a magic header followed by five sections
-//! (catalog, name, tuple, content, group), each length-delimited so
-//! future versions can skip unknown sections.
+//! The on-disk layout (version 2, `IDMIDX02`) is a magic header, the
+//! store **epoch** (the WAL log sequence number the index was built
+//! against — the durability layer's recovery handshake), five sections
+//! (catalog, name, tuple, content, group), and a trailing FNV-1a-64
+//! checksum over everything before it. Version-1 files (`IDMIDX01`,
+//! no epoch, no checksum) still load; they report no epoch and so are
+//! always treated as stale by the handshake.
+//!
+//! Saves are atomic: write a sibling temp file, fsync, rename over the
+//! target, fsync the directory — a crash mid-save never corrupts an
+//! existing index.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use idm_core::durability::codec::fnv1a64;
 use idm_core::prelude::{Domain, Schema, Timestamp, TupleComponent, Value};
 
 use crate::bundle::IndexBundle;
 use crate::catalog::CatalogEntry;
 
 const MAGIC: &[u8; 8] = b"IDMIDX01";
+const MAGIC_V2: &[u8; 8] = b"IDMIDX02";
 
 // ---- primitive codec ----------------------------------------------------
 
@@ -265,11 +275,27 @@ fn get_tuple(dec: &mut Decoder) -> io::Result<TupleComponent> {
 
 // ---- bundle sections -------------------------------------------------------
 
-/// Serializes the bundle to bytes.
+/// Serializes the bundle to bytes (current format, epoch 0 — use
+/// [`to_bytes_with_epoch`] when the index belongs to a durable store).
 pub fn to_bytes(bundle: &IndexBundle) -> Vec<u8> {
-    let mut enc = Encoder::new();
-    enc.buf.extend_from_slice(MAGIC);
+    to_bytes_with_epoch(bundle, 0)
+}
 
+/// Serializes the bundle in the `IDMIDX02` format: magic, epoch, the
+/// five sections, then a trailing FNV-1a-64 checksum over all preceding
+/// bytes.
+pub fn to_bytes_with_epoch(bundle: &IndexBundle, epoch: u64) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.buf.extend_from_slice(MAGIC_V2);
+    enc.put_u64(epoch);
+    put_sections(&mut enc, bundle);
+    let mut bytes = enc.into_bytes();
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+fn put_sections(enc: &mut Encoder, bundle: &IndexBundle) {
     // Section 1: catalog.
     let rows = bundle.catalog.export_rows();
     enc.put_u64(rows.len() as u64);
@@ -312,7 +338,7 @@ pub fn to_bytes(bundle: &IndexBundle) -> Vec<u8> {
     enc.put_u64(tuples.len() as u64);
     for (vid, tuple) in tuples {
         enc.put_u64(vid);
-        put_tuple(&mut enc, &tuple);
+        put_tuple(enc, &tuple);
     }
 
     // Section 4: content index.
@@ -346,22 +372,15 @@ pub fn to_bytes(bundle: &IndexBundle) -> Vec<u8> {
             enc.put_u64(child);
         }
     }
-
-    enc.into_bytes()
 }
 
-/// Deserializes a bundle from bytes.
+/// Deserializes a bundle from bytes (either format; the epoch, if
+/// present, is discarded — see [`from_bytes_with_epoch`]).
 pub fn from_bytes(bytes: &[u8]) -> io::Result<IndexBundle> {
-    let mut dec = Decoder::new(bytes);
-    let mut magic = [0u8; 8];
-    if dec.remaining() < 8 {
-        return Err(Decoder::err("missing header"));
-    }
-    magic.copy_from_slice(&bytes[..8]);
-    dec.pos = 8;
-    if &magic != MAGIC {
-        return Err(Decoder::err("bad magic (not an iDM index file?)"));
-    }
+    from_bytes_with_epoch(bytes).map(|(bundle, _)| bundle)
+}
+
+fn get_sections(dec: &mut Decoder) -> io::Result<IndexBundle> {
     let bundle = IndexBundle::new();
 
     // Section 1: catalog.
@@ -414,7 +433,7 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<IndexBundle> {
     let mut tuples = Vec::with_capacity(tuple_count.min(1 << 20));
     for _ in 0..tuple_count {
         let vid = dec.get_u64()?;
-        tuples.push((vid, get_tuple(&mut dec)?));
+        tuples.push((vid, get_tuple(dec)?));
     }
     bundle.tuple.import_replica(tuples);
 
@@ -463,24 +482,77 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<IndexBundle> {
     Ok(bundle)
 }
 
-/// Saves the bundle to a file atomically (write to a sibling temp file,
-/// then rename): a crash mid-save never corrupts an existing index.
+/// Deserializes a bundle and, for `IDMIDX02` files, the store epoch it
+/// was built against. Legacy `IDMIDX01` files load with no epoch.
+pub fn from_bytes_with_epoch(bytes: &[u8]) -> io::Result<(IndexBundle, Option<u64>)> {
+    if bytes.len() < 8 {
+        return Err(Decoder::err("missing header"));
+    }
+    if &bytes[..8] == MAGIC {
+        // Legacy v1: no epoch, no checksum.
+        let mut dec = Decoder::new(&bytes[8..]);
+        return Ok((get_sections(&mut dec)?, None));
+    }
+    if &bytes[..8] != MAGIC_V2 {
+        return Err(Decoder::err("bad magic (not an iDM index file?)"));
+    }
+    if bytes.len() < 16 {
+        return Err(Decoder::err("truncated checksum"));
+    }
+    let body_len = bytes.len() - 8;
+    let stored = u64::from_le_bytes(
+        bytes[body_len..]
+            .try_into()
+            .map_err(|_| Decoder::err("truncated checksum"))?,
+    );
+    if fnv1a64(&bytes[..body_len]) != stored {
+        return Err(Decoder::err("checksum mismatch (corrupt index file)"));
+    }
+    let mut dec = Decoder::new(&bytes[8..body_len]);
+    let epoch = dec.get_u64()?;
+    let bundle = get_sections(&mut dec)?;
+    Ok((bundle, Some(epoch)))
+}
+
+/// Saves the bundle to a file atomically (sibling temp file + fsync +
+/// rename + directory fsync): a crash mid-save never corrupts an
+/// existing index.
 pub fn save(bundle: &IndexBundle, path: &Path) -> io::Result<()> {
-    let bytes = to_bytes(bundle);
+    save_with_epoch(bundle, path, 0)
+}
+
+/// Saves the bundle atomically, stamping the store epoch it was built
+/// against (the recovery handshake: on open, a mismatched epoch means
+/// the index is stale and must be rebuilt).
+pub fn save_with_epoch(bundle: &IndexBundle, path: &Path, epoch: u64) -> io::Result<()> {
+    let bytes = to_bytes_with_epoch(bundle, epoch);
     let tmp = path.with_extension("idm.tmp");
     {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            // Durability of the rename itself; best-effort like the
+            // snapshot writer (some filesystems refuse directory fsync).
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Loads a bundle from a file.
 pub fn load(path: &Path) -> io::Result<IndexBundle> {
+    load_with_epoch(path).map(|(bundle, _)| bundle)
+}
+
+/// Loads a bundle and its stored epoch (`None` for legacy v1 files).
+pub fn load_with_epoch(path: &Path) -> io::Result<(IndexBundle, Option<u64>)> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    from_bytes(&bytes)
+    from_bytes_with_epoch(&bytes)
 }
 
 #[cfg(test)]
@@ -585,6 +657,61 @@ mod tests {
         let mut wrong_magic = bytes;
         wrong_magic[0] ^= 0xFF;
         assert!(from_bytes(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn epoch_roundtrips_through_v2_format() {
+        let (_store, bundle) = populated_bundle();
+        let bytes = to_bytes_with_epoch(&bundle, 12345);
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        let (loaded, epoch) = from_bytes_with_epoch(&bytes).unwrap();
+        assert_eq!(epoch, Some(12345));
+        assert_equivalent(&bundle, &loaded);
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load_with_no_epoch() {
+        let (_store, bundle) = populated_bundle();
+        // Re-create a v1 file: old magic, sections, no epoch, no checksum.
+        let mut enc = Encoder::new();
+        enc.buf.extend_from_slice(MAGIC);
+        put_sections(&mut enc, &bundle);
+        let legacy = enc.into_bytes();
+        let (loaded, epoch) = from_bytes_with_epoch(&legacy).unwrap();
+        assert_eq!(epoch, None);
+        assert_equivalent(&bundle, &loaded);
+        assert_equivalent(&bundle, &from_bytes(&legacy).unwrap());
+    }
+
+    #[test]
+    fn checksum_catches_any_single_byte_flip() {
+        let (_store, bundle) = populated_bundle();
+        let bytes = to_bytes_with_epoch(&bundle, 7);
+        for pos in (0..bytes.len()).step_by(97).chain([bytes.len() - 1]) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x20;
+            assert!(
+                from_bytes_with_epoch(&corrupt).is_err(),
+                "flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn save_with_epoch_file_roundtrip() {
+        let (_store, bundle) = populated_bundle();
+        let dir = std::env::temp_dir().join(format!("idm-persist-epoch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("indexes.idm");
+        save_with_epoch(&bundle, &path, 99).unwrap();
+        let (loaded, epoch) = load_with_epoch(&path).unwrap();
+        assert_eq!(epoch, Some(99));
+        assert_equivalent(&bundle, &loaded);
+        assert!(
+            !path.with_extension("idm.tmp").exists(),
+            "temp file cleaned up"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -252,4 +252,45 @@ proptest! {
     fn persist_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
         let _ = idm_index::persist::from_bytes(&bytes);
     }
+
+    /// Any byte-level truncation of a checksummed index file is an
+    /// error — never a panic, never a silently short bundle.
+    #[test]
+    fn persist_truncation_always_errors(cut in 0usize..10_000, epoch in 0u64..1000) {
+        let bundle = small_bundle();
+        let bytes = idm_index::persist::to_bytes_with_epoch(&bundle, epoch);
+        let cut = cut % bytes.len(); // strictly shorter than the file
+        prop_assert!(idm_index::persist::from_bytes_with_epoch(&bytes[..cut]).is_err());
+    }
+
+    /// Any single-byte corruption of a checksummed index file is an
+    /// error: the trailing FNV-1a checksum catches every flip.
+    #[test]
+    fn persist_single_byte_corruption_always_errors(
+        pos in 0usize..10_000,
+        flip in 1u8..=255,
+        epoch in 0u64..1000,
+    ) {
+        let bundle = small_bundle();
+        let mut bytes = idm_index::persist::to_bytes_with_epoch(&bundle, epoch);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        prop_assert!(idm_index::persist::from_bytes_with_epoch(&bytes).is_err());
+    }
+}
+
+fn small_bundle() -> idm_index::IndexBundle {
+    use idm_core::prelude::{TupleComponent, Value, ViewStore};
+    let store = ViewStore::new();
+    let bundle = idm_index::IndexBundle::new();
+    let child = store.build("leaf.txt").text("leaf words here").insert();
+    bundle.index_view(&store, child, "prop").unwrap();
+    let parent = store
+        .build("root")
+        .tuple(TupleComponent::of(vec![("size", Value::Integer(42))]))
+        .text("root document about dataspaces")
+        .children(vec![child])
+        .insert();
+    bundle.index_view(&store, parent, "prop").unwrap();
+    bundle
 }

@@ -36,11 +36,68 @@ pub use rvm::{IngestReport, ResourceViewManager, SourceIngestStats};
 pub use source::{DataSourcePlugin, FsPlugin, ImapPlugin, Ingestion, RssPlugin};
 pub use sync::{ImapSynchronizationManager, SyncCoordinator, SyncDriver, SynchronizationManager};
 
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
+use idm_core::lineage::LineageGraph;
 use idm_core::prelude::*;
 use idm_index::IndexBundle;
 use idm_query::{ExpansionStrategy, QueryProcessor, QueryResult};
+use parking_lot::Mutex;
+
+/// File name of the persisted index bundle inside a dataspace directory.
+const INDEX_FILE: &str = "indexes.idm";
+
+/// How [`Pdsms::open`] obtained its index bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFate {
+    /// The stored bundle's epoch matched the recovered store — loaded
+    /// as-is, no reindexing.
+    Loaded,
+    /// A bundle existed but was built against a different store state
+    /// (its epoch differed from the recovered log sequence number) —
+    /// rebuilt from the recovered views.
+    RebuiltStaleEpoch,
+    /// A bundle file existed but could not be read (corrupt, torn,
+    /// legacy with no epoch) — rebuilt.
+    RebuiltUnreadable,
+    /// No bundle file was present — rebuilt.
+    RebuiltMissing,
+}
+
+/// Everything [`Pdsms::open`] did: store recovery plus the index
+/// epoch handshake.
+#[derive(Debug, Clone)]
+pub struct OpenReport {
+    /// What store recovery found and replayed.
+    pub recovery: idm_core::durability::RecoveryReport,
+    /// How the index bundle was obtained.
+    pub index: IndexFate,
+}
+
+impl fmt::Display for OpenReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}; indexes ", self.recovery)?;
+        match self.index {
+            IndexFate::Loaded => write!(f, "loaded (epoch matched)"),
+            IndexFate::RebuiltStaleEpoch => write!(f, "rebuilt (stale epoch)"),
+            IndexFate::RebuiltUnreadable => write!(f, "rebuilt (file unreadable)"),
+            IndexFate::RebuiltMissing => write!(f, "rebuilt (no index file)"),
+        }
+    }
+}
+
+fn durability_err(e: io::Error) -> IdmError {
+    IdmError::Substrate {
+        source: "durability".into(),
+        kind: SubstrateFaultKind::Permanent,
+        attempt: 1,
+        detail: e.to_string(),
+    }
+}
 
 /// The iMeMex Personal Dataspace Management System facade.
 ///
@@ -49,7 +106,9 @@ use idm_query::{ExpansionStrategy, QueryProcessor, QueryResult};
 pub struct Pdsms {
     store: Arc<ViewStore>,
     indexes: Arc<IndexBundle>,
+    lineage: Arc<LineageGraph>,
     rvm: ResourceViewManager,
+    durability: Option<Mutex<idm_core::durability::DurabilityManager>>,
     /// The expansion strategy every query processor of this system uses
     /// — and therefore the one its plans record and `explain` renders.
     expansion: ExpansionStrategy,
@@ -61,13 +120,160 @@ impl Pdsms {
     pub fn new() -> Self {
         let store = Arc::new(ViewStore::new());
         let indexes = Arc::new(IndexBundle::new());
+        Pdsms::assemble(store, indexes, Arc::new(LineageGraph::new()), None)
+    }
+
+    fn assemble(
+        store: Arc<ViewStore>,
+        indexes: Arc<IndexBundle>,
+        lineage: Arc<LineageGraph>,
+        durability: Option<idm_core::durability::DurabilityManager>,
+    ) -> Self {
         let rvm = ResourceViewManager::new(Arc::clone(&store), Arc::clone(&indexes));
         Pdsms {
             store,
             indexes,
+            lineage,
             rvm,
+            durability: durability.map(Mutex::new),
             expansion: ExpansionStrategy::default(),
         }
+    }
+
+    /// Opens (recovers) a durable dataspace from `dir`: newest valid
+    /// snapshot, WAL tail replay, torn-tail truncation, then the index
+    /// epoch handshake — the stored bundle is used only if it was built
+    /// against exactly the recovered store state, and rebuilt otherwise.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Pdsms, OpenReport)> {
+        let dir = dir.as_ref();
+        let (store, lineage, manager, recovery) = idm_core::durability::DurabilityManager::open(
+            dir,
+            idm_core::durability::SyncPolicy::WriteBack,
+        )
+        .map_err(durability_err)?;
+
+        let index_path = dir.join(INDEX_FILE);
+        let (indexes, fate) = match idm_index::persist::load_with_epoch(&index_path) {
+            Ok((bundle, Some(epoch))) if epoch == recovery.lsn => {
+                (Arc::new(bundle), IndexFate::Loaded)
+            }
+            Ok((stale, _)) => (
+                Arc::new(Pdsms::rebuild_indexes(&store, Some(&stale))?),
+                IndexFate::RebuiltStaleEpoch,
+            ),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (
+                Arc::new(Pdsms::rebuild_indexes(&store, None)?),
+                IndexFate::RebuiltMissing,
+            ),
+            Err(_) => (
+                Arc::new(Pdsms::rebuild_indexes(&store, None)?),
+                IndexFate::RebuiltUnreadable,
+            ),
+        };
+
+        let system = Pdsms::assemble(store, indexes, lineage, Some(manager));
+        Ok((
+            system,
+            OpenReport {
+                recovery,
+                index: fate,
+            },
+        ))
+    }
+
+    /// Rebuilds an index bundle from the live views of a recovered
+    /// store. A stale bundle, when available, supplies the per-view data
+    /// source labels; everything else defaults to `"dataspace"`.
+    fn rebuild_indexes(store: &Arc<ViewStore>, stale: Option<&IndexBundle>) -> Result<IndexBundle> {
+        let sources: HashMap<u64, String> = stale
+            .map(|bundle| {
+                bundle
+                    .catalog
+                    .export_rows()
+                    .into_iter()
+                    .map(|row| (row.vid, row.source))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let bundle = IndexBundle::new();
+        for vid in store.vids() {
+            let source = sources
+                .get(&vid.as_u64())
+                .map(String::as_str)
+                .unwrap_or("dataspace");
+            bundle.index_view(store, vid, source)?;
+        }
+        Ok(bundle)
+    }
+
+    /// Makes this (so far in-memory) dataspace durable in `dir`: writes
+    /// the initial snapshot, arms write-ahead logging, and persists the
+    /// index bundle stamped with the current epoch.
+    pub fn make_durable(
+        &mut self,
+        dir: impl AsRef<Path>,
+    ) -> Result<idm_core::durability::CheckpointStats> {
+        if self.durability.is_some() {
+            return Err(IdmError::Parse {
+                detail: "dataspace is already durable".into(),
+            });
+        }
+        let dir = dir.as_ref();
+        let (manager, stats) = idm_core::durability::DurabilityManager::attach(
+            dir,
+            &self.store,
+            &self.lineage,
+            idm_core::durability::SyncPolicy::WriteBack,
+        )
+        .map_err(durability_err)?;
+        idm_index::persist::save_with_epoch(&self.indexes, &dir.join(INDEX_FILE), stats.lsn)
+            .map_err(durability_err)?;
+        self.durability = Some(Mutex::new(manager));
+        Ok(stats)
+    }
+
+    /// Writes a checkpoint snapshot and persists the index bundle
+    /// stamped with the checkpoint's log sequence number, so the next
+    /// [`Pdsms::open`] loads both without replay or reindexing.
+    pub fn checkpoint(&self) -> Result<idm_core::durability::CheckpointStats> {
+        let manager = self.durability.as_ref().ok_or_else(|| IdmError::Parse {
+            detail: "dataspace is not durable (use make_durable or open)".into(),
+        })?;
+        let stats = manager
+            .lock()
+            .checkpoint(&self.store, &self.lineage)
+            .map_err(durability_err)?;
+        idm_index::persist::save_with_epoch(
+            &self.indexes,
+            &self.dataspace_dir_of(manager).join(INDEX_FILE),
+            stats.lsn,
+        )
+        .map_err(durability_err)?;
+        Ok(stats)
+    }
+
+    fn dataspace_dir_of(
+        &self,
+        manager: &Mutex<idm_core::durability::DurabilityManager>,
+    ) -> std::path::PathBuf {
+        manager.lock().dir().to_path_buf()
+    }
+
+    /// Whether this dataspace is backed by a durable directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The dataspace directory, when durable.
+    pub fn dataspace_dir(&self) -> Option<std::path::PathBuf> {
+        self.durability
+            .as_ref()
+            .map(|m| m.lock().dir().to_path_buf())
+    }
+
+    /// The lineage graph (durable as of the last checkpoint).
+    pub fn lineage(&self) -> &Arc<LineageGraph> {
+        &self.lineage
     }
 
     /// Sets the expansion strategy used by this system's queries (and

@@ -1,0 +1,266 @@
+//! End-to-end durability: a PDSMS made durable on disk survives an
+//! abrupt process death (simulated by dropping the system without any
+//! shutdown path) and answers queries identically after recovery,
+//! including the index epoch handshake.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use idm_core::prelude::*;
+use idm_email::message::{Attachment, EmailMessage};
+use idm_email::ImapServer;
+use idm_system::{FsPlugin, ImapPlugin, IndexFate, Pdsms};
+use idm_vfs::{NodeId, VirtualFs};
+
+fn t() -> Timestamp {
+    Timestamp::from_ymd(2005, 6, 1).unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("idm-sysdur-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small two-source dataspace (files + email) exercising converters,
+/// classes and cross-source queries.
+fn populated_system() -> Pdsms {
+    let fs = Arc::new(VirtualFs::new(t()));
+    let pim = fs.mkdir_p("/Projects/PIM", t()).unwrap();
+    fs.create_file(
+        pim,
+        "vldb2006.tex",
+        "\\section{Introduction}\nDataspaces by Mike Franklin.\n\\section{Related Work}\nOther systems.",
+        t(),
+    )
+    .unwrap();
+    let docs = fs.mkdir_p("/docs", t()).unwrap();
+    fs.create_file(docs, "notes.txt", "database tuning notes", t())
+        .unwrap();
+
+    let server = Arc::new(ImapServer::in_process());
+    server
+        .append(
+            server.inbox(),
+            &EmailMessage {
+                subject: "figures".into(),
+                from: "a@b".into(),
+                to: "c@d".into(),
+                date: t(),
+                body: "see attachment about database tuning".into(),
+                attachments: vec![Attachment {
+                    filename: "more.tex".into(),
+                    content: "\\section{Evaluation}\nIndexing Time per source".into(),
+                }],
+            },
+        )
+        .unwrap();
+
+    let mut system = Pdsms::new();
+    system.register_source(Arc::new(FsPlugin::new(fs, NodeId::ROOT)));
+    system.register_source(Arc::new(ImapPlugin::new(server)));
+    system.index_all().unwrap();
+    system
+}
+
+const QUERIES: &[&str] = &[
+    r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#,
+    r#""database tuning""#,
+    r#"//docs//*["database"]"#,
+    r#"//Introduction[class="latex_section"]"#,
+];
+
+fn query_rows(system: &Pdsms) -> Vec<Vec<u64>> {
+    QUERIES
+        .iter()
+        .map(|iql| {
+            let mut rows: Vec<u64> = system
+                .query(iql)
+                .unwrap()
+                .rows
+                .views()
+                .iter()
+                .map(|v| v.as_u64())
+                .collect();
+            rows.sort_unstable();
+            rows
+        })
+        .collect()
+}
+
+#[test]
+fn checkpoint_kill_reopen_replays_nothing_and_queries_identically() {
+    let dir = tmp("checkpointed");
+    let mut system = populated_system();
+    let baseline = query_rows(&system);
+
+    system.make_durable(&dir).unwrap();
+    let stats = system.checkpoint().unwrap();
+    assert!(stats.views > 0);
+    drop(system); // kill -9: no shutdown hook runs
+
+    let (reopened, report) = Pdsms::open(&dir).unwrap();
+    assert_eq!(report.recovery.records_replayed, 0, "{report}");
+    assert_eq!(report.index, IndexFate::Loaded, "epoch matched: no reindex");
+    assert_eq!(query_rows(&reopened), baseline);
+    assert!(reopened.is_durable());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn post_checkpoint_mutations_replay_from_the_wal() {
+    let dir = tmp("waltail");
+    let mut system = populated_system();
+    system.make_durable(&dir).unwrap();
+
+    // Mutations after the attach snapshot live only in the WAL.
+    let extra = system
+        .store()
+        .build("extra.txt")
+        .text("post snapshot database tuning entry")
+        .insert();
+    system
+        .store()
+        .set_name(extra, Some("renamed.txt".into()))
+        .unwrap();
+    drop(system);
+
+    let (reopened, report) = Pdsms::open(&dir).unwrap();
+    assert_eq!(report.recovery.records_replayed, 2, "{report}");
+    // The index was stamped at attach time (epoch 0), but the store
+    // replayed 2 records past it — stale, so it must be rebuilt.
+    assert_eq!(report.index, IndexFate::RebuiltStaleEpoch);
+    assert_eq!(
+        reopened.store().name(extra).unwrap().as_deref(),
+        Some("renamed.txt")
+    );
+    // The rebuilt index covers the replayed view.
+    let rows = reopened.query(r#""post snapshot""#).unwrap().rows;
+    assert_eq!(rows.views(), &[extra]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_index_epoch_rebuild_matches_fresh_ingest_queries() {
+    let dir = tmp("staleepoch");
+    let mut system = populated_system();
+    let baseline = query_rows(&system);
+    system.make_durable(&dir).unwrap();
+    system.checkpoint().unwrap();
+    drop(system);
+
+    // Re-stamp the (valid) index file with a wrong epoch.
+    let index_path = dir.join("indexes.idm");
+    let (bundle, epoch) = idm_index::persist::load_with_epoch(&index_path).unwrap();
+    idm_index::persist::save_with_epoch(&bundle, &index_path, epoch.unwrap() + 17).unwrap();
+
+    let (reopened, report) = Pdsms::open(&dir).unwrap();
+    assert_eq!(report.index, IndexFate::RebuiltStaleEpoch, "{report}");
+    assert_eq!(query_rows(&reopened), baseline, "rebuild == fresh ingest");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_index_file_rebuilds_and_queries_identically() {
+    let dir = tmp("corruptindex");
+    let mut system = populated_system();
+    let baseline = query_rows(&system);
+    system.make_durable(&dir).unwrap();
+    system.checkpoint().unwrap();
+    drop(system);
+
+    let index_path = dir.join("indexes.idm");
+    let mut bytes = std::fs::read(&index_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&index_path, &bytes).unwrap();
+
+    let (reopened, report) = Pdsms::open(&dir).unwrap();
+    assert_eq!(report.index, IndexFate::RebuiltUnreadable, "{report}");
+    assert_eq!(query_rows(&reopened), baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_index_file_rebuilds_from_the_recovered_store() {
+    let dir = tmp("noindex");
+    let mut system = populated_system();
+    let baseline = query_rows(&system);
+    system.make_durable(&dir).unwrap();
+    system.checkpoint().unwrap();
+    drop(system);
+
+    std::fs::remove_file(dir.join("indexes.idm")).unwrap();
+
+    let (reopened, report) = Pdsms::open(&dir).unwrap();
+    assert_eq!(report.index, IndexFate::RebuiltMissing, "{report}");
+    assert_eq!(query_rows(&reopened), baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_recovers_a_consistent_prefix_end_to_end() {
+    let dir = tmp("tornsys");
+    let mut system = populated_system();
+    system.make_durable(&dir).unwrap();
+    for i in 0..10 {
+        system
+            .store()
+            .build(format!("wal-{i}.txt"))
+            .text(format!("tail entry {i}"))
+            .insert();
+    }
+    drop(system);
+
+    // Tear the last record in half.
+    let wal_path = dir.join("wal-1.idmlog");
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (reopened, report) = Pdsms::open(&dir).unwrap();
+    assert_eq!(report.recovery.records_replayed, 9, "{report}");
+    assert!(report.recovery.bytes_truncated > 0);
+    let invariants = reopened.store().verify_invariants();
+    assert!(invariants.is_ok(), "{invariants:?}");
+    // 9 of the 10 tail entries survived; the torn one is gone entirely.
+    let rows = reopened.query(r#""tail entry""#).unwrap().rows;
+    assert_eq!(rows.len(), 9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lineage_survives_checkpoints() {
+    let dir = tmp("lineage");
+    let mut system = Pdsms::new();
+    let a = system.store().build("a").text("original").insert();
+    let b = system.store().build("b").text("copy").insert();
+    system.lineage().record(b, a, "copy");
+    system.make_durable(&dir).unwrap();
+    system.checkpoint().unwrap();
+    drop(system);
+
+    let (reopened, _) = Pdsms::open(&dir).unwrap();
+    let provenance = reopened.lineage().provenance(b);
+    assert_eq!(provenance.len(), 1);
+    assert_eq!(provenance[0].source, a);
+    assert_eq!(provenance[0].transform, "copy");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_refuses_an_empty_directory_and_make_durable_refuses_a_full_one() {
+    let dir = tmp("guards");
+    std::fs::create_dir_all(&dir).unwrap();
+    assert!(Pdsms::open(&dir).is_err());
+
+    let mut system = Pdsms::new();
+    system.store().build("x").insert();
+    system.make_durable(&dir).unwrap();
+    let mut other = Pdsms::new();
+    assert!(
+        other.make_durable(&dir).is_err(),
+        "directory already in use"
+    );
+    assert!(system.make_durable(&dir).is_err(), "already durable");
+    std::fs::remove_dir_all(&dir).ok();
+}

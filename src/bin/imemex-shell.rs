@@ -131,6 +131,50 @@ impl Shell {
         }
     }
 
+    /// `\open <dir>`: opens an existing durable dataspace (recovery),
+    /// or makes the current in-memory dataspace durable in a fresh
+    /// directory.
+    fn open_dataspace(&mut self, path: &str) {
+        if path.is_empty() {
+            println!("usage: \\open <directory>");
+            return;
+        }
+        let dir = std::path::Path::new(path);
+        if has_dataspace(dir) {
+            match Pdsms::open(dir) {
+                Ok((system, report)) => {
+                    println!("{report}");
+                    self.system = system;
+                    self.processor = self.system.query_processor();
+                    self.processor.set_expansion(self.strategy);
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        } else {
+            match self.system.make_durable(dir) {
+                Ok(stats) => println!(
+                    "dataspace now durable in {} (snapshot {}: {} views, {} bytes)",
+                    dir.display(),
+                    stats.seq,
+                    stats.views,
+                    stats.bytes
+                ),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+    }
+
+    /// `\checkpoint`: folds the WAL into a fresh snapshot.
+    fn checkpoint(&self) {
+        match self.system.checkpoint() {
+            Ok(stats) => println!(
+                "checkpoint {}: {} views, {} bytes, lsn {}",
+                stats.seq, stats.views, stats.bytes, stats.lsn
+            ),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
     fn stats(&self) {
         let sizes = self.system.indexes().sizes();
         let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
@@ -163,9 +207,13 @@ commands:
   :explain <iql>        show the rule-based execution plan
   :strategy <s>         forward | backward | bidirectional
   :save <path>          persist the index bundle to a file
+  \\open <dir>           open a durable dataspace (prints the recovery
+                        report), or make this one durable in a new dir
+  \\checkpoint           fold the write-ahead log into a fresh snapshot
   :stats                store and index statistics
   :help                 this text
-  :quit                 exit";
+  :quit                 exit
+(\\ and : are interchangeable command prefixes)";
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -194,7 +242,7 @@ fn main() {
         if !interactive {
             println!("iql> {line}");
         }
-        if let Some(rest) = line.strip_prefix(':') {
+        if let Some(rest) = line.strip_prefix(':').or_else(|| line.strip_prefix('\\')) {
             let (command, arg) = rest.split_once(' ').unwrap_or((rest, ""));
             match command {
                 "quit" | "q" | "exit" => break,
@@ -211,6 +259,8 @@ fn main() {
                         Err(e) => println!("error: {e}"),
                     }
                 }
+                "open" => shell.open_dataspace(arg.trim()),
+                "checkpoint" => shell.checkpoint(),
                 "rank" => shell.run_ranked(arg.trim()),
                 "update" => shell.run_update(arg.trim()),
                 "estimate" => {
@@ -242,6 +292,20 @@ fn main() {
             shell.run_query(line);
         }
     }
+}
+
+/// Whether `dir` already holds a durable dataspace (any snapshot or WAL
+/// segment file).
+fn has_dataspace(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.flatten().any(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.ends_with(".idmsnap") || name.ends_with(".idmlog")
+            })
+        })
+        .unwrap_or(false)
 }
 
 /// Minimal TTY check without a dependency: honor an env override, else
