@@ -1,0 +1,173 @@
+//! Ingest throughput benchmark — the group-commit WAL and bulk
+//! pipeline evaluation. Runs a durable (Fsync) ingest of the synthetic
+//! dataspace through the sequential and bulk paths, prints a scaling
+//! table, and emits machine-readable `results/BENCH_ingest.json`
+//! (records/sec, fsync counts, batch-size histogram).
+//!
+//! ```sh
+//! cargo run --release -p idm-bench --bin ingest -- --sfs 0.25,1,4
+//! cargo run --release -p idm-bench --bin ingest -- --smoke   # CI gate
+//! ```
+//!
+//! `--smoke` runs one small-sf bulk ingest and exits nonzero unless
+//! the WAL issued strictly fewer fsyncs than records — the group
+//! commit must actually group. `--bulk-only` skips the sequential
+//! baseline (one fsync per record makes it slow at large sf).
+
+use std::path::PathBuf;
+
+use idm_bench::{build_measured, BuildOptions, IngestMeasurement, IngestMode};
+use idm_system::BulkIngestOptions;
+
+struct Args {
+    scales: Vec<f64>,
+    out: PathBuf,
+    smoke: bool,
+    bulk_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scales: vec![0.25, 1.0, 4.0],
+        out: PathBuf::from("results/BENCH_ingest.json"),
+        smoke: false,
+        bulk_only: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sfs" | "--sf" => {
+                if let Some(list) = argv.get(i + 1) {
+                    args.scales = list
+                        .split(',')
+                        .filter_map(|s| s.trim().parse().ok())
+                        .collect();
+                }
+                i += 2;
+            }
+            "--out" => {
+                if let Some(path) = argv.get(i + 1) {
+                    args.out = PathBuf::from(path);
+                }
+                i += 2;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            "--bulk-only" => {
+                args.bulk_only = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    args
+}
+
+/// Dataset knobs for write-path measurement: no simulated source
+/// latency (it would swamp the WAL cost being measured).
+fn options_at(scale: f64) -> BuildOptions {
+    BuildOptions {
+        scale,
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: true,
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("idm-ingest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(scale: f64, tag: &str, mode: IngestMode) -> IngestMeasurement {
+    let dir = tmp(tag);
+    let (_bench, m) = build_measured(options_at(scale), Some(&dir), mode);
+    std::fs::remove_dir_all(&dir).ok();
+    m
+}
+
+fn print_row(m: &IngestMeasurement) {
+    println!(
+        "{:>6} {:>11} {:>8} {:>10.0} {:>12} {:>9} {:>12} {:>9}",
+        m.scale,
+        m.mode,
+        m.views,
+        m.views_per_sec(),
+        m.wal_records,
+        m.fsyncs,
+        m.fsyncs_saved,
+        m.segments
+    );
+}
+
+fn smoke() -> ! {
+    let m = run(
+        0.05,
+        "smoke",
+        IngestMode::Bulk(BulkIngestOptions::default()),
+    );
+    println!(
+        "smoke: {} views, {} wal records, {} fsyncs ({} saved)",
+        m.views, m.wal_records, m.fsyncs, m.fsyncs_saved
+    );
+    if m.wal_records == 0 {
+        println!("FAIL: nothing was logged");
+        std::process::exit(1);
+    }
+    if m.fsyncs >= m.wal_records {
+        println!(
+            "FAIL: {} fsyncs for {} records — group commit is not grouping",
+            m.fsyncs, m.wal_records
+        );
+        std::process::exit(1);
+    }
+    println!("OK: fsyncs < records");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        smoke();
+    }
+
+    println!("Ingest throughput — durable (Fsync) write path\n");
+    println!(
+        "{:>6} {:>11} {:>8} {:>10} {:>12} {:>9} {:>12} {:>9}",
+        "sf", "mode", "views", "views/s", "wal recs", "fsyncs", "fsyncs saved", "segments"
+    );
+
+    let mut rows: Vec<IngestMeasurement> = Vec::new();
+    for &scale in &args.scales {
+        if !args.bulk_only {
+            let m = run(scale, &format!("seq-{scale}"), IngestMode::Sequential);
+            print_row(&m);
+            rows.push(m);
+        }
+        let m = run(
+            scale,
+            &format!("bulk-{scale}"),
+            IngestMode::Bulk(BulkIngestOptions::default()),
+        );
+        print_row(&m);
+        rows.push(m);
+    }
+
+    let json = format!(
+        "{{\"bench\":\"ingest\",\"sync_policy\":\"fsync\",\"runs\":[\n  {}\n]}}\n",
+        rows.iter()
+            .map(IngestMeasurement::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n  ")
+    );
+    if let Some(parent) = args.out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(&args.out, &json).expect("write BENCH_ingest.json");
+    println!("\nwrote {}", args.out.display());
+}

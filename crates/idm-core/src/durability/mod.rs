@@ -33,6 +33,7 @@
 //! durable at force time via [`record::ChangeRecord::GroupForced`].
 
 pub mod codec;
+pub mod group_commit;
 pub mod record;
 pub mod snapshot;
 pub mod wal;
@@ -51,7 +52,33 @@ use record::{group_data, ChangeRecord, SerialView};
 use snapshot::SnapshotData;
 use wal::{read_segment, WalWriter};
 
-pub use wal::SyncPolicy;
+pub use group_commit::{BulkWalScope, GroupCommitConfig, GroupCommitWal};
+pub use wal::{SyncPolicy, WalStats, GROUP_HISTOGRAM_BUCKETS};
+
+/// How a dataspace directory is attached or opened: the sync discipline
+/// plus the (optional) group-commit coalescing configuration. The
+/// plain [`DurabilityManager::attach`]/[`DurabilityManager::open`]
+/// entry points use the default — group commit enabled with
+/// `max_delay == 0`, which is byte-for-byte identical to the ungrouped
+/// writer for single-threaded callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// When appends are made durable ([`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Group-commit coalescing; `None` disables the queue entirely and
+    /// every append goes straight to the raw writer.
+    pub group_commit: Option<GroupCommitConfig>,
+}
+
+impl DurabilityOptions {
+    /// The default options for a given sync policy.
+    pub fn new(sync: SyncPolicy) -> Self {
+        DurabilityOptions {
+            sync,
+            group_commit: Some(GroupCommitConfig::default()),
+        }
+    }
+}
 
 /// What recovery found and did, returned by [`DurabilityManager::open`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,7 +164,7 @@ pub struct DurabilityManager {
     /// successful rotation, the next checkpoint must rotate *forward*,
     /// never reuse (and truncate) a live segment name.
     wal_seq: u64,
-    wal: Arc<WalWriter>,
+    sink: Arc<GroupCommitWal>,
     sync: SyncPolicy,
 }
 
@@ -246,6 +273,18 @@ impl DurabilityManager {
         lineage: &LineageGraph,
         sync: SyncPolicy,
     ) -> io::Result<(DurabilityManager, CheckpointStats)> {
+        DurabilityManager::attach_with(dir, store, lineage, DurabilityOptions::new(sync))
+    }
+
+    /// [`DurabilityManager::attach`] with explicit [`DurabilityOptions`]
+    /// (group-commit tuning).
+    pub fn attach_with(
+        dir: &Path,
+        store: &Arc<ViewStore>,
+        lineage: &LineageGraph,
+        options: DurabilityOptions,
+    ) -> io::Result<(DurabilityManager, CheckpointStats)> {
+        let sync = options.sync;
         std::fs::create_dir_all(dir)?;
         let (snaps, wals) = scan_dir(dir)?;
         if !snaps.is_empty() || !wals.is_empty() {
@@ -258,14 +297,16 @@ impl DurabilityManager {
             ));
         }
 
-        let (export, frozen) = store.frozen_export(|export| -> io::Result<(Arc<WalWriter>, u64)> {
-            let data = snapshot_of(export, store, lineage, 0);
-            let bytes = snapshot::write(&snap_path(dir, 1), &data)?;
-            let wal = Arc::new(WalWriter::create(&wal_path(dir, 1), 0, sync)?);
-            store.set_wal(Arc::clone(&wal));
-            Ok((wal, bytes))
-        });
-        let (wal, bytes) = match frozen {
+        let (export, frozen) =
+            store.frozen_export(|export| -> io::Result<(Arc<GroupCommitWal>, u64)> {
+                let data = snapshot_of(export, store, lineage, 0);
+                let bytes = snapshot::write(&snap_path(dir, 1), &data)?;
+                let wal = Arc::new(WalWriter::create(&wal_path(dir, 1), 0, sync)?);
+                let sink = Arc::new(GroupCommitWal::new(wal, options.group_commit));
+                store.set_wal(Arc::clone(&sink));
+                Ok((sink, bytes))
+            });
+        let (sink, bytes) = match frozen {
             Ok(parts) => parts,
             Err(e) => {
                 store.clear_wal();
@@ -284,7 +325,7 @@ impl DurabilityManager {
                 dir: dir.to_path_buf(),
                 seq: 1,
                 wal_seq: 1,
-                wal,
+                sink,
                 sync,
             },
             stats,
@@ -304,6 +345,21 @@ impl DurabilityManager {
         DurabilityManager,
         RecoveryReport,
     )> {
+        DurabilityManager::open_with(dir, DurabilityOptions::new(sync))
+    }
+
+    /// [`DurabilityManager::open`] with explicit [`DurabilityOptions`]
+    /// (group-commit tuning).
+    pub fn open_with(
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> io::Result<(
+        Arc<ViewStore>,
+        Arc<LineageGraph>,
+        DurabilityManager,
+        RecoveryReport,
+    )> {
+        let sync = options.sync;
         let (snaps, wals) = scan_dir(dir)?;
         if snaps.is_empty() && wals.is_empty() {
             return Err(io::Error::new(
@@ -449,8 +505,8 @@ impl DurabilityManager {
                 )
             }
         };
-        let wal = Arc::new(wal);
-        store.set_wal(Arc::clone(&wal));
+        let sink = Arc::new(GroupCommitWal::new(Arc::new(wal), options.group_commit));
+        store.set_wal(Arc::clone(&sink));
 
         let invariants = store.verify_invariants();
         report.dangling_group_edges = invariants.dangling_edges;
@@ -463,7 +519,7 @@ impl DurabilityManager {
                 dir: dir.to_path_buf(),
                 seq: base_seq.unwrap_or(0),
                 wal_seq,
-                wal,
+                sink,
                 sync,
             },
             report,
@@ -481,11 +537,11 @@ impl DurabilityManager {
         store: &Arc<ViewStore>,
         lineage: &LineageGraph,
     ) -> io::Result<CheckpointStats> {
-        self.wal.ensure_healthy()?;
+        self.sink.ensure_healthy()?;
         let new_seq = self.wal_seq + 1;
         let (export, rotated) = store.frozen_export(|_| -> io::Result<u64> {
-            let lsn = self.wal.lsn();
-            self.wal.rotate(&wal_path(&self.dir, new_seq))?;
+            let lsn = self.sink.lsn();
+            self.sink.rotate(&wal_path(&self.dir, new_seq))?;
             Ok(lsn)
         });
         let lsn = rotated?;
@@ -521,12 +577,24 @@ impl DurabilityManager {
 
     /// The current log sequence number.
     pub fn lsn(&self) -> u64 {
-        self.wal.lsn()
+        self.sink.lsn()
     }
 
-    /// The WAL writer (fault injection and health checks).
+    /// The raw WAL writer (fault injection and health checks).
     pub fn wal(&self) -> &Arc<WalWriter> {
-        &self.wal
+        self.sink.raw()
+    }
+
+    /// The group-commit front end every store mutation flows through.
+    pub fn sink(&self) -> &Arc<GroupCommitWal> {
+        &self.sink
+    }
+
+    /// Write-path telemetry for the current WAL writer (frames, syncs,
+    /// group-size histogram). Counters reset on open/rotate of the
+    /// process, not of the segment.
+    pub fn wal_stats(&self) -> WalStats {
+        self.sink.stats()
     }
 
     /// The sequence number of the newest snapshot.

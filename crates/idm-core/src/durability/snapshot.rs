@@ -301,9 +301,45 @@ pub fn from_bytes(bytes: &[u8]) -> io::Result<SnapshotData> {
     })
 }
 
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename or file creation in it durable.
+///
+/// Real I/O errors propagate — a failed directory sync means the
+/// metadata may not survive a crash and callers must not acknowledge
+/// the operation. Only two cases stay silent, and only because they
+/// signal *inability*, not failure: the platform cannot open
+/// directories for syncing at all (`File::open` fails), or the
+/// filesystem rejects the fsync as unsupported
+/// (`ErrorKind::Unsupported`, the `ENOTSUP`/`EINVAL` family).
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let Some(parent) = path.parent() else {
+        return Ok(());
+    };
+    let Ok(dir) = File::open(parent) else {
+        return Ok(());
+    };
+    match dir.sync_all() {
+        Ok(()) => Ok(()),
+        Err(e)
+            if e.kind() == io::ErrorKind::Unsupported
+                || e.raw_os_error() == Some(libc_einval()) =>
+        {
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// `EINVAL` — what Linux returns for fsync on filesystems that do not
+/// support directory syncing (kept literal to avoid a libc dependency).
+const fn libc_einval() -> i32 {
+    22
+}
+
 /// Writes a snapshot atomically: temp file in the same directory,
-/// `fsync`, rename over the final name, then a best-effort fsync of the
-/// directory so the rename itself is durable. Returns the byte size.
+/// `fsync`, rename over the final name, then an fsync of the directory
+/// so the rename itself is durable (see [`sync_parent_dir`] for which
+/// failures are tolerated). Returns the byte size.
 pub fn write(path: &Path, data: &SnapshotData) -> io::Result<u64> {
     let bytes = to_bytes(data);
     let tmp = path.with_extension("idmsnap.tmp");
@@ -313,13 +349,7 @@ pub fn write(path: &Path, data: &SnapshotData) -> io::Result<u64> {
         file.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    if let Some(parent) = path.parent() {
-        // Directory fsync makes the rename durable; some platforms
-        // cannot open directories, which only weakens crash ordering.
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
-        }
-    }
+    sync_parent_dir(path)?;
     Ok(bytes.len() as u64)
 }
 

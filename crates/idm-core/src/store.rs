@@ -21,8 +21,9 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::class::{ClassId, ClassRegistry};
 use crate::content::Content;
+use crate::durability::group_commit::{BulkWalScope, GroupCommitWal};
 use crate::durability::record::{ChangeRecord, SerialContent, SerialGroup, SerialView};
-use crate::durability::wal::WalWriter;
+use crate::durability::wal::WalStats;
 use crate::error::{IdmError, Result};
 use crate::group::{Group, GroupData, LazyGroup, ViewSequenceSource};
 use crate::value::TupleComponent;
@@ -187,7 +188,7 @@ pub struct ViewStore {
     /// The attached write-ahead log, if this store is durable. Mutators
     /// append their change record under the shard write lock, so WAL
     /// order per view matches commit order.
-    wal: RwLock<Option<Arc<WalWriter>>>,
+    wal: RwLock<Option<Arc<GroupCommitWal>>>,
 }
 
 /// Default shard count: available parallelism rounded up to a power of two,
@@ -235,8 +236,8 @@ impl ViewStore {
         }
     }
 
-    /// Attaches a WAL writer: every mutation from now on is logged.
-    pub(crate) fn set_wal(&self, wal: Arc<WalWriter>) {
+    /// Attaches a WAL sink: every mutation from now on is logged.
+    pub(crate) fn set_wal(&self, wal: Arc<GroupCommitWal>) {
         *self.wal.write() = Some(wal);
     }
 
@@ -259,6 +260,30 @@ impl ViewStore {
         if let Some(wal) = wal {
             let _ = wal.append(record);
         }
+    }
+
+    /// Appends a whole batch of records as one group commit (one
+    /// buffered write, one covering sync). Same error discipline as
+    /// [`ViewStore::wal_append`]: failures go sticky-dead on the writer.
+    fn wal_append_batch(&self, records: &[ChangeRecord]) {
+        let wal = self.wal.read().clone();
+        if let Some(wal) = wal {
+            let _ = wal.append_batch(records);
+        }
+    }
+
+    /// Opens a bulk-ingest WAL window: while the returned scope is
+    /// alive, individual appends defer their covering sync to batch
+    /// boundaries and to [`BulkWalScope::finish`]. Returns `None` when
+    /// the store is not durable (nothing to defer).
+    pub fn wal_bulk_scope(&self) -> Option<BulkWalScope> {
+        self.wal.read().as_ref().map(|wal| wal.begin_bulk())
+    }
+
+    /// Write-path telemetry of the attached WAL (frames, syncs, group
+    /// sizes); `None` when the store is not durable.
+    pub fn wal_telemetry(&self) -> Option<WalStats> {
+        self.wal.read().as_ref().map(|wal| wal.stats())
     }
 
     /// The class registry.
@@ -337,6 +362,65 @@ impl ViewStore {
         }
         self.emit(vid, ChangeKind::Created);
         vid
+    }
+
+    /// Inserts a batch of view records under one shard-lock acquisition
+    /// per involved shard and one WAL group commit for the whole batch.
+    /// Vids are handed out contiguously by the same monotone counter as
+    /// [`ViewStore::insert`], so numeric order is still insertion order
+    /// and a bulk load produces the same store image as the equivalent
+    /// sequence of single inserts.
+    ///
+    /// Shard write locks are taken in ascending shard-index order — the
+    /// same order `frozen_export` uses — so a bulk insert can never
+    /// deadlock against a checkpoint freeze, and the batch commits
+    /// atomically with respect to snapshots.
+    pub fn insert_batch(&self, records: Vec<ViewRecord>) -> Vec<Vid> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let n = records.len() as u64;
+        let base = self.next_vid.fetch_add(n, Ordering::Relaxed);
+        let vids: Vec<Vid> = (base..base + n).map(Vid).collect();
+        let armed = self.wal_armed();
+        let mut wal_recs = Vec::with_capacity(if armed { records.len() } else { 0 });
+
+        let mask = self.shards.len() as u64 - 1;
+        let mut involved: Vec<usize> = vids.iter().map(|v| (v.0 & mask) as usize).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let mut guard_pos = vec![usize::MAX; self.shards.len()];
+        for (pos, &shard) in involved.iter().enumerate() {
+            guard_pos[shard] = pos;
+        }
+
+        {
+            let mut guards: Vec<_> = involved
+                .iter()
+                .map(|&i| self.shards[i].slots.write())
+                .collect();
+            for (vid, record) in vids.iter().zip(records) {
+                if armed {
+                    wal_recs.push(ChangeRecord::Insert {
+                        vid: vid.0,
+                        view: SerialView::of(&record, &self.classes),
+                    });
+                }
+                let slots = &mut guards[guard_pos[(vid.0 & mask) as usize]];
+                let slot_idx = self.slot_of(*vid);
+                if slots.len() <= slot_idx {
+                    slots.resize_with(slot_idx + 1, || None);
+                }
+                slots[slot_idx] = Some(Slot { record, version: 0 });
+            }
+            if armed {
+                self.wal_append_batch(&wal_recs);
+            }
+        }
+        for &vid in &vids {
+            self.emit(vid, ChangeKind::Created);
+        }
+        vids
     }
 
     /// Re-inserts a view at an explicit id during recovery: no WAL
@@ -884,6 +968,12 @@ impl<'a> ViewBuilder<'a> {
     /// Inserts the view, returning its id.
     pub fn insert(self) -> Vid {
         self.store.insert(self.record)
+    }
+
+    /// Returns the built record without inserting it — for collecting a
+    /// batch to hand to [`ViewStore::insert_batch`].
+    pub fn into_record(self) -> ViewRecord {
+        self.record
     }
 }
 

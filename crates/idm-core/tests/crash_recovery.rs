@@ -441,6 +441,137 @@ fn mutations_after_recovery_survive_the_next_crash() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+// ---- group commit & coalesced batches -------------------------------------
+
+#[test]
+fn bulk_window_log_is_byte_identical_and_saves_fsyncs() {
+    let ops = workload(SEED, OPS);
+    let plain_dir = tmp("gc-plain");
+    let bulk_dir = tmp("gc-bulk");
+
+    // Record-at-a-time under Fsync: one sync per append.
+    let store = Arc::new(ViewStore::new());
+    let lineage = LineageGraph::new();
+    let (mgr, _) =
+        DurabilityManager::attach(&plain_dir, &store, &lineage, SyncPolicy::Fsync).unwrap();
+    for op in &ops {
+        apply(&store, op);
+    }
+    let plain = mgr.wal_stats();
+    drop(store);
+    drop(mgr);
+
+    // The same appends inside a bulk WAL window: syncs deferred to
+    // batch boundaries plus one covering sync at the end.
+    let store = Arc::new(ViewStore::new());
+    let lineage = LineageGraph::new();
+    let (mgr, _) =
+        DurabilityManager::attach(&bulk_dir, &store, &lineage, SyncPolicy::Fsync).unwrap();
+    let scope = store.wal_bulk_scope().expect("wal armed");
+    for op in &ops {
+        apply(&store, op);
+    }
+    scope.finish().expect("covering sync");
+    let bulk = mgr.wal_stats();
+    drop(store);
+    drop(mgr);
+
+    assert_eq!(plain.frames, OPS as u64);
+    assert_eq!(bulk.frames, OPS as u64);
+    assert!(
+        plain.syncs >= plain.frames,
+        "record-at-a-time issues one fsync per record ({} < {})",
+        plain.syncs,
+        plain.frames
+    );
+    assert!(
+        bulk.syncs * 10 <= bulk.frames,
+        "the bulk window must save >=10x fsyncs: {} syncs for {} frames",
+        bulk.syncs,
+        bulk.frames
+    );
+    assert!(bulk.syncs_saved() > 0);
+
+    // Grouping changes when data reaches disk, never what is written:
+    // the two logs are byte-identical.
+    let a = std::fs::read(plain_dir.join("wal-1.idmlog")).unwrap();
+    let b = std::fs::read(bulk_dir.join("wal-1.idmlog")).unwrap();
+    assert_eq!(a, b, "bulk window altered the log bytes");
+
+    // Both recover to the full workload state, byte for byte.
+    let (ra, _, _, _) = DurabilityManager::open(&plain_dir, SyncPolicy::WriteBack).unwrap();
+    let (rb, _, _, _) = DurabilityManager::open(&bulk_dir, SyncPolicy::WriteBack).unwrap();
+    assert_same_state(&ra, &reference(&ops, OPS), "plain recovery");
+    assert_same_state(&rb, &reference(&ops, OPS), "bulk recovery");
+    std::fs::remove_dir_all(&plain_dir).ok();
+    std::fs::remove_dir_all(&bulk_dir).ok();
+}
+
+#[test]
+fn truncation_inside_coalesced_batches_recovers_the_exact_prefix() {
+    // Inserts applied through `insert_batch` in chunks: every WAL
+    // write is one coalesced multi-frame group. Killing at each frame
+    // boundary — including every boundary *inside* a group — must
+    // recover the exact insert prefix: frames, not groups, are the
+    // recovery unit.
+    const N: usize = 96;
+    const CHUNK: usize = 16;
+    let dir = tmp("gc-batches");
+    let store = Arc::new(ViewStore::new());
+    let lineage = LineageGraph::new();
+    let (mgr, _) = DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::Fsync).unwrap();
+    let texts: Vec<(String, String)> = (0..N)
+        .map(|i| (format!("batched-{i}.txt"), format!("bulk insert {i}")))
+        .collect();
+    for chunk in texts.chunks(CHUNK) {
+        let records = chunk
+            .iter()
+            .map(|(name, text)| store.build(name.clone()).text(text.clone()).into_record())
+            .collect();
+        store.insert_batch(records);
+    }
+    let stats = mgr.wal_stats();
+    assert_eq!(stats.frames, N as u64);
+    assert_eq!(
+        stats.groups,
+        (N / CHUNK) as u64,
+        "one write group per chunk"
+    );
+    assert_eq!(stats.largest_group, CHUNK as u64);
+    assert_eq!(stats.syncs, stats.groups, "one covering fsync per group");
+    drop(store);
+    drop(mgr);
+
+    let wal = std::fs::read(dir.join("wal-1.idmlog")).unwrap();
+    let segment = read_segment(&dir.join("wal-1.idmlog")).unwrap();
+    assert_eq!(segment.records.len(), N);
+    let mut boundaries = vec![8u64];
+    boundaries.extend(&segment.boundaries);
+
+    // `insert_batch` promises the store image of one-at-a-time inserts,
+    // so the reference applies the same prefix sequentially.
+    let expected = |k: usize| {
+        let s = ViewStore::new();
+        for (name, text) in &texts[..k] {
+            s.build(name.clone()).text(text.clone()).insert();
+        }
+        s
+    };
+    for (k, &offset) in boundaries.iter().enumerate() {
+        let case = truncated_copy(&dir, &format!("gb{k}"), &wal[..offset as usize]);
+        let (recovered, _, _, report) =
+            DurabilityManager::open(&case, SyncPolicy::WriteBack).expect("recovery");
+        assert_eq!(report.records_replayed, k as u64, "boundary {k}");
+        assert_same_state(
+            &recovered,
+            &expected(k),
+            &format!("batch-interior boundary {k}"),
+        );
+        std::fs::remove_dir_all(&case).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ---- arbitrary damage is always a clean prefix ----------------------------
 
 /// A position-independent fingerprint of a store's full extensional
@@ -569,6 +700,62 @@ mod injected {
                 &recovered,
                 &reference(&ops, logged),
                 &format!("torn write at {torn_at}"),
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn torn_coalesced_batch_keeps_every_acknowledged_record() {
+        // Six 16-record `insert_batch` groups under Fsync; write number
+        // 3 (the third group's single coalesced buffer) tears down to
+        // `keep` bytes, then the writer dies. Batches 1–2 were
+        // acknowledged by their covering fsyncs, so recovery must keep
+        // all 32 of their records, plus only *complete* frames of the
+        // torn group — an exact prefix, never a torn record.
+        const N: usize = 96;
+        const CHUNK: usize = 16;
+        let texts: Vec<(String, String)> = (0..N)
+            .map(|i| (format!("batched-{i}.txt"), format!("bulk insert {i}")))
+            .collect();
+        let expected = |k: usize| {
+            let s = ViewStore::new();
+            for (name, text) in &texts[..k] {
+                s.build(name.clone()).text(text.clone()).insert();
+            }
+            s
+        };
+        for keep in [0usize, 1, 9, 120, 700] {
+            let dir = tmp(&format!("gctorn{keep}"));
+            let store = Arc::new(ViewStore::new());
+            let lineage = LineageGraph::new();
+            let (mgr, _) =
+                DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::Fsync).unwrap();
+            mgr.wal()
+                .fault_point()
+                .install(FaultPlan::torn_write(3, keep));
+            for chunk in texts.chunks(CHUNK) {
+                let records = chunk
+                    .iter()
+                    .map(|(name, text)| store.build(name.clone()).text(text.clone()).into_record())
+                    .collect();
+                store.insert_batch(records);
+            }
+            assert!(mgr.wal().ensure_healthy().is_err(), "sticky death surfaces");
+            drop(store);
+            drop(mgr);
+
+            let (recovered, _, _, report) =
+                DurabilityManager::open(&dir, SyncPolicy::WriteBack).expect("recovery");
+            let prefix = report.records_replayed as usize;
+            assert!(
+                (2 * CHUNK..3 * CHUNK).contains(&prefix),
+                "keep {keep}: expected the two acked groups plus part of the third, got {prefix}"
+            );
+            assert_same_state(
+                &recovered,
+                &expected(prefix),
+                &format!("torn group, keep {keep}"),
             );
             std::fs::remove_dir_all(&dir).ok();
         }

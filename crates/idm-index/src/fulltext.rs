@@ -32,6 +32,34 @@ struct Inner {
 /// Exported posting lists: `(term, [(vid, positions)])`.
 pub type ExportedPostings = Vec<(String, Vec<(u64, Vec<u32>)>)>;
 
+/// A document pre-tokenized off the index lock: term → positions, plus
+/// the total token count. Built by [`pretokenize`] (possibly on a
+/// worker thread) and applied with [`FullTextIndex::index_pretokenized`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PretokenizedDoc {
+    per_term: BTreeMap<String, Vec<u32>>,
+    tokens: u64,
+}
+
+/// Tokenizes `text` into the form [`FullTextIndex::index_pretokenized`]
+/// consumes — the CPU-heavy half of indexing, safe to run in parallel
+/// per document. Returns `None` when the text yields no tokens.
+pub fn pretokenize(text: &str) -> Option<PretokenizedDoc> {
+    let tokens = tokenize(text);
+    if tokens.is_empty() {
+        return None;
+    }
+    let count = tokens.len() as u64;
+    let mut per_term: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for token in tokens {
+        per_term.entry(token.term).or_default().push(token.position);
+    }
+    Some(PretokenizedDoc {
+        per_term,
+        tokens: count,
+    })
+}
+
 /// The inverted full-text index.
 #[derive(Default)]
 pub struct FullTextIndex {
@@ -49,19 +77,19 @@ impl FullTextIndex {
     /// A vid must be indexed at most once; re-indexing requires
     /// [`FullTextIndex::remove`] first.
     pub fn index(&self, vid: Vid, text: &str) {
-        let tokens = tokenize(text);
-        if tokens.is_empty() {
-            return;
+        if let Some(doc) = pretokenize(text) {
+            self.index_pretokenized(vid, doc);
         }
+    }
+
+    /// Merges a document tokenized by [`pretokenize`] — the cheap,
+    /// lock-holding half of [`FullTextIndex::index`], used by the bulk
+    /// segment-merge path.
+    pub fn index_pretokenized(&self, vid: Vid, doc: PretokenizedDoc) {
         let mut inner = self.inner.write();
         inner.documents += 1;
-        inner.tokens += tokens.len() as u64;
-        // Group positions per term.
-        let mut per_term: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-        for token in tokens {
-            per_term.entry(token.term).or_default().push(token.position);
-        }
-        for (term, positions) in per_term {
+        inner.tokens += doc.tokens;
+        for (term, positions) in doc.per_term {
             let postings = inner.postings.entry(term).or_default();
             // Insertion keeps vid order if vids are indexed in order;
             // otherwise insert at the right position.

@@ -29,6 +29,7 @@ pub mod group;
 pub mod histogram;
 pub mod name;
 pub mod persist;
+pub mod segment;
 pub mod tokenizer;
 pub mod tuple;
 
@@ -38,5 +39,6 @@ pub use fulltext::FullTextIndex;
 pub use group::GroupReplica;
 pub use histogram::{HistogramIndex, Signature};
 pub use name::NameIndex;
+pub use segment::IndexSegment;
 pub use tokenizer::tokenize;
 pub use tuple::TupleIndex;

@@ -533,13 +533,9 @@ pub fn save_with_epoch(bundle: &IndexBundle, path: &Path, epoch: u64) -> io::Res
         file.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = std::fs::File::open(parent) {
-            // Durability of the rename itself; best-effort like the
-            // snapshot writer (some filesystems refuse directory fsync).
-            let _ = dir.sync_all();
-        }
-    }
+    // Durability of the rename itself; real fsync errors propagate,
+    // only cannot-sync-directories platforms stay silent.
+    idm_core::durability::snapshot::sync_parent_dir(path)?;
     Ok(())
 }
 

@@ -1,0 +1,240 @@
+//! Deferred index segments for bulk ingest.
+//!
+//! The record-at-a-time path ([`IndexBundle::index_view`]) interleaves
+//! tokenization (CPU-heavy) with index-lock acquisition per view. Bulk
+//! ingest instead *builds* an [`IndexSegment`] per chunk of views — all
+//! store reads and tokenization, no index locks, safe to run on scoped
+//! worker threads — and then *merges* the finished segments into the
+//! live bundle in chunk order ([`IndexBundle::merge_segment`]).
+//!
+//! Merge invariants:
+//!
+//! - Chunks partition the ingest's vid-sorted view list contiguously,
+//!   and segments are merged in chunk order, so every per-index insert
+//!   happens in ascending-vid order — exactly the order the sequential
+//!   path produces, keeping posting lists and replicas byte-identical.
+//! - A segment captures the view *at build time*; like the sequential
+//!   path, mutations racing an ingest are reconciled by the later
+//!   re-index, not by the segment.
+//! - Segments are process-local staging only — nothing here persists.
+//!   The merged bundle is stamped with its LSN epoch at the next
+//!   checkpoint (`save_with_epoch`), same as sequential ingest.
+
+use idm_core::prelude::*;
+
+use crate::bundle::{is_texty, ContentIndexing, IndexBundle};
+use crate::catalog::CatalogEntry;
+use crate::fulltext::{pretokenize, PretokenizedDoc};
+
+/// One view's fully-prepared index contributions.
+#[derive(Debug)]
+struct SegmentEntry {
+    vid: Vid,
+    name: Option<String>,
+    tuple: Option<TupleComponent>,
+    doc: Option<PretokenizedDoc>,
+    members: Option<Vec<Vid>>,
+    outcome: ContentIndexing,
+    catalog: CatalogEntry,
+}
+
+/// A batch of views' index contributions, built off the live bundle
+/// (typically on a worker thread) and merged in with
+/// [`IndexBundle::merge_segment`].
+#[derive(Debug, Default)]
+pub struct IndexSegment {
+    entries: Vec<SegmentEntry>,
+    /// Total bytes handed to the content index (net input size).
+    net_input_bytes: u64,
+}
+
+impl IndexSegment {
+    /// Prepares the index contributions of `vids` (one contiguous chunk
+    /// of an ingest's view list). Reads the store — under its shard
+    /// read locks — and tokenizes content, but touches no index.
+    pub fn build(store: &ViewStore, vids: &[Vid], source: &str) -> Result<IndexSegment> {
+        let mut segment = IndexSegment {
+            entries: Vec::with_capacity(vids.len()),
+            net_input_bytes: 0,
+        };
+        for &vid in vids {
+            let name = store.with_name(vid, |name| name.map(ToOwned::to_owned))?;
+            let tuple = store.with_tuple(vid, |tuple| tuple.cloned())?;
+
+            let content = store.content(vid)?;
+            let mut doc = None;
+            let outcome = if content.is_empty() {
+                ContentIndexing::Empty
+            } else if content.is_finite() {
+                let bytes = content.bytes()?;
+                if is_texty(&bytes) {
+                    doc = pretokenize(&String::from_utf8_lossy(&bytes));
+                    segment.net_input_bytes += bytes.len() as u64;
+                    ContentIndexing::Indexed { bytes: bytes.len() }
+                } else {
+                    ContentIndexing::Skipped
+                }
+            } else {
+                ContentIndexing::Skipped
+            };
+
+            // Group members: materialized only, mirroring
+            // `IndexBundle::index_components`.
+            let members = match &store.group_handle(vid)? {
+                Group::Materialized(data) => Some(data.members().collect::<Vec<Vid>>()),
+                Group::Lazy(lazy) => {
+                    if lazy.is_materialized() {
+                        // Re-force returns the cached value without computing.
+                        Some(lazy.force(store, vid)?.members().collect())
+                    } else {
+                        None
+                    }
+                }
+                Group::Empty | Group::InfiniteSeq(_) => None,
+            };
+
+            let content_size = match outcome {
+                ContentIndexing::Indexed { bytes } => Some(bytes as u64),
+                _ => content.size_hint(),
+            };
+            let catalog = CatalogEntry {
+                vid: vid.as_u64(),
+                name: name.clone().unwrap_or_default(),
+                class: store.class(vid)?.map(|c| store.classes().name(c)),
+                source: source.to_owned(),
+                content_size,
+                content_indexed: matches!(outcome, ContentIndexing::Indexed { .. }),
+            };
+
+            segment.entries.push(SegmentEntry {
+                vid,
+                name,
+                tuple,
+                doc,
+                members,
+                outcome,
+                catalog,
+            });
+        }
+        Ok(segment)
+    }
+
+    /// Number of views in the segment.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the segment holds no views.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes handed to the content index.
+    pub fn net_input_bytes(&self) -> u64 {
+        self.net_input_bytes
+    }
+
+    /// Per-view content outcomes, in segment order (for stats).
+    pub fn outcomes(&self) -> impl Iterator<Item = (Vid, ContentIndexing)> + '_ {
+        self.entries.iter().map(|e| (e.vid, e.outcome))
+    }
+}
+
+impl IndexBundle {
+    /// Merges a prepared segment into the live structures. Cheap
+    /// relative to [`IndexSegment::build`]: tokenization is done, so
+    /// this is pure insertion under the per-index locks. Call in chunk
+    /// order to keep insert order identical to the sequential path.
+    pub fn merge_segment(&self, segment: IndexSegment) {
+        for entry in segment.entries {
+            if let Some(name) = &entry.name {
+                self.name.index(entry.vid, name);
+            }
+            if let Some(tuple) = &entry.tuple {
+                self.tuple.index(entry.vid, tuple);
+            }
+            if let Some(doc) = entry.doc {
+                self.content.index_pretokenized(entry.vid, doc);
+            }
+            if let Some(members) = &entry.members {
+                self.group.index(entry.vid, members);
+            }
+            self.catalog.register(entry.catalog);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::CompareOp;
+
+    fn populate(store: &ViewStore, n: usize) -> Vec<Vid> {
+        (0..n)
+            .map(|i| {
+                let child = store.build(format!("child{i}")).insert();
+                store
+                    .build(format!("doc{i}.txt"))
+                    .tuple(TupleComponent::of(vec![("size", Value::Integer(i as i64))]))
+                    .text(format!("segment document {i} about dataspaces"))
+                    .children(vec![child])
+                    .insert()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn segment_merge_matches_sequential_indexing() {
+        let store = ViewStore::new();
+        let vids = populate(&store, 8);
+
+        let sequential = IndexBundle::new();
+        for &vid in &vids {
+            sequential.index_view(&store, vid, "fs").unwrap();
+        }
+
+        let bulk = IndexBundle::new();
+        // Two chunks, merged in order.
+        let seg_a = IndexSegment::build(&store, &vids[..4], "fs").unwrap();
+        let seg_b = IndexSegment::build(&store, &vids[4..], "fs").unwrap();
+        assert_eq!(seg_a.len() + seg_b.len(), 8);
+        bulk.merge_segment(seg_a);
+        bulk.merge_segment(seg_b);
+
+        assert_eq!(
+            sequential.content.document_count(),
+            bulk.content.document_count()
+        );
+        assert_eq!(sequential.content.token_count(), bulk.content.token_count());
+        for &vid in &vids {
+            let seq_entry = sequential.catalog.entry(vid).unwrap();
+            let bulk_entry = bulk.catalog.entry(vid).unwrap();
+            assert_eq!(seq_entry, bulk_entry);
+            assert_eq!(sequential.group.children(vid), bulk.group.children(vid));
+        }
+        assert_eq!(
+            sequential.content.phrase_query("segment document"),
+            bulk.content.phrase_query("segment document"),
+        );
+        assert_eq!(
+            sequential
+                .tuple
+                .compare("size", CompareOp::Eq, &Value::Integer(3)),
+            bulk.tuple
+                .compare("size", CompareOp::Eq, &Value::Integer(3)),
+        );
+        assert_eq!(sequential.sizes().total(), bulk.sizes().total());
+    }
+
+    #[test]
+    fn segment_reports_net_input_bytes() {
+        let store = ViewStore::new();
+        let vid = store.build("a.txt").text("hello world").insert();
+        let seg = IndexSegment::build(&store, &[vid], "fs").unwrap();
+        assert_eq!(seg.net_input_bytes(), "hello world".len() as u64);
+        assert_eq!(
+            seg.outcomes().next().unwrap().1,
+            ContentIndexing::Indexed { bytes: 11 }
+        );
+    }
+}

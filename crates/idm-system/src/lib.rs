@@ -32,7 +32,9 @@ pub mod sync;
 
 pub use converter::{Content2IdmConverter, ConverterRegistry};
 pub use federation::{FederatedResult, FederatedRow, Federation};
-pub use rvm::{IngestReport, ResourceViewManager, SourceIngestStats};
+pub use rvm::{
+    BulkIngestOptions, IngestReport, IngestThroughput, ResourceViewManager, SourceIngestStats,
+};
 pub use source::{DataSourcePlugin, FsPlugin, ImapPlugin, Ingestion, RssPlugin};
 pub use sync::{ImapSynchronizationManager, SyncCoordinator, SyncDriver, SynchronizationManager};
 
@@ -145,12 +147,24 @@ impl Pdsms {
     /// epoch handshake — the stored bundle is used only if it was built
     /// against exactly the recovered store state, and rebuilt otherwise.
     pub fn open(dir: impl AsRef<Path>) -> Result<(Pdsms, OpenReport)> {
-        let dir = dir.as_ref();
-        let (store, lineage, manager, recovery) = idm_core::durability::DurabilityManager::open(
+        Pdsms::open_with(
             dir,
-            idm_core::durability::SyncPolicy::WriteBack,
+            idm_core::durability::DurabilityOptions::new(
+                idm_core::durability::SyncPolicy::WriteBack,
+            ),
         )
-        .map_err(durability_err)?;
+    }
+
+    /// [`Pdsms::open`] with explicit durability options (sync policy
+    /// and group-commit tuning).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: idm_core::durability::DurabilityOptions,
+    ) -> Result<(Pdsms, OpenReport)> {
+        let dir = dir.as_ref();
+        let (store, lineage, manager, recovery) =
+            idm_core::durability::DurabilityManager::open_with(dir, options)
+                .map_err(durability_err)?;
 
         let index_path = dir.join(INDEX_FILE);
         let (indexes, fate) = match idm_index::persist::load_with_epoch(&index_path) {
@@ -213,17 +227,32 @@ impl Pdsms {
         &mut self,
         dir: impl AsRef<Path>,
     ) -> Result<idm_core::durability::CheckpointStats> {
+        self.make_durable_with(
+            dir,
+            idm_core::durability::DurabilityOptions::new(
+                idm_core::durability::SyncPolicy::WriteBack,
+            ),
+        )
+    }
+
+    /// [`Pdsms::make_durable`] with explicit durability options (sync
+    /// policy and group-commit tuning).
+    pub fn make_durable_with(
+        &mut self,
+        dir: impl AsRef<Path>,
+        options: idm_core::durability::DurabilityOptions,
+    ) -> Result<idm_core::durability::CheckpointStats> {
         if self.durability.is_some() {
             return Err(IdmError::Parse {
                 detail: "dataspace is already durable".into(),
             });
         }
         let dir = dir.as_ref();
-        let (manager, stats) = idm_core::durability::DurabilityManager::attach(
+        let (manager, stats) = idm_core::durability::DurabilityManager::attach_with(
             dir,
             &self.store,
             &self.lineage,
-            idm_core::durability::SyncPolicy::WriteBack,
+            options,
         )
         .map_err(durability_err)?;
         idm_index::persist::save_with_epoch(&self.indexes, &dir.join(INDEX_FILE), stats.lsn)
@@ -323,6 +352,14 @@ impl Pdsms {
     /// still ingest and index.
     pub fn index_all_resilient(&self) -> IngestReport {
         self.rvm.ingest_all_resilient()
+    }
+
+    /// Like [`Pdsms::index_all`] but through the bulk pipeline: batched
+    /// store application, deferred parallel index-segment builds, and
+    /// grouped WAL syncs. Returns the full report including
+    /// [`IngestThroughput`] counters.
+    pub fn index_all_bulk(&self, options: &BulkIngestOptions) -> Result<IngestReport> {
+        self.rvm.ingest_all_bulk(options)
     }
 
     /// The fault counters shared by every source guard of this system

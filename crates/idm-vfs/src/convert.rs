@@ -55,6 +55,25 @@ impl ContentProvider for FileContentProvider {
 /// components — necessary because folder links may point anywhere,
 /// including ancestors (cycles).
 pub fn materialize(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Result<FsMapping> {
+    materialize_with(fs, store, from, false)
+}
+
+/// [`materialize`], but pass 1 collects the whole subtree's view
+/// records and inserts them through [`ViewStore::insert_batch`] — one
+/// shard-lock acquisition per involved shard and one WAL group commit
+/// for the entire subtree, instead of one of each per node. The
+/// resulting store image is identical (vids are minted by the same
+/// monotone counter in walk order).
+pub fn materialize_bulk(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Result<FsMapping> {
+    materialize_with(fs, store, from, true)
+}
+
+fn materialize_with(
+    fs: &Arc<VirtualFs>,
+    store: &ViewStore,
+    from: NodeId,
+    bulk: bool,
+) -> Result<FsMapping> {
     let file_class = store
         .classes()
         .require(idm_core::class::builtin::names::FILE)?;
@@ -69,6 +88,7 @@ pub fn materialize(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Resu
     let mut by_node: HashMap<NodeId, Vid> = HashMap::with_capacity(nodes.len());
 
     // Pass 1: mint views with η, τ, χ.
+    let mut batch = Vec::with_capacity(if bulk { nodes.len() } else { 0 });
     for (node, _depth) in &nodes {
         let name = fs.name(*node)?;
         let meta = fs.metadata(*node)?;
@@ -87,7 +107,17 @@ pub fn materialize(fs: &Arc<VirtualFs>, store: &ViewStore, from: NodeId) -> Resu
             // (wired in pass 2).
             NodeKind::FolderLink => builder.class(link_class),
         };
-        by_node.insert(*node, builder.insert());
+        if bulk {
+            batch.push(builder.into_record());
+        } else {
+            by_node.insert(*node, builder.insert());
+        }
+    }
+    if bulk {
+        let vids = store.insert_batch(batch);
+        for ((node, _depth), vid) in nodes.iter().zip(vids) {
+            by_node.insert(*node, vid);
+        }
     }
 
     // Pass 2: wire groups.
@@ -254,6 +284,25 @@ mod tests {
         let projects = mapping.view_of(fs.resolve("/Projects").unwrap()).unwrap();
         // Projects →* Projects via PIM → All Projects → Projects.
         assert!(graph::is_indirectly_related(&store, projects, projects).unwrap());
+    }
+
+    #[test]
+    fn bulk_materialize_matches_sequential() {
+        let fs = figure1_fs();
+        let seq_store = ViewStore::new();
+        let seq = materialize(&fs, &seq_store, NodeId::ROOT).unwrap();
+        let bulk_store = ViewStore::new();
+        let bulk = materialize_bulk(&fs, &bulk_store, NodeId::ROOT).unwrap();
+
+        assert_eq!(seq.root, bulk.root);
+        assert_eq!(seq.by_node, bulk.by_node);
+        for vid in seq_store.vids() {
+            assert_eq!(seq_store.name(vid).unwrap(), bulk_store.name(vid).unwrap());
+            assert_eq!(
+                seq_store.group(vid).unwrap().finite_members(),
+                bulk_store.group(vid).unwrap().finite_members()
+            );
+        }
     }
 
     #[test]

@@ -42,14 +42,24 @@ impl Shell {
             Arc::clone(&dataset.feeds),
             dataset.feed_urls.clone(),
         )));
-        let start = Instant::now();
-        let stats = system.index_all().expect("ingestion");
-        let total: usize = stats.iter().map(|s| s.total_views()).sum();
+        let report = system
+            .index_all_bulk(&imemex::system::BulkIngestOptions::default())
+            .expect("ingestion");
+        let t = &report.throughput;
         println!(
-            "indexed {total} resource views from {} sources in {:.2}s",
-            stats.len(),
-            start.elapsed().as_secs_f64()
+            "indexed {} resource views from {} sources in {:.2}s ({:.0} views/s, {} index segments)",
+            t.views,
+            report.stats.len(),
+            t.elapsed.as_secs_f64(),
+            t.views_per_sec(),
+            t.segments
         );
+        if t.wal_records > 0 {
+            println!(
+                "wal: {} records in {} write groups, {} fsyncs ({} saved vs one-per-record)",
+                t.wal_records, t.wal_batches, t.fsyncs, t.fsyncs_saved
+            );
+        }
         let processor = system.query_processor();
         Shell {
             system,
