@@ -34,6 +34,46 @@ impl fmt::Display for SubstrateFaultKind {
     }
 }
 
+/// Which per-query resource limit was exhausted.
+///
+/// Query execution is governed at runtime (the nested model makes
+/// plan-time cost prediction unreliable): a query carries a budget of
+/// wall-clock time, accounted memory, produced rows and expanded graph
+/// nodes, and the admission gate in front of the executor adds queueing
+/// limits. Exceeding any of them raises
+/// [`IdmError::ResourceExhausted`] tagged with the kind that tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// The wall-clock deadline passed before the query finished.
+    WallClock,
+    /// The accounted-bytes memory budget was exceeded.
+    MemoryBytes,
+    /// The produced-row cap was exceeded.
+    Rows,
+    /// The expanded-graph-node cap was exceeded.
+    Nodes,
+    /// The query expired while waiting in the admission queue.
+    QueueWait,
+    /// The admission queue was full — the query was shed, never run.
+    Concurrency,
+    /// An external cancellation (cancel token) stopped the query.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::WallClock => write!(f, "wall-clock deadline"),
+            BudgetKind::MemoryBytes => write!(f, "memory bytes"),
+            BudgetKind::Rows => write!(f, "result rows"),
+            BudgetKind::Nodes => write!(f, "expanded nodes"),
+            BudgetKind::QueueWait => write!(f, "admission-queue wait"),
+            BudgetKind::Concurrency => write!(f, "concurrent queries"),
+            BudgetKind::Cancelled => write!(f, "cancellation"),
+        }
+    }
+}
+
 /// Errors raised by the iDM core model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IdmError {
@@ -79,6 +119,22 @@ pub enum IdmError {
         attempt: u32,
         /// Description of the failure.
         detail: String,
+    },
+    /// A per-query resource budget was exhausted before the query
+    /// finished. Not retryable as-is (the same budget fails the same
+    /// way), but degradable: callers that opted into partial results
+    /// receive the rows produced so far instead of this error.
+    ResourceExhausted {
+        /// Which limit tripped.
+        budget: BudgetKind,
+        /// How much was consumed when it tripped (ms for wall clock,
+        /// bytes/rows/nodes for the others, queue depth for shedding).
+        consumed: u64,
+        /// The configured limit.
+        limit: u64,
+        /// The execution phase that hit the limit (an operator label
+        /// such as `"relate"`, or `"admission"` for queue shedding).
+        phase: String,
     },
     /// An operation that requires a finite component met an infinite one.
     InfiniteComponent {
@@ -135,6 +191,29 @@ impl IdmError {
         }
     }
 
+    /// A resource-budget exhaustion in `phase`.
+    pub fn resource_exhausted(
+        budget: BudgetKind,
+        consumed: u64,
+        limit: u64,
+        phase: impl Into<String>,
+    ) -> Self {
+        IdmError::ResourceExhausted {
+            budget,
+            consumed,
+            limit,
+            phase: phase.into(),
+        }
+    }
+
+    /// The exhausted budget kind, if this is a resource-governance error.
+    pub fn budget_kind(&self) -> Option<BudgetKind> {
+        match self {
+            IdmError::ResourceExhausted { budget, .. } => Some(*budget),
+            _ => None,
+        }
+    }
+
     /// The substrate fault classification, if this is a substrate error.
     pub fn substrate_kind(&self) -> Option<SubstrateFaultKind> {
         match self {
@@ -163,12 +242,19 @@ impl IdmError {
         }
     }
 
-    /// Whether a degraded read (serving a stale last-known-good value)
-    /// is an acceptable answer to this failure. True for substrate and
-    /// provider failures — the data existed, the access path is down —
-    /// and false for model errors, which no cache entry can paper over.
+    /// Whether a degraded read (serving a stale last-known-good value,
+    /// or a partial result) is an acceptable answer to this failure.
+    /// True for substrate and provider failures — the data existed, the
+    /// access path is down — and for resource exhaustion — the rows
+    /// produced before the budget tripped are valid, just incomplete.
+    /// False for model errors, which no cache entry can paper over.
     pub fn is_degradable(&self) -> bool {
-        matches!(self, IdmError::Substrate { .. } | IdmError::Provider { .. })
+        matches!(
+            self,
+            IdmError::Substrate { .. }
+                | IdmError::Provider { .. }
+                | IdmError::ResourceExhausted { .. }
+        )
     }
 
     /// Attaches a data source name to a provider/substrate error
@@ -265,6 +351,17 @@ impl fmt::Display for IdmError {
                     "substrate '{source}' failed ({kind}, attempt {attempt}): {detail}"
                 )
             }
+            IdmError::ResourceExhausted {
+                budget,
+                consumed,
+                limit,
+                phase,
+            } => {
+                write!(
+                    f,
+                    "resource budget exhausted in {phase}: {budget} at {consumed} of {limit}"
+                )
+            }
             IdmError::InfiniteComponent { detail } => {
                 write!(f, "operation requires a finite component: {detail}")
             }
@@ -324,6 +421,22 @@ mod tests {
             Some(SubstrateFaultKind::Timeout)
         );
         assert_eq!(IdmError::provider("x").substrate_kind(), None);
+    }
+
+    #[test]
+    fn resource_exhaustion_is_degradable_but_not_retryable() {
+        let e = IdmError::resource_exhausted(BudgetKind::WallClock, 52, 10, "relate");
+        assert!(!e.is_retryable(), "rerunning with the same budget fails");
+        assert!(
+            e.is_degradable(),
+            "partial results are an acceptable answer"
+        );
+        assert_eq!(e.budget_kind(), Some(BudgetKind::WallClock));
+        assert_eq!(e.substrate_kind(), None);
+        let text = e.to_string();
+        assert!(text.contains("relate"), "{text}");
+        assert!(text.contains("52 of 10"), "{text}");
+        assert!(IdmError::provider("x").budget_kind().is_none());
     }
 
     #[test]

@@ -58,10 +58,10 @@ pub mod prelude {
     pub use crate::class::{builtin, ClassId, ClassRegistry, Constraints};
     pub use crate::content::{Content, ContentProvider, ContentReader, SymbolSource};
     pub use crate::durability::{CheckpointStats, DurabilityManager, RecoveryReport, SyncPolicy};
-    pub use crate::error::{IdmError, Result, SubstrateFaultKind};
+    pub use crate::error::{BudgetKind, IdmError, Result, SubstrateFaultKind};
     pub use crate::fault::{
-        BreakerState, CircuitBreaker, FaultAction, FaultCounters, FaultInjector, FaultPlan,
-        FaultPoint, FaultStats, RetryPolicy, SourceGuard,
+        BreakerState, CancelToken, CircuitBreaker, FaultAction, FaultCounters, FaultInjector,
+        FaultPlan, FaultPoint, FaultStats, RetryPolicy, SourceGuard,
     };
     pub use crate::group::{Group, GroupData, GroupProvider, ViewSequenceSource};
     pub use crate::store::{

@@ -365,6 +365,12 @@ struct ResultCacheInner {
 /// read-heavy phases, which is why [`crate::exec::QueryProcessor`]
 /// exposes it through the opt-in `execute_cached` path rather than
 /// every `execute` call.
+///
+/// **Only complete results belong here.** A budget-truncated
+/// (`stats.partial`) result is a sound *subset* of the true rows;
+/// admitting one would serve it as the complete answer until the next
+/// invalidating change event. The insert site in `execute_cached`
+/// checks `partial` before keying.
 pub struct ResultCache {
     inner: Mutex<ResultCacheInner>,
     capacity: usize,

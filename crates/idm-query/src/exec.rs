@@ -23,6 +23,7 @@ use idm_core::prelude::*;
 use idm_index::IndexBundle;
 
 use crate::ast::*;
+use crate::budget::{BudgetConsumption, BudgetTracker, QueryBudget, Tick};
 use crate::cache::{ExpansionCache, ResultCache};
 use crate::par;
 use crate::parser::parse;
@@ -62,6 +63,11 @@ pub struct ExecOptions {
     /// forward expansion for the forced edges to be seen; reverse edges
     /// always come from the replica.
     pub live_expansion: bool,
+    /// Resource limits for each query this processor runs (deadline,
+    /// memory/row/node caps, partial-result opt-in). The default is
+    /// unlimited, which keeps the governed hot path bit-identical to
+    /// ungoverned execution.
+    pub budget: QueryBudget,
 }
 
 impl Default for ExecOptions {
@@ -74,6 +80,7 @@ impl Default for ExecOptions {
             parallelism: 1,
             cache_capacity: 4096,
             live_expansion: false,
+            budget: QueryBudget::none(),
         }
     }
 }
@@ -108,6 +115,19 @@ pub struct ExecStats {
     /// Whole results served from the [`ResultCache`] (only via
     /// [`QueryProcessor::execute_cached`]).
     pub result_cache_hits: u64,
+    /// Whether a partial-mode budget tripped and truncated this result
+    /// to a sound subset of the true rows. Always `false` on unbudgeted
+    /// and strict-mode successes; partial results are never admitted to
+    /// the [`ResultCache`].
+    pub partial: bool,
+    /// The limit that tripped first, when `partial` (or, for a probe
+    /// budget, never — probes only count).
+    pub exhausted: Option<idm_core::error::BudgetKind>,
+    /// Per-budget consumption counters (rows/nodes/bytes/checkpoints).
+    /// All zero for unbudgeted queries — the disabled tracker counts
+    /// nothing, keeping unbudgeted `ExecStats` bit-identical across
+    /// reruns.
+    pub consumed: BudgetConsumption,
 }
 
 /// Result rows: plain views, or pairs for joins.
@@ -229,6 +249,11 @@ impl QueryProcessor {
         self.options.expansion = strategy;
     }
 
+    /// Sets the resource budget applied to every subsequent query.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.options.budget = budget;
+    }
+
     /// The view store this processor reads from.
     pub fn view_store(&self) -> &Arc<ViewStore> {
         &self.store
@@ -258,8 +283,12 @@ impl QueryProcessor {
         self.cache.drain_invalidations();
         let before = self.cache.counters();
         let fault_before = self.fault_stats.as_ref().map(|s| s.snapshot());
+        let tracker = BudgetTracker::start(self.options.budget);
         let mut stats = ExecStats::default();
-        let rows = self.eval_node(&plan.root, &mut stats)?;
+        let rows = self.eval_node(&plan.root, &mut stats, &tracker)?;
+        stats.partial = tracker.tripped();
+        stats.exhausted = tracker.exhaustion();
+        stats.consumed = tracker.consumption();
         let after = self.cache.counters();
         stats.cache_hits = after.hits - before.hits;
         stats.cache_misses = after.misses - before.misses;
@@ -289,7 +318,12 @@ impl QueryProcessor {
             return Ok(QueryResult { rows, stats });
         }
         let result = self.execute_plan(&plan)?;
-        self.results.insert(fingerprint, result.rows.clone());
+        // A truncated (partial-budget) result is a subset of the true
+        // rows; caching it would serve it as complete until the next
+        // invalidating change event. Only full results are admitted.
+        if !result.stats.partial {
+            self.results.insert(fingerprint, result.rows.clone());
+        }
         Ok(result)
     }
 
@@ -324,19 +358,42 @@ impl QueryProcessor {
 
     /// Evaluates one plan node. Every node executes exactly once (no
     /// operator short-circuits), so the per-kind counters in
-    /// `stats.ops` always equal [`Plan::operator_counts`].
-    fn eval_node(&self, node: &PlanNode, stats: &mut ExecStats) -> Result<ResultRows> {
+    /// `stats.ops` always equal [`Plan::operator_counts`] — including
+    /// under a partial-mode budget, where nodes past the truncation
+    /// point are still visited but do O(1) work and return sound
+    /// subsets (empty leaves; combinations of subsets).
+    ///
+    /// Cooperative cancellation: every node entry is a checkpoint. In
+    /// strict mode a tripped budget unwinds from here as
+    /// [`IdmError::ResourceExhausted`]; no shard lock or scoped thread
+    /// outlives the unwind (store reads release their shard on return,
+    /// `par` helpers always join).
+    fn eval_node(
+        &self,
+        node: &PlanNode,
+        stats: &mut ExecStats,
+        tracker: &BudgetTracker,
+    ) -> Result<ResultRows> {
+        tracker.checkpoint(node.op.label())?;
         match &node.op {
             PlanOp::IndexAccess(access) => {
                 stats.ops.index_accesses += 1;
+                if tracker.tripped() {
+                    return Ok(ResultRows::Views(Vec::new()));
+                }
                 let vids = self.eval_access(access);
                 stats.candidates_examined += vids.len();
+                tracker.charge_rows(vids.len(), "index-access")?;
                 Ok(ResultRows::Views(vids))
             }
             PlanOp::Scan => {
                 stats.ops.scans += 1;
+                if tracker.tripped() {
+                    return Ok(ResultRows::Views(Vec::new()));
+                }
                 let vids = self.all_vids();
                 stats.candidates_examined += vids.len();
+                tracker.charge_rows(vids.len(), "scan")?;
                 Ok(ResultRows::Views(vids))
             }
             PlanOp::Intersect(inputs) => {
@@ -344,25 +401,32 @@ impl QueryProcessor {
                 // Inputs arrive in the planner's order (smallest
                 // estimate first); intersect left to right. Every leaf
                 // list is sorted, so the running intersection stays
-                // sorted regardless of the chosen order.
+                // sorted regardless of the chosen order. All inputs are
+                // always evaluated (ops invariant); under truncation
+                // each input yields a subset, and an intersection of
+                // subsets is a subset of the true intersection.
                 let mut iter = inputs.iter();
                 let mut acc = match iter.next() {
-                    Some(first) => self.eval_node(first, stats)?.views(),
+                    Some(first) => self.eval_node(first, stats, tracker)?.views(),
                     None => Vec::new(),
                 };
                 for input in iter {
-                    let set: HashSet<Vid> =
-                        self.eval_node(input, stats)?.views().into_iter().collect();
+                    let set: HashSet<Vid> = self
+                        .eval_node(input, stats, tracker)?
+                        .views()
+                        .into_iter()
+                        .collect();
                     acc.retain(|v| set.contains(v));
                 }
                 stats.candidates_examined += acc.len();
+                tracker.charge_rows(acc.len(), "intersect")?;
                 Ok(ResultRows::Views(acc))
             }
             PlanOp::UnionOp(inputs) => {
                 stats.ops.unions += 1;
                 let mut acc: Vec<Vid> = Vec::new();
                 for input in inputs {
-                    match self.eval_node(input, stats)? {
+                    match self.eval_node(input, stats, tracker)? {
                         ResultRows::Views(v) => acc.extend(v),
                         ResultRows::Pairs(_) => {
                             return Err(IdmError::Parse {
@@ -374,19 +438,28 @@ impl QueryProcessor {
                 acc.sort();
                 acc.dedup();
                 stats.candidates_examined += acc.len();
+                tracker.charge_rows(acc.len(), "union")?;
                 Ok(ResultRows::Views(acc))
             }
             PlanOp::Complement(exclude) => {
                 stats.ops.complements += 1;
                 let exclude: HashSet<Vid> = self
-                    .eval_node(exclude, stats)?
+                    .eval_node(exclude, stats, tracker)?
                     .views()
                     .into_iter()
                     .collect();
+                // The one inverting operator: complementing a truncated
+                // (subset) input would yield a *superset* of the true
+                // result, so once the budget has tripped this returns
+                // empty — the only sound subset it can still produce.
+                if tracker.tripped() {
+                    return Ok(ResultRows::Views(Vec::new()));
+                }
                 // Full scan over the catalog; chunked across workers when
                 // parallelism is enabled (order-preserving either way).
                 let vids = par::filter(self.all_vids(), self.threads(), |v| !exclude.contains(v));
                 stats.candidates_examined += vids.len();
+                tracker.charge_rows(vids.len(), "complement")?;
                 Ok(ResultRows::Views(vids))
             }
             PlanOp::Relate {
@@ -396,10 +469,10 @@ impl QueryProcessor {
                 strategy,
             } => {
                 stats.ops.relates += 1;
-                let ctx = self.eval_node(context, stats)?.views();
-                let cand = self.eval_node(candidates, stats)?.views();
+                let ctx = self.eval_node(context, stats, tracker)?.views();
+                let cand = self.eval_node(candidates, stats, tracker)?.views();
                 Ok(ResultRows::Views(
-                    self.relate(&ctx, cand, *axis, *strategy, stats),
+                    self.relate(&ctx, cand, *axis, *strategy, stats, tracker)?,
                 ))
             }
             PlanOp::HashJoin {
@@ -411,9 +484,16 @@ impl QueryProcessor {
                 ..
             } => {
                 stats.ops.hash_joins += 1;
-                let left_rows = self.eval_node(left, stats)?.views();
-                let right_rows = self.eval_node(right, stats)?.views();
-                Ok(self.hash_join(left_rows, right_rows, left_field, right_field, *build))
+                let left_rows = self.eval_node(left, stats, tracker)?.views();
+                let right_rows = self.eval_node(right, stats, tracker)?.views();
+                self.hash_join(
+                    left_rows,
+                    right_rows,
+                    left_field,
+                    right_field,
+                    *build,
+                    tracker,
+                )
             }
         }
     }
@@ -481,9 +561,12 @@ impl QueryProcessor {
         axis: Axis,
         strategy: ExpansionStrategy,
         stats: &mut ExecStats,
-    ) -> Vec<Vid> {
-        if context.is_empty() || candidates.is_empty() {
-            return Vec::new();
+        tracker: &BudgetTracker,
+    ) -> Result<Vec<Vid>> {
+        if context.is_empty() || candidates.is_empty() || tracker.tripped() {
+            // Empty is always a sound subset; a tripped partial budget
+            // lands here from later plan nodes at O(1) cost.
+            return Ok(Vec::new());
         }
         let strategy = match strategy {
             ExpansionStrategy::Bidirectional => {
@@ -498,60 +581,82 @@ impl QueryProcessor {
         let threads = self.threads();
         match (strategy, axis) {
             (ExpansionStrategy::Forward, Axis::Child) => {
+                // Truncation soundness: stopping mid-context leaves
+                // `reachable` a subset, and filtering candidates against
+                // a subset keeps a subset.
                 let mut reachable: HashSet<Vid> = HashSet::new();
                 if threads <= 1 {
                     for &vid in context {
+                        if tracker.checkpoint("relate")? == Tick::Truncate {
+                            break;
+                        }
                         let children = self.children_of(vid);
                         stats.nodes_expanded += children.len();
+                        tracker.charge_nodes(children.len(), "relate")?;
                         reachable.extend(children);
                     }
                 } else {
-                    for children in par::map_chunks(context, threads, |_, chunk| {
-                        chunk
-                            .iter()
-                            .flat_map(|&vid| self.children_of(vid))
-                            .collect::<Vec<Vid>>()
-                    }) {
+                    for children in par::try_map_chunks(context, threads, |_, chunk| {
+                        let mut out: Vec<Vid> = Vec::new();
+                        for &vid in chunk {
+                            if tracker.checkpoint("relate")? == Tick::Truncate {
+                                break;
+                            }
+                            let children = self.children_of(vid);
+                            tracker.charge_nodes(children.len(), "relate")?;
+                            out.extend(children);
+                        }
+                        Ok::<_, IdmError>(out)
+                    })? {
                         stats.nodes_expanded += children.len();
                         reachable.extend(children);
                     }
                 }
-                par::filter(candidates, threads, |v| reachable.contains(v))
+                Ok(par::filter(candidates, threads, |v| reachable.contains(v)))
             }
             (ExpansionStrategy::Forward, Axis::Descendant) => {
-                let reachable = self.multi_source_descendants(context, stats);
-                par::filter(candidates, threads, |v| reachable.contains(v))
+                let reachable = self.multi_source_descendants(context, stats, tracker)?;
+                Ok(par::filter(candidates, threads, |v| reachable.contains(v)))
             }
             (ExpansionStrategy::Backward, Axis::Child) => {
                 let ctx: HashSet<Vid> = context.iter().copied().collect();
                 if threads <= 1 {
-                    candidates
-                        .into_iter()
-                        .filter(|v| {
-                            let parents = self.indexes.group.parents(*v);
-                            stats.nodes_expanded += parents.len();
-                            parents.iter().any(|p| ctx.contains(p))
-                        })
-                        .collect()
+                    let mut kept = Vec::new();
+                    for v in candidates {
+                        if tracker.checkpoint("relate")? == Tick::Truncate {
+                            break;
+                        }
+                        let parents = self.indexes.group.parents(v);
+                        stats.nodes_expanded += parents.len();
+                        tracker.charge_nodes(parents.len(), "relate")?;
+                        if parents.iter().any(|p| ctx.contains(p)) {
+                            kept.push(v);
+                        }
+                    }
+                    Ok(kept)
                 } else {
-                    let chunks = par::map_chunks(&candidates, threads, |_, chunk| {
+                    let chunks = par::try_map_chunks(&candidates, threads, |_, chunk| {
                         let mut kept = Vec::new();
                         let mut expanded = 0usize;
                         for &v in chunk {
+                            if tracker.checkpoint("relate")? == Tick::Truncate {
+                                break;
+                            }
                             let parents = self.indexes.group.parents(v);
                             expanded += parents.len();
+                            tracker.charge_nodes(parents.len(), "relate")?;
                             if parents.iter().any(|p| ctx.contains(p)) {
                                 kept.push(v);
                             }
                         }
-                        (kept, expanded)
-                    });
+                        Ok::<_, IdmError>((kept, expanded))
+                    })?;
                     let mut out = Vec::new();
                     for (kept, expanded) in chunks {
                         stats.nodes_expanded += expanded;
                         out.extend(kept);
                     }
-                    out
+                    Ok(out)
                 }
             }
             (ExpansionStrategy::Backward, Axis::Descendant) => {
@@ -559,53 +664,81 @@ impl QueryProcessor {
                 if threads <= 1 {
                     // Positive cache: nodes known to reach the context.
                     let mut reaches_ctx: HashSet<Vid> = HashSet::new();
-                    candidates
-                        .into_iter()
-                        .filter(|v| self.reverse_reaches(*v, &ctx, &mut reaches_ctx, stats))
-                        .collect()
+                    let mut kept = Vec::new();
+                    for v in candidates {
+                        if tracker.checkpoint("relate")? == Tick::Truncate {
+                            break;
+                        }
+                        if self.reverse_reaches(v, &ctx, &mut reaches_ctx, stats, tracker)? {
+                            kept.push(v);
+                        }
+                    }
+                    Ok(kept)
                 } else {
                     // Each worker keeps a chunk-local positive cache: the
                     // kept rows are identical to sequential, only
                     // `nodes_expanded` can differ (fewer cross-candidate
                     // cache hits). Chunking is deterministic, so repeated
                     // runs at the same parallelism agree exactly.
-                    let chunks = par::map_chunks(&candidates, threads, |_, chunk| {
+                    let chunks = par::try_map_chunks(&candidates, threads, |_, chunk| {
                         let mut local = ExecStats::default();
                         let mut reaches_ctx: HashSet<Vid> = HashSet::new();
-                        let kept: Vec<Vid> = chunk
-                            .iter()
-                            .copied()
-                            .filter(|v| {
-                                self.reverse_reaches(*v, &ctx, &mut reaches_ctx, &mut local)
-                            })
-                            .collect();
-                        (kept, local.nodes_expanded)
-                    });
+                        let mut kept: Vec<Vid> = Vec::new();
+                        for &v in chunk {
+                            if tracker.checkpoint("relate")? == Tick::Truncate {
+                                break;
+                            }
+                            if self.reverse_reaches(
+                                v,
+                                &ctx,
+                                &mut reaches_ctx,
+                                &mut local,
+                                tracker,
+                            )? {
+                                kept.push(v);
+                            }
+                        }
+                        Ok::<_, IdmError>((kept, local.nodes_expanded))
+                    })?;
                     let mut out = Vec::new();
                     for (kept, expanded) in chunks {
                         stats.nodes_expanded += expanded;
                         out.extend(kept);
                     }
-                    out
+                    Ok(out)
                 }
             }
             (ExpansionStrategy::Bidirectional, _) => unreachable!("resolved above"),
         }
     }
 
-    fn multi_source_descendants(&self, sources: &[Vid], stats: &mut ExecStats) -> HashSet<Vid> {
+    fn multi_source_descendants(
+        &self,
+        sources: &[Vid],
+        stats: &mut ExecStats,
+        tracker: &BudgetTracker,
+    ) -> Result<HashSet<Vid>> {
         if self.threads() <= 1 {
             let mut visited: HashSet<Vid> = HashSet::new();
             let mut queue: VecDeque<Vid> = sources.iter().copied().collect();
             while let Some(vid) = queue.pop_front() {
-                for child in self.children_of(vid) {
+                // One checkpoint per expanded frontier node: a deadline
+                // firing mid-BFS (e.g. during a slow lazy force) aborts
+                // before the next force. A truncated BFS visits a prefix
+                // of the reachable set — a sound subset.
+                if tracker.checkpoint("expand")? == Tick::Truncate {
+                    break;
+                }
+                let children = self.children_of(vid);
+                tracker.charge_nodes(children.len(), "expand")?;
+                for child in children {
                     stats.nodes_expanded += 1;
                     if visited.insert(child) {
                         queue.push_back(child);
                     }
                 }
             }
-            return visited;
+            return Ok(visited);
         }
         // Level-synchronous parallel BFS: every frontier node is expanded
         // by some worker against a read-only view of `visited`; the
@@ -616,20 +749,28 @@ impl QueryProcessor {
         let mut visited: HashSet<Vid> = HashSet::new();
         let mut frontier: Vec<Vid> = sources.to_vec();
         while !frontier.is_empty() {
+            if tracker.checkpoint("expand")? == Tick::Truncate {
+                break;
+            }
             let visited_ref = &visited;
-            let chunks = par::map_chunks(&frontier, threads, |_, chunk| {
+            let chunks = par::try_map_chunks(&frontier, threads, |_, chunk| {
                 let mut fresh = Vec::new();
                 let mut edges = 0usize;
                 for &vid in chunk {
-                    for child in self.children_of(vid) {
+                    if tracker.checkpoint("expand")? == Tick::Truncate {
+                        break;
+                    }
+                    let children = self.children_of(vid);
+                    tracker.charge_nodes(children.len(), "expand")?;
+                    for child in children {
                         edges += 1;
                         if !visited_ref.contains(&child) {
                             fresh.push(child);
                         }
                     }
                 }
-                (fresh, edges)
-            });
+                Ok::<_, IdmError>((fresh, edges))
+            })?;
             let mut next = Vec::new();
             for (fresh, edges) in chunks {
                 stats.nodes_expanded += edges;
@@ -641,7 +782,7 @@ impl QueryProcessor {
             }
             frontier = next;
         }
-        visited
+        Ok(visited)
     }
 
     /// Reverse BFS from `start` towards the context set, with a shared
@@ -652,14 +793,21 @@ impl QueryProcessor {
         ctx: &HashSet<Vid>,
         reaches_ctx: &mut HashSet<Vid>,
         stats: &mut ExecStats,
-    ) -> bool {
+        tracker: &BudgetTracker,
+    ) -> Result<bool> {
         let mut visited: HashSet<Vid> = HashSet::new();
         let mut queue: VecDeque<Vid> = [start].into();
         let mut path_nodes: Vec<Vid> = Vec::new();
         let mut found = false;
         'bfs: while let Some(vid) = queue.pop_front() {
+            // A truncated search reports "not found", which *drops* the
+            // candidate — the kept set stays a subset of the true rows.
+            if tracker.checkpoint("relate")? == Tick::Truncate {
+                return Ok(false);
+            }
             for parent in self.indexes.group.parents(vid) {
                 stats.nodes_expanded += 1;
+                tracker.charge_nodes(1, "relate")?;
                 if ctx.contains(&parent) || reaches_ctx.contains(&parent) {
                     found = true;
                     break 'bfs;
@@ -676,7 +824,7 @@ impl QueryProcessor {
             // cache only the start, which is definitely connected.
             reaches_ctx.insert(start);
         }
-        found
+        Ok(found)
     }
 
     // ---- joins ---------------------------------------------------------
@@ -720,7 +868,13 @@ impl QueryProcessor {
         left_field: &Field,
         right_field: &Field,
         build: BuildSide,
-    ) -> ResultRows {
+        tracker: &BudgetTracker,
+    ) -> Result<ResultRows> {
+        if tracker.tripped() {
+            // Joining truncated inputs would be sound (subset × subset),
+            // but once tripped there is no point paying for the build.
+            return Ok(ResultRows::Pairs(Vec::new()));
+        }
         let (build_rows, probe_rows, build_field, probe_field, build_is_left) = match build {
             BuildSide::Left => (&left_rows, &right_rows, left_field, right_field, true),
             BuildSide::Right => (&right_rows, &left_rows, right_field, left_field, false),
@@ -728,21 +882,34 @@ impl QueryProcessor {
 
         // Hash-table build, chunk-parallel when enabled: workers extract
         // `(key, vid)` pairs and the coordinator merges them in chunk
-        // order, so per-key row order equals the sequential build.
+        // order, so per-key row order equals the sequential build. A
+        // build truncated mid-way keys a subset of rows; probing it
+        // yields a subset of the true pairs.
         let mut table: HashMap<String, Vec<Vid>> = HashMap::with_capacity(build_rows.len());
         if self.threads() <= 1 {
             for &vid in build_rows {
+                if tracker.checkpoint("join-build")? == Tick::Truncate {
+                    break;
+                }
+                tracker.charge_nodes(1, "join-build")?;
                 if let Some(key) = self.field_key(vid, build_field) {
                     table.entry(key).or_default().push(vid);
                 }
             }
         } else {
-            for chunk in par::map_chunks(build_rows, self.threads(), |_, chunk| {
-                chunk
-                    .iter()
-                    .filter_map(|&vid| self.field_key(vid, build_field).map(|k| (k, vid)))
-                    .collect::<Vec<(String, Vid)>>()
-            }) {
+            for chunk in par::try_map_chunks(build_rows, self.threads(), |_, chunk| {
+                let mut out: Vec<(String, Vid)> = Vec::new();
+                for &vid in chunk {
+                    if tracker.checkpoint("join-build")? == Tick::Truncate {
+                        break;
+                    }
+                    tracker.charge_nodes(1, "join-build")?;
+                    if let Some(key) = self.field_key(vid, build_field) {
+                        out.push((key, vid));
+                    }
+                }
+                Ok::<_, IdmError>(out)
+            })? {
                 for (key, vid) in chunk {
                     table.entry(key).or_default().push(vid);
                 }
@@ -750,8 +917,12 @@ impl QueryProcessor {
         }
         let mut pairs = Vec::new();
         for &vid in probe_rows {
+            if tracker.checkpoint("join-probe")? == Tick::Truncate {
+                break;
+            }
             if let Some(key) = self.field_key(vid, probe_field) {
                 if let Some(matches) = table.get(&key) {
+                    tracker.charge_rows(matches.len(), "join-probe")?;
                     for &m in matches {
                         pairs.push(if build_is_left { (m, vid) } else { (vid, m) });
                     }
@@ -760,7 +931,7 @@ impl QueryProcessor {
         }
         pairs.sort();
         pairs.dedup();
-        ResultRows::Pairs(pairs)
+        Ok(ResultRows::Pairs(pairs))
     }
 }
 
@@ -1062,5 +1233,188 @@ mod tests {
         let r = p.execute(r#"//papers//*"#).unwrap();
         assert!(r.stats.nodes_expanded > 0);
         assert!(r.stats.candidates_examined > 0);
+    }
+
+    // ---- resource governance -----------------------------------------
+
+    fn budgeted(strategy: ExpansionStrategy, budget: QueryBudget) -> QueryProcessor {
+        let mut p = processor(strategy);
+        p.set_budget(budget);
+        p
+    }
+
+    #[test]
+    fn unbudgeted_stats_carry_no_consumption() {
+        let p = processor(ExpansionStrategy::Forward);
+        let r = p.execute(r#"//papers//*"#).unwrap();
+        assert!(!r.stats.partial);
+        assert_eq!(r.stats.exhausted, None);
+        assert_eq!(
+            r.stats.consumed,
+            crate::budget::BudgetConsumption::default()
+        );
+    }
+
+    #[test]
+    fn strict_budget_returns_resource_exhausted() {
+        let p = budgeted(
+            ExpansionStrategy::Forward,
+            QueryBudget {
+                max_nodes: Some(1),
+                ..QueryBudget::default()
+            },
+        );
+        let err = p.execute(r#"//papers//*"#).unwrap_err();
+        assert_eq!(err.budget_kind(), Some(idm_core::error::BudgetKind::Nodes));
+        assert!(!err.is_retryable());
+        assert!(err.is_degradable());
+        // The processor stays usable: lifting the budget reruns fine.
+        let mut p = p;
+        p.set_budget(QueryBudget::none());
+        assert!(p.execute(r#"//papers//*"#).is_ok());
+    }
+
+    #[test]
+    fn partial_budget_returns_sound_subset_and_keeps_ops_invariant() {
+        let iql = r#"//papers//*[class="latex_section"]"#;
+        let full = processor(ExpansionStrategy::Forward)
+            .execute(iql)
+            .unwrap()
+            .rows
+            .views();
+        let plan = processor(ExpansionStrategy::Forward).plan_iql(iql).unwrap();
+        // Probe once to learn the checkpoint count, then truncate at
+        // every possible checkpoint.
+        let probe = budgeted(ExpansionStrategy::Forward, QueryBudget::probe());
+        let total = probe.execute(iql).unwrap().stats.consumed.checkpoints;
+        assert!(total > 0);
+        for k in 1..=total {
+            let p = budgeted(
+                ExpansionStrategy::Forward,
+                QueryBudget {
+                    cancel_after_checks: Some(k),
+                    partial: true,
+                    ..QueryBudget::default()
+                },
+            );
+            let r = p.execute(iql).unwrap();
+            assert!(r.stats.partial, "k={k} tripped");
+            assert_eq!(
+                r.stats.exhausted,
+                Some(idm_core::error::BudgetKind::Cancelled)
+            );
+            assert_eq!(
+                r.stats.ops,
+                plan.operator_counts(),
+                "ops invariant holds under truncation at k={k}"
+            );
+            for vid in r.rows.views() {
+                assert!(full.contains(&vid), "k={k}: {vid:?} not in true result");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_budget_complement_stays_sound() {
+        // Complement inverts its input: a truncated complement must
+        // return empty, never a superset. Truncate at every checkpoint
+        // and require the result to be a subset of the true rows.
+        let iql = r#"[class="file" and not class="file"]"#;
+        let probe = budgeted(ExpansionStrategy::Forward, QueryBudget::probe());
+        let total = probe.execute(iql).unwrap().stats.consumed.checkpoints;
+        for k in 1..=total {
+            let p = budgeted(
+                ExpansionStrategy::Forward,
+                QueryBudget {
+                    cancel_after_checks: Some(k),
+                    partial: true,
+                    ..QueryBudget::default()
+                },
+            );
+            let r = p.execute(iql).unwrap();
+            // The true result is empty, so ANY returned row would be a
+            // superset violation.
+            assert!(r.rows.is_empty(), "k={k} leaked complement rows");
+        }
+    }
+
+    #[test]
+    fn partial_join_rows_are_a_subset() {
+        let iql = r#"join ( //*[class = "emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )"#;
+        let full = processor(ExpansionStrategy::Forward).execute(iql).unwrap();
+        let ResultRows::Pairs(full_pairs) = &full.rows else {
+            panic!()
+        };
+        let probe = budgeted(ExpansionStrategy::Forward, QueryBudget::probe());
+        let total = probe.execute(iql).unwrap().stats.consumed.checkpoints;
+        for k in 1..=total {
+            let p = budgeted(
+                ExpansionStrategy::Forward,
+                QueryBudget {
+                    cancel_after_checks: Some(k),
+                    partial: true,
+                    ..QueryBudget::default()
+                },
+            );
+            let r = p.execute(iql).unwrap();
+            let ResultRows::Pairs(pairs) = &r.rows else {
+                panic!()
+            };
+            for pair in pairs {
+                assert!(full_pairs.contains(pair), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_cache_never_admits_partial_results() {
+        // Regression (satellite): a truncated result cached as complete
+        // would be replayed until the next invalidating change event.
+        let iql = r#"//papers//*[class="latex_section"]"#;
+        let mut p = processor(ExpansionStrategy::Forward);
+        p.set_budget(QueryBudget {
+            cancel_after_checks: Some(2),
+            partial: true,
+            ..QueryBudget::default()
+        });
+        let truncated = p.execute_cached(iql).unwrap();
+        assert!(truncated.stats.partial);
+        // Lift the budget: the rerun must MISS the result cache and
+        // recompute the full rows, not replay the truncated subset.
+        p.set_budget(QueryBudget::none());
+        let full = p.execute_cached(iql).unwrap();
+        assert_eq!(full.stats.result_cache_hits, 0, "partial result was cached");
+        assert_eq!(full.rows.len(), 2);
+        // The full result IS admitted: third run hits.
+        let replay = p.execute_cached(iql).unwrap();
+        assert_eq!(replay.stats.result_cache_hits, 1);
+        assert_eq!(replay.rows, full.rows);
+    }
+
+    #[test]
+    fn deadline_budget_aborts_promptly_at_any_parallelism() {
+        use std::time::{Duration, Instant};
+        for parallelism in [1, 4] {
+            let (store, indexes) = dataspace();
+            let mut p = QueryProcessor::new(store, indexes);
+            p = p.with_options(ExecOptions {
+                parallelism,
+                budget: QueryBudget::with_deadline(Duration::ZERO),
+                ..ExecOptions::default()
+            });
+            let started = Instant::now();
+            let err = p.execute(r#"//papers//*"#).unwrap_err();
+            assert_eq!(
+                err.budget_kind(),
+                Some(idm_core::error::BudgetKind::WallClock)
+            );
+            assert!(
+                started.elapsed() < Duration::from_millis(50),
+                "parallelism={parallelism}"
+            );
+            // Shard locks were released on unwind: queries still run.
+            p.set_budget(QueryBudget::none());
+            assert!(p.execute(r#"//papers//*"#).is_ok());
+        }
     }
 }

@@ -30,8 +30,10 @@
 //! stated future work, included here for the ablation benchmarks.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ast;
+pub mod budget;
 pub mod cache;
 pub mod cost;
 pub mod exec;
@@ -43,6 +45,7 @@ pub mod rank;
 pub mod update;
 
 pub use ast::Query;
+pub use budget::{BudgetConsumption, BudgetTracker, QueryBudget, Tick};
 pub use cache::{CacheCounters, ExpansionCache, ResultCache, ResultCacheCounters};
 pub use cost::{explain_with_estimates, Estimate};
 pub use exec::{

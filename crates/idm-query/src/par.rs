@@ -54,6 +54,48 @@ where
     })
 }
 
+/// Fallible [`map_chunks`]: maps each contiguous chunk on its own scoped
+/// thread and propagates the first `Err` in *chunk order* (deterministic
+/// regardless of which worker tripped first in wall-clock time). All
+/// workers are always joined before returning — a budget checkpoint
+/// erroring inside one chunk never leaks a scoped thread; siblings see
+/// the shared cancel token and bail at their next checkpoint.
+pub fn try_map_chunks<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<R, E> + Sync,
+{
+    const MIN_ITEMS_PER_THREAD: usize = 64;
+    let threads = threads
+        .min(items.len() / MIN_ITEMS_PER_THREAD.max(1))
+        .max(1);
+    if threads <= 1 {
+        return if items.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Ok(vec![f(0, items)?])
+        };
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| scope.spawn(move || f(i, chunk)))
+            .collect();
+        // Collect every result first so all workers join even when an
+        // early chunk failed, then surface the first error in order.
+        let results: Vec<Result<R, E>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect();
+        results.into_iter().collect()
+    })
+}
+
 /// Order-preserving parallel filter: keeps the items `keep` accepts, in
 /// input order, evaluating `keep` across `threads` workers.
 pub fn filter<T, F>(items: Vec<T>, threads: usize, keep: F) -> Vec<T>
@@ -118,6 +160,60 @@ mod tests {
         for threads in [1, 2, 4, 16] {
             assert_eq!(filter(items.clone(), threads, |v| v % 7 == 0), expect);
         }
+    }
+
+    #[test]
+    fn try_map_chunks_propagates_first_error_in_chunk_order() {
+        let items: Vec<usize> = (0..10_000).collect();
+        for threads in [1, 2, 4, 8] {
+            // Chunks past the first fail with their chunk index; the
+            // error surfaced must be the lowest failing index even if a
+            // later worker finishes first.
+            let out = try_map_chunks(
+                &items,
+                threads,
+                |i, c| {
+                    if i >= 1 {
+                        Err(i)
+                    } else {
+                        Ok(c.len())
+                    }
+                },
+            );
+            if threads == 1 {
+                assert!(out.is_ok(), "single chunk never reaches index 1");
+            } else {
+                assert_eq!(out, Err(1), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_chunks_ok_matches_map_chunks() {
+        let items: Vec<usize> = (0..5_000).collect();
+        for threads in [1, 2, 4] {
+            let ok: Result<Vec<Vec<usize>>, ()> =
+                try_map_chunks(&items, threads, |_, c| Ok(c.to_vec()));
+            let flat: Vec<usize> = ok.expect("no errors").into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_chunks_joins_all_workers_on_error() {
+        let completed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1_000).collect();
+        let out = try_map_chunks(&items, 4, |i, _| {
+            completed.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                Err("boom")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(out, Err("boom"));
+        // Every spawned worker ran to completion and was joined.
+        assert_eq!(completed.load(Ordering::SeqCst), 4);
     }
 
     #[test]

@@ -205,10 +205,7 @@ impl Parser {
             // Optional name pattern (absent before a bare predicate:
             // `//OLAP//[class="figure"]`).
             let name = match self.peek() {
-                Some(Token::Word(w))
-                    if !is_keyword(self.peek().unwrap(), "and")
-                        && !is_keyword(self.peek().unwrap(), "or") =>
-                {
+                Some(t @ Token::Word(w)) if !is_keyword(t, "and") && !is_keyword(t, "or") => {
                     let w = w.clone();
                     self.next();
                     NamePattern::new(w)

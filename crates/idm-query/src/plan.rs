@@ -107,6 +107,23 @@ pub enum PlanOp {
     },
 }
 
+impl PlanOp {
+    /// Short operator name — the `phase` a budget checkpoint reports in
+    /// [`idm_core::error::IdmError::ResourceExhausted`], so exhaustion
+    /// errors say which operator the query was in when it tripped.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanOp::IndexAccess(_) => "index-access",
+            PlanOp::Scan => "scan",
+            PlanOp::Intersect(_) => "intersect",
+            PlanOp::UnionOp(_) => "union",
+            PlanOp::Complement(_) => "complement",
+            PlanOp::Relate { .. } => "relate",
+            PlanOp::HashJoin { .. } => "hash-join",
+        }
+    }
+}
+
 /// One plan node: an operator plus its cardinality estimate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use idm_core::prelude::*;
 use idm_index::IndexBundle;
-use idm_query::{parse, ExpansionStrategy, QueryProcessor};
+use idm_query::{parse, ExecOptions, ExpansionStrategy, QueryBudget, QueryProcessor, ResultRows};
 use proptest::prelude::*;
 
 proptest! {
@@ -160,6 +160,102 @@ proptest! {
         let mut got = got;
         got.sort();
         prop_assert_eq!(got, want);
+    }
+
+    /// Cancellation soundness (the resource-governance satellite): for a
+    /// mixed Q1–Q8-shaped workload over random dataspaces, cancel at
+    /// EVERY cooperative checkpoint (enumerated with a probe budget) and
+    /// assert, at parallelism 1 and 4:
+    ///
+    /// - strict mode surfaces `ResourceExhausted` (never a panic, never
+    ///   a hang — scoped threads always join, parking_lot locks cannot
+    ///   poison);
+    /// - partial mode returns a sound SUBSET of the true rows with the
+    ///   plan/exec operator-count invariant intact;
+    /// - the store's invariants still hold afterwards; and
+    /// - an unbudgeted rerun on the SAME processor is identical to a
+    ///   fresh unbudgeted baseline (no state corruption from the abort).
+    #[test]
+    fn cancellation_at_every_checkpoint_is_sound(space in arb_space(),
+                                                 ctx in "[ab]{1,4}", target in "[ab]{1,4}") {
+        let (store, indexes) = build_space(&space);
+        let queries = [
+            r#""c""#.to_string(),
+            r#"["c" and "d"]"#.to_string(),
+            "[size > 50]".to_string(),
+            format!("//{ctx}//{target}"),
+            format!("//{ctx}/*"),
+            format!(r#"union( "{target}", //{ctx}//* )"#),
+            r#"[not "c"]"#.to_string(),
+            format!("join( //{ctx}//* as A, //{target}//* as B, A.name = B.name )"),
+        ];
+        for parallelism in [1usize, 4] {
+            let with_budget = |budget: QueryBudget| {
+                QueryProcessor::new(Arc::clone(&store), Arc::clone(&indexes)).with_options(
+                    ExecOptions { parallelism, budget, ..ExecOptions::default() },
+                )
+            };
+            for iql in &queries {
+                let baseline = with_budget(QueryBudget::none()).execute(iql).unwrap();
+                let plan = with_budget(QueryBudget::none()).plan_iql(iql).unwrap();
+                // A probe budget (enabled tracker, limits never trip)
+                // must not change the rows.
+                let probed = with_budget(QueryBudget::probe()).execute(iql).unwrap();
+                prop_assert_eq!(&probed.rows, &baseline.rows, "probe changed rows of {}", iql);
+                let total = probed.stats.consumed.checkpoints;
+                // Exhaustive for small checkpoint counts, sampled past 48
+                // to bound runtime.
+                let step = (total / 48).max(1);
+                let mut k = 1;
+                while k <= total {
+                    let strict = with_budget(QueryBudget {
+                        cancel_after_checks: Some(k),
+                        ..QueryBudget::default()
+                    });
+                    let err = strict.execute(iql).unwrap_err();
+                    prop_assert_eq!(
+                        err.budget_kind(),
+                        Some(idm_core::error::BudgetKind::Cancelled),
+                        "strict cancel at {} of {}", k, iql
+                    );
+                    // The aborted processor is not poisoned: lifting the
+                    // budget on the SAME processor reproduces baseline.
+                    let mut strict = strict;
+                    strict.set_budget(QueryBudget::none());
+                    let rerun = strict.execute(iql).unwrap();
+                    prop_assert_eq!(&rerun.rows, &baseline.rows, "rerun after abort at {}", k);
+
+                    let partial = with_budget(QueryBudget {
+                        cancel_after_checks: Some(k),
+                        partial: true,
+                        ..QueryBudget::default()
+                    });
+                    let r = partial.execute(iql).unwrap();
+                    prop_assert!(r.stats.partial, "partial flag at {} of {}", k, iql);
+                    prop_assert_eq!(
+                        r.stats.ops, plan.operator_counts(),
+                        "ops invariant under truncation at {} of {}", k, iql
+                    );
+                    match (&r.rows, &baseline.rows) {
+                        (ResultRows::Views(sub), ResultRows::Views(full)) => {
+                            for vid in sub {
+                                prop_assert!(full.contains(vid), "superset row at {}", k);
+                            }
+                        }
+                        (ResultRows::Pairs(sub), ResultRows::Pairs(full)) => {
+                            for pair in sub {
+                                prop_assert!(full.contains(pair), "superset pair at {}", k);
+                            }
+                        }
+                        _ => prop_assert!(false, "row shape changed under truncation"),
+                    }
+                    k += step;
+                }
+            }
+        }
+        // The read path never mutated the store.
+        let report = store.verify_invariants();
+        prop_assert!(report.violations.is_empty(), "{:?}", report.violations);
     }
 
     /// Union over subqueries equals the set union of their results.

@@ -8,8 +8,10 @@
 //! per-peer or merged; ranked federation merges by score, which is what
 //! a multi-device personal dataspace UI would show.
 
+use std::time::Instant;
+
 use idm_core::prelude::*;
-use idm_query::{Plan, RankWeights, RankedResult};
+use idm_query::{Plan, QueryBudget, RankWeights, RankedResult};
 
 use crate::Pdsms;
 
@@ -109,12 +111,33 @@ impl Federation {
     /// availability over completeness, as in any P2P setting, but with
     /// the partiality visible to the caller.
     pub fn query(&self, iql: &str) -> Result<FederatedResult> {
+        self.query_budgeted(iql, QueryBudget::none())
+    }
+
+    /// [`Federation::query`] under a total resource budget. The
+    /// wall-clock deadline is the *federation's*: each peer runs with
+    /// whatever remains of it when its turn comes, so one slow peer
+    /// exhausts its own slice, lands in [`FederatedResult::errors`] as
+    /// `ResourceExhausted`, and cannot stall the coordinator — later
+    /// peers still answer if any time remains, and the caller gets a
+    /// partial federated result instead of an open-ended wait.
+    pub fn query_budgeted(&self, iql: &str, budget: QueryBudget) -> Result<FederatedResult> {
+        let started = Instant::now();
         let mut result = FederatedResult::default();
         let Some(plan) = self.coordinate(iql)? else {
             return Ok(result);
         };
         for (name, system) in &self.peers {
-            match system.query_processor().execute_plan(&plan) {
+            let mut peer_budget = budget;
+            if let Some(total) = budget.deadline {
+                // The remaining slice of the federation deadline; an
+                // already-exhausted deadline still runs the peer (its
+                // first checkpoint trips), keeping the error structured.
+                peer_budget.deadline = Some(total.saturating_sub(started.elapsed()));
+            }
+            let mut processor = system.query_processor();
+            processor.set_budget(peer_budget);
+            match processor.execute_plan(&plan) {
                 Ok(answer) => {
                     for vid in answer.rows.views() {
                         result.rows.push(FederatedRow {
@@ -299,6 +322,39 @@ mod tests {
             .query(r#"join(//notes as a, //notes as b, a.name = a.name)"#)
             .unwrap_err();
         assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn exhausted_deadline_yields_partial_federation_not_a_stall() {
+        use std::time::Duration;
+        let fed = federation();
+        // A zero deadline trips at every peer's first checkpoint: the
+        // federation still answers — structured errors per peer, no
+        // open-ended wait, no panic.
+        let started = std::time::Instant::now();
+        let result = fed
+            .query_budgeted(r#""database""#, QueryBudget::with_deadline(Duration::ZERO))
+            .unwrap();
+        assert!(started.elapsed() < Duration::from_millis(200));
+        assert!(result.is_empty());
+        assert_eq!(result.errors.len(), 3);
+        for (_, err) in &result.errors {
+            assert_eq!(
+                err.budget_kind(),
+                Some(idm_core::error::BudgetKind::WallClock),
+                "{err}"
+            );
+        }
+        // A generous deadline changes nothing about the rows.
+        let governed = fed
+            .query_budgeted(
+                r#""database""#,
+                QueryBudget::with_deadline(Duration::from_secs(60)),
+            )
+            .unwrap();
+        let free = fed.query(r#""database""#).unwrap();
+        assert_eq!(governed.rows, free.rows);
+        assert!(governed.is_complete());
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Admission control for the query path: a concurrency gate with a
+//! bounded wait queue and queue-deadline shedding.
+//!
+//! Per-query budgets ([`idm_query::QueryBudget`]) bound what one query
+//! may consume; this module bounds how many consume at once. The
+//! [`AdmissionGate`] generalizes the per-source `SourceGuard`s of the
+//! fault layer to the whole read path: at most `max_concurrent` queries
+//! run, at most `max_queued` wait, and a waiter that outlives the queue
+//! deadline (or its own query deadline, whichever is sooner) is shed
+//! with a structured error instead of stalling its session.
+//!
+//! The two overload outcomes are deliberately distinguishable — an
+//! operator tuning a deployment needs to tell "the queue was full"
+//! (shed; raise capacity or lower load) from "the queue moved too
+//! slowly" (deadline exceeded while queued; running queries are too
+//! slow):
+//!
+//! - queue full → [`BudgetKind::Concurrency`], `shed` counter;
+//! - queue wait expired → [`BudgetKind::QueueWait`],
+//!   `deadline_exceeded` counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use idm_core::prelude::*;
+use parking_lot::{Condvar, Mutex};
+
+/// Admission-gate limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Queries allowed to run concurrently.
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for a slot before new arrivals are shed.
+    pub max_queued: usize,
+    /// How long a queued query may wait for a slot. A query carrying
+    /// its own wall-clock deadline waits for `min(queue_deadline,
+    /// query deadline)` — there is no point holding a queue slot past
+    /// the moment the query could no longer finish anyway.
+    pub queue_deadline: Duration,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            max_concurrent: 4,
+            max_queued: 16,
+            queue_deadline: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Point-in-time admission counters (monotonic except `running` and
+/// `queued`, which are gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Queries granted a slot (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries rejected because the wait queue was full.
+    pub shed: u64,
+    /// Queries that expired while queued (queue or query deadline).
+    pub deadline_exceeded: u64,
+    /// Admitted queries whose permit has been released.
+    pub completed: u64,
+    /// Queries currently holding a slot.
+    pub running: usize,
+    /// Queries currently waiting for a slot.
+    pub queued: usize,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    running: usize,
+    queued: usize,
+}
+
+/// A concurrency semaphore with a bounded, deadline-shedding wait queue.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    config: GovernorConfig,
+    state: Mutex<GateState>,
+    slot_freed: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// A gate enforcing `config`.
+    pub fn new(config: GovernorConfig) -> Self {
+        AdmissionGate {
+            config,
+            state: Mutex::new(GateState::default()),
+            slot_freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> GovernorConfig {
+        self.config
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let state = self.state.lock();
+        AdmissionSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            running: state.running,
+            queued: state.queued,
+        }
+    }
+
+    /// Requests a slot, blocking in the bounded queue when all are
+    /// taken. `query_deadline` is the query's own wall-clock budget, if
+    /// any — waiting is capped at the sooner of it and the configured
+    /// queue deadline. Returns a RAII permit; dropping it frees the
+    /// slot and wakes one waiter.
+    pub fn admit(&self, query_deadline: Option<Duration>) -> Result<AdmissionPermit<'_>> {
+        let mut state = self.state.lock();
+        if state.running < self.config.max_concurrent {
+            state.running += 1;
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            return Ok(AdmissionPermit { gate: self });
+        }
+        if state.queued >= self.config.max_queued {
+            let waiting = state.queued + state.running;
+            drop(state);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(IdmError::resource_exhausted(
+                BudgetKind::Concurrency,
+                waiting as u64,
+                self.config.max_concurrent as u64,
+                "admission",
+            ));
+        }
+        state.queued += 1;
+        let started = Instant::now();
+        let max_wait = match query_deadline {
+            Some(d) => d.min(self.config.queue_deadline),
+            None => self.config.queue_deadline,
+        };
+        let wait_until = started + max_wait;
+        while state.running >= self.config.max_concurrent {
+            if self
+                .slot_freed
+                .wait_until(&mut state, wait_until)
+                .timed_out()
+            {
+                state.queued -= 1;
+                drop(state);
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                return Err(IdmError::resource_exhausted(
+                    BudgetKind::QueueWait,
+                    started.elapsed().as_millis() as u64,
+                    max_wait.as_millis() as u64,
+                    "admission-queue",
+                ));
+            }
+        }
+        state.queued -= 1;
+        state.running += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdmissionPermit { gate: self })
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock();
+        state.running = state.running.saturating_sub(1);
+        drop(state);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.slot_freed.notify_one();
+    }
+}
+
+/// Proof of admission. Holds one concurrency slot; dropping it (on any
+/// path out of the query, including unwinds) frees the slot and wakes a
+/// waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn gate(max_concurrent: usize, max_queued: usize, queue_ms: u64) -> Arc<AdmissionGate> {
+        Arc::new(AdmissionGate::new(GovernorConfig {
+            max_concurrent,
+            max_queued,
+            queue_deadline: Duration::from_millis(queue_ms),
+        }))
+    }
+
+    #[test]
+    fn admits_up_to_the_concurrency_limit() {
+        let gate = gate(2, 0, 10);
+        let a = gate.admit(None).unwrap();
+        let _b = gate.admit(None).unwrap();
+        // Queue capacity 0: the third arrival is shed immediately.
+        let err = gate.admit(None).unwrap_err();
+        assert_eq!(err.budget_kind(), Some(BudgetKind::Concurrency));
+        assert_eq!(gate.snapshot().shed, 1);
+        // Releasing a slot lets a new arrival in.
+        drop(a);
+        let _c = gate.admit(None).unwrap();
+        let snap = gate.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.running, 2);
+    }
+
+    #[test]
+    fn queued_waiter_gets_the_freed_slot() {
+        let gate = gate(1, 4, 5_000);
+        let permit = gate.admit(None).unwrap();
+        let gate2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || gate2.admit(None).map(|p| drop(p)));
+        // Give the waiter time to enter the queue, then free the slot.
+        while gate.snapshot().queued == 0 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        waiter.join().unwrap().unwrap();
+        let snap = gate.snapshot();
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.deadline_exceeded, 0);
+    }
+
+    #[test]
+    fn queue_deadline_sheds_with_distinct_counter() {
+        let gate = gate(1, 4, 10);
+        let _permit = gate.admit(None).unwrap();
+        let err = gate.admit(None).unwrap_err();
+        assert_eq!(err.budget_kind(), Some(BudgetKind::QueueWait));
+        let snap = gate.snapshot();
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.shed, 0, "queue-wait expiry is not a shed");
+        assert_eq!(snap.queued, 0, "expired waiter left the queue");
+    }
+
+    #[test]
+    fn query_deadline_caps_the_queue_wait() {
+        let gate = gate(1, 4, 60_000);
+        let _permit = gate.admit(None).unwrap();
+        // The query's own 10ms deadline beats the 60s queue deadline.
+        let started = Instant::now();
+        let err = gate.admit(Some(Duration::from_millis(10))).unwrap_err();
+        assert_eq!(err.budget_kind(), Some(BudgetKind::QueueWait));
+        assert!(started.elapsed() < Duration::from_millis(1_000));
+    }
+
+    #[test]
+    fn oversubscription_sheds_but_never_hangs() {
+        // 4x the concurrency limit: every admitted query completes,
+        // every other query gets a structured error, nothing panics or
+        // deadlocks.
+        let gate = gate(2, 2, 20);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || match gate.admit(None) {
+                    Ok(_permit) => {
+                        std::thread::sleep(Duration::from_millis(30));
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let snap = gate.snapshot();
+        let ok = results.iter().filter(|r| r.is_ok()).count() as u64;
+        let rejected: Vec<_> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert_eq!(ok, snap.admitted);
+        assert_eq!(ok, snap.completed, "every admitted query completed");
+        assert_eq!(
+            rejected.len() as u64,
+            snap.shed + snap.deadline_exceeded,
+            "every rejection is counted exactly once"
+        );
+        for err in rejected {
+            assert!(matches!(
+                err.budget_kind(),
+                Some(BudgetKind::Concurrency) | Some(BudgetKind::QueueWait)
+            ));
+        }
+        assert_eq!(snap.running, 0);
+        assert_eq!(snap.queued, 0);
+    }
+}

@@ -26,12 +26,14 @@
 
 pub mod converter;
 pub mod federation;
+pub mod govern;
 pub mod rvm;
 pub mod source;
 pub mod sync;
 
 pub use converter::{Content2IdmConverter, ConverterRegistry};
 pub use federation::{FederatedResult, FederatedRow, Federation};
+pub use govern::{AdmissionGate, AdmissionPermit, AdmissionSnapshot, GovernorConfig};
 pub use rvm::{
     BulkIngestOptions, IngestReport, IngestThroughput, ResourceViewManager, SourceIngestStats,
 };
@@ -47,7 +49,7 @@ use std::sync::Arc;
 use idm_core::lineage::LineageGraph;
 use idm_core::prelude::*;
 use idm_index::IndexBundle;
-use idm_query::{ExpansionStrategy, QueryProcessor, QueryResult};
+use idm_query::{ExpansionStrategy, QueryBudget, QueryProcessor, QueryResult};
 use parking_lot::Mutex;
 
 /// File name of the persisted index bundle inside a dataspace directory.
@@ -114,6 +116,9 @@ pub struct Pdsms {
     /// The expansion strategy every query processor of this system uses
     /// — and therefore the one its plans record and `explain` renders.
     expansion: ExpansionStrategy,
+    /// Admission control over the query path, when enabled: max
+    /// concurrent queries plus a bounded, deadline-shedding wait queue.
+    governor: Option<govern::AdmissionGate>,
 }
 
 impl Pdsms {
@@ -139,6 +144,7 @@ impl Pdsms {
             rvm,
             durability: durability.map(Mutex::new),
             expansion: ExpansionStrategy::default(),
+            governor: None,
         }
     }
 
@@ -378,10 +384,48 @@ impl Pdsms {
         processor
     }
 
+    /// Enables admission control: at most `config.max_concurrent`
+    /// queries run at once, at most `config.max_queued` wait, and
+    /// waiters are shed at the queue deadline. Applies to
+    /// [`Pdsms::query`] and [`Pdsms::query_budgeted`].
+    pub fn enable_governor(&mut self, config: govern::GovernorConfig) {
+        self.governor = Some(govern::AdmissionGate::new(config));
+    }
+
+    /// The admission gate, when enabled.
+    pub fn governor(&self) -> Option<&govern::AdmissionGate> {
+        self.governor.as_ref()
+    }
+
+    /// Admission counters, when the governor is enabled (`shed` vs
+    /// `deadline_exceeded` distinguish queue-full rejection from
+    /// expiring while queued).
+    pub fn governor_stats(&self) -> Option<govern::AdmissionSnapshot> {
+        self.governor.as_ref().map(govern::AdmissionGate::snapshot)
+    }
+
     /// Parses, plans and executes an iQL query under the system's
-    /// configured expansion strategy.
+    /// configured expansion strategy (and through the admission gate,
+    /// when enabled).
     pub fn query(&self, iql: &str) -> Result<QueryResult> {
-        self.query_processor().execute(iql)
+        self.query_budgeted(iql, QueryBudget::none())
+    }
+
+    /// Like [`Pdsms::query`], but governed by `budget`: the query's
+    /// wall-clock deadline also caps its admission-queue wait, and the
+    /// budget (deadline, memory/row/node caps, partial-result opt-in)
+    /// bounds execution itself.
+    pub fn query_budgeted(&self, iql: &str, budget: QueryBudget) -> Result<QueryResult> {
+        // Hold the permit for the whole execution; dropping it on any
+        // return path (including budget-exhaustion errors) frees the
+        // slot and wakes one queued waiter.
+        let _permit = match &self.governor {
+            Some(gate) => Some(gate.admit(budget.deadline)?),
+            None => None,
+        };
+        let mut processor = self.query_processor();
+        processor.set_budget(budget);
+        processor.execute(iql)
     }
 
     /// Renders the execution plan of a query — under the system's

@@ -191,6 +191,19 @@ impl ResourceViewManager {
             .insert(source.to_owned(), Arc::new(guard));
     }
 
+    /// The breaker state of every instantiated source guard, sorted by
+    /// source name — the shell's `\stats` overload panel.
+    pub fn guard_states(&self) -> Vec<(String, idm_core::fault::BreakerState)> {
+        let mut out: Vec<(String, idm_core::fault::BreakerState)> = self
+            .guards
+            .lock()
+            .iter()
+            .map(|(name, guard)| (name.clone(), guard.breaker().state()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Replaces the converter registry.
     pub fn set_converters(&mut self, converters: ConverterRegistry) {
         self.converters = converters;

@@ -304,3 +304,94 @@ fn seeded_fail_rate_is_deterministic() {
     assert_eq!(outcomes(7), outcomes(7), "same seed, same fault schedule");
     assert_ne!(outcomes(7), outcomes(8), "different seed, different one");
 }
+
+/// Resource-governance chaos: injected substrate latency makes the lazy
+/// group force slow, and a 10ms wall-clock deadline fires *during* the
+/// expansion — the query unwinds with a structured error within one
+/// slow force, not after walking the whole graph. Afterwards, with the
+/// substrate failing hard, the stale-cache path still serves the
+/// last-known-good expansion (`stale_served` increments) and the store
+/// itself is untouched by any of it.
+#[test]
+fn deadline_fires_during_slow_lazy_expansion_then_stale_cache_serves() {
+    use idm_index::IndexBundle;
+    use idm_query::{ExecOptions, QueryBudget, QueryProcessor};
+
+    let fs = Arc::new(VirtualFs::new(t()));
+    let dir = fs.mkdir_p("/slow", t()).unwrap();
+    let marker = fs.create_file(dir, "marker", "x", t()).unwrap();
+
+    let store = Arc::new(ViewStore::new());
+    let indexes = Arc::new(IndexBundle::new());
+    let leaves: Vec<Vid> = (0..3)
+        .map(|i| store.build(format!("leaf{i}")).insert())
+        .collect();
+    // The root's group component is lazy; every force goes through the
+    // (faultable) substrate.
+    let make_provider = |fs: Arc<VirtualFs>, members: Vec<Vid>| {
+        Arc::new(move |_: &ViewStore, _owner: Vid| {
+            fs.read_file(marker)?;
+            Ok(GroupData::of_seq(members.clone()))
+        })
+    };
+    let root = store
+        .build("root")
+        .group(Group::lazy(make_provider(Arc::clone(&fs), leaves.clone())))
+        .insert();
+    for vid in store.vids() {
+        indexes.index_view(&store, vid, "chaos").unwrap();
+    }
+
+    let mut processor =
+        QueryProcessor::new(Arc::clone(&store), Arc::clone(&indexes)).with_options(ExecOptions {
+            live_expansion: true,
+            ..ExecOptions::default()
+        });
+
+    // Healthy baseline primes the expansion cache.
+    let baseline = processor.execute("//root//leaf1").unwrap();
+    assert_eq!(baseline.rows.len(), 1);
+    let vids_before = store.vids().len();
+
+    // The substrate turns slow and the replica is invalidated, so the
+    // next query must re-force through the 50ms-per-call filesystem.
+    fs.install_faults(FaultPlan::latency(Duration::from_millis(50)));
+    store
+        .set_group(
+            root,
+            Group::lazy(make_provider(Arc::clone(&fs), leaves.clone())),
+        )
+        .unwrap();
+
+    processor.set_budget(QueryBudget::with_deadline(Duration::from_millis(10)));
+    let started = std::time::Instant::now();
+    let err = processor.execute("//root//leaf1").unwrap_err();
+    assert_eq!(err.budget_kind(), Some(BudgetKind::WallClock));
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "deadline aborted within one slow force, not after the whole walk"
+    );
+
+    // The substrate goes down hard and the expansion is invalidated
+    // again: forcing now fails, and the cache degrades to the
+    // last-known-good members instead of erroring the query.
+    fs.clear_faults();
+    fs.install_faults(FaultPlan::fail_every(1).permanent());
+    store
+        .set_group(
+            root,
+            Group::lazy(make_provider(Arc::clone(&fs), leaves.clone())),
+        )
+        .unwrap();
+    processor.set_budget(QueryBudget::none());
+    let degraded = processor.execute("//root//leaf1").unwrap();
+    assert_eq!(degraded.rows, baseline.rows, "stale members, same rows");
+    assert!(processor.expansion_cache().counters().stale_served >= 1);
+
+    // The read path never wrote: nothing appeared in or vanished from
+    // the store, and every structural invariant still holds.
+    fs.clear_faults();
+    assert_eq!(store.vids().len(), vids_before);
+    let report = store.verify_invariants();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}

@@ -59,6 +59,100 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with this shim's [`Mutex`] guards, in the
+/// `parking_lot` style: `wait*` take the guard by `&mut` reference.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases the guard's mutex and waits until notified,
+    /// reacquiring before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace_guard(guard, |g| match self.0.wait(g) {
+            Ok(g) => (g, false),
+            Err(poisoned) => (poisoned.into_inner(), false),
+        });
+    }
+
+    /// Like [`Condvar::wait`], but gives up at `timeout` (an absolute
+    /// instant, as in `parking_lot`).
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let dur = timeout.saturating_duration_since(std::time::Instant::now());
+        self.wait_for(guard, dur)
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let timed_out = self.replace_guard(guard, |g| match self.0.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res.timed_out()),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out())
+            }
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Bridges std's by-value guard API to parking_lot's by-reference
+    /// one: moves the guard out of `slot`, runs `f` (which consumes and
+    /// returns a guard), and moves the result back in. `f` must not
+    /// panic between the read and the write; the std waits it wraps
+    /// return poison as `Err` instead of panicking.
+    fn replace_guard<'a, T, R>(
+        &self,
+        slot: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(MutexGuard<'a, T>) -> (MutexGuard<'a, T>, R),
+    ) -> R {
+        unsafe {
+            let taken = std::ptr::read(slot);
+            let (back, out) = f(taken);
+            std::ptr::write(slot, back);
+            out
+        }
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 /// A reader-writer lock that hands out guards without a `Result` wrapper.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
@@ -139,6 +233,36 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_and_times_out() {
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        assert!(waiter.join().unwrap());
+
+        // Timed wait with no notifier times out.
+        let (lock, cv) = &*pair;
+        *lock.lock() = false;
+        let mut ready = lock.lock();
+        let res = cv.wait_until(&mut ready, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(!*ready, "guard reacquired and usable after timeout");
     }
 
     #[test]

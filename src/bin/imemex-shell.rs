@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use imemex::dataset::{generate, DatasetConfig};
-use imemex::query::{ExpansionStrategy, QueryProcessor};
-use imemex::system::{FsPlugin, ImapPlugin, Pdsms, RssPlugin};
+use imemex::query::{ExpansionStrategy, QueryBudget, QueryProcessor};
+use imemex::system::{FsPlugin, GovernorConfig, ImapPlugin, Pdsms, RssPlugin};
 use imemex::vfs::NodeId;
 
 struct Shell {
@@ -26,6 +26,8 @@ struct Shell {
     /// One long-lived processor, so the expansion and whole-result
     /// caches stay warm across commands.
     processor: QueryProcessor,
+    /// The session budget every query runs under (`\budget`).
+    budget: QueryBudget,
 }
 
 impl Shell {
@@ -65,6 +67,7 @@ impl Shell {
             system,
             strategy: ExpansionStrategy::Forward,
             processor,
+            budget: QueryBudget::none(),
         }
     }
 
@@ -91,6 +94,18 @@ impl Shell {
     }
 
     fn run_query(&self, iql: &str) {
+        // Queries go through the admission gate when `\governor` enabled
+        // it, so overload behavior is observable interactively.
+        let _permit = match self.system.governor() {
+            Some(gate) => match gate.admit(self.budget.deadline) {
+                Ok(permit) => Some(permit),
+                Err(e) => {
+                    println!("error: {e}");
+                    return;
+                }
+            },
+            None => None,
+        };
         let start = Instant::now();
         match self.processor.execute_cached(iql) {
             Ok(result) => {
@@ -108,6 +123,21 @@ impl Shell {
                         )
                     }
                 );
+                if result.stats.partial {
+                    let c = result.stats.consumed;
+                    println!(
+                        "  PARTIAL result — budget exhausted ({}); consumed rows={} nodes={} bytes={} checkpoints={}",
+                        result
+                            .stats
+                            .exhausted
+                            .map(|k| k.to_string())
+                            .unwrap_or_else(|| "?".into()),
+                        c.rows,
+                        c.nodes,
+                        c.bytes,
+                        c.checkpoints
+                    );
+                }
                 for vid in result.rows.views().iter().take(10) {
                     println!("  {}", self.describe(*vid));
                 }
@@ -117,6 +147,84 @@ impl Shell {
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+
+    /// `\budget`: sets the per-query resource budget for this session.
+    fn set_budget_cmd(&mut self, arg: &str) {
+        let arg = arg.trim();
+        if arg == "off" {
+            self.budget = QueryBudget::none();
+        } else {
+            let parse_u64 = |v: &str| v.parse::<u64>().ok();
+            for token in arg.split_whitespace() {
+                match token.split_once('=') {
+                    Some(("deadline", v)) => {
+                        self.budget.deadline = parse_u64(v).map(std::time::Duration::from_millis);
+                    }
+                    Some(("rows", v)) => self.budget.max_rows = parse_u64(v),
+                    Some(("nodes", v)) => self.budget.max_nodes = parse_u64(v),
+                    Some(("bytes", v)) => self.budget.max_bytes = parse_u64(v),
+                    None if token == "partial" => self.budget.partial = true,
+                    None if token == "strict" => self.budget.partial = false,
+                    _ => {
+                        println!("unknown budget token '{token}' — \\budget [deadline=<ms>] [rows=<n>] [nodes=<n>] [bytes=<n>] [partial|strict|off]");
+                        return;
+                    }
+                }
+            }
+        }
+        self.processor.set_budget(self.budget);
+        println!("budget: {}", self.describe_budget());
+    }
+
+    fn describe_budget(&self) -> String {
+        if !self.budget.is_limited() {
+            return "unlimited".into();
+        }
+        let mut parts = Vec::new();
+        if let Some(d) = self.budget.deadline {
+            parts.push(format!("deadline {}ms", d.as_millis()));
+        }
+        if let Some(n) = self.budget.max_rows {
+            parts.push(format!("rows {n}"));
+        }
+        if let Some(n) = self.budget.max_nodes {
+            parts.push(format!("nodes {n}"));
+        }
+        if let Some(n) = self.budget.max_bytes {
+            parts.push(format!("bytes {n}"));
+        }
+        parts.push(
+            if self.budget.partial {
+                "partial (degrade to subset)"
+            } else {
+                "strict (error on exhaustion)"
+            }
+            .into(),
+        );
+        parts.join(", ")
+    }
+
+    /// `\governor`: enables admission control over shell queries.
+    fn governor_cmd(&mut self, arg: &str) {
+        let fields: Vec<&str> = arg.split_whitespace().collect();
+        let mut config = GovernorConfig::default();
+        if let Some(v) = fields.first().and_then(|v| v.parse().ok()) {
+            config.max_concurrent = v;
+        }
+        if let Some(v) = fields.get(1).and_then(|v| v.parse().ok()) {
+            config.max_queued = v;
+        }
+        if let Some(v) = fields.get(2).and_then(|v| v.parse().ok()) {
+            config.queue_deadline = std::time::Duration::from_millis(v);
+        }
+        self.system.enable_governor(config);
+        println!(
+            "governor: {} concurrent, {} queued, {}ms queue deadline",
+            config.max_concurrent,
+            config.max_queued,
+            config.queue_deadline.as_millis()
+        );
     }
 
     fn run_ranked(&self, iql: &str) {
@@ -204,6 +312,22 @@ impl Shell {
             "result cache:     {} hit(s), {} miss(es), {} invalidation(s)",
             results.hits, results.misses, results.invalidations
         );
+        println!("budget:           {}", self.describe_budget());
+        match self.system.governor_stats() {
+            Some(g) => println!(
+                "governor:         {} admitted, {} completed, {} shed (queue full), {} deadline-exceeded (expired while queued), {} running, {} queued",
+                g.admitted, g.completed, g.shed, g.deadline_exceeded, g.running, g.queued
+            ),
+            None => println!("governor:         off (\\governor enables admission control)"),
+        }
+        let guards = self.system.rvm().guard_states();
+        if !guards.is_empty() {
+            let states: Vec<String> = guards
+                .iter()
+                .map(|(name, state)| format!("{name} {state:?}"))
+                .collect();
+            println!("source breakers:  {}", states.join(", "));
+        }
     }
 }
 
@@ -220,7 +344,11 @@ commands:
   \\open <dir>           open a durable dataspace (prints the recovery
                         report), or make this one durable in a new dir
   \\checkpoint           fold the write-ahead log into a fresh snapshot
-  :stats                store and index statistics
+  \\budget [k=v …]       per-query resource budget: deadline=<ms> rows=<n>
+                        nodes=<n> bytes=<n> partial|strict|off
+  \\governor [c q ms]    enable admission control (max concurrent, max
+                        queued, queue deadline ms; defaults 4 16 100)
+  :stats                store, index, budget and governor statistics
   :help                 this text
   :quit                 exit
 (\\ and : are interchangeable command prefixes)";
@@ -271,6 +399,8 @@ fn main() {
                 }
                 "open" => shell.open_dataspace(arg.trim()),
                 "checkpoint" => shell.checkpoint(),
+                "budget" => shell.set_budget_cmd(arg),
+                "governor" => shell.governor_cmd(arg),
                 "rank" => shell.run_ranked(arg.trim()),
                 "update" => shell.run_update(arg.trim()),
                 "estimate" => {
