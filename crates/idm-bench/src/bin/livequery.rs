@@ -1,0 +1,284 @@
+//! Live-query benchmark — delta maintenance vs full recompute. Seeds
+//! fleets of standing queries over the Table 4 dataspace, applies
+//! single-record changes, and measures the per-query latency of
+//! maintaining every standing result incrementally against the latency
+//! of recomputing each one from scratch, plus the fallback rate (how
+//! often the maintainer had to bail into bounded re-expansion or full
+//! recompute). Emits `results/BENCH_livequery.json`.
+//!
+//! ```sh
+//! cargo run --release -p idm-bench --bin livequery -- --sf 1
+//! cargo run --release -p idm-bench --bin livequery -- --smoke   # CI gate
+//! ```
+//!
+//! `--smoke` runs a small-sf sweep and exits nonzero unless delta-apply
+//! p50 beats recompute p50 for single-record changes at every fleet
+//! size — the acceptance bound for "maintenance is strictly cheaper
+//! than re-execution".
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use idm_bench::{build, BuildOptions, Workbench};
+use idm_core::prelude::*;
+use idm_query::{MaintainedPlan, QueryBudget, QueryProcessor};
+
+/// Fleet sizes: how many standing queries are registered at once.
+const FLEETS: [usize; 3] = [1, 100, 1000];
+
+/// Standing-query shapes the fleet cycles through: a relate expansion
+/// (the canonical standing-feed shape — first, so a fleet of one is a
+/// structural query rather than a bare index probe), a cheap keyword
+/// leaf, a phrase, and a predicate scan.
+const STANDING: [&str; 4] = [
+    r#"//papers//*["Franklin"]"#,
+    r#""database""#,
+    r#""database tuning""#,
+    r#"[size > 420000]"#,
+];
+
+struct Args {
+    scale: f64,
+    out: PathBuf,
+    smoke: bool,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1.0,
+        out: PathBuf::from("results/BENCH_livequery.json"),
+        smoke: false,
+        reps: 30,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sf" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.scale = v;
+                }
+                i += 2;
+            }
+            "--reps" => {
+                if let Some(v) = argv.get(i + 1).and_then(|s| s.parse().ok()) {
+                    args.reps = v;
+                }
+                i += 2;
+            }
+            "--out" => {
+                if let Some(path) = argv.get(i + 1) {
+                    args.out = PathBuf::from(path);
+                }
+                i += 2;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    args
+}
+
+fn options_at(scale: f64) -> BuildOptions {
+    BuildOptions {
+        scale,
+        imap_latency_scale: 0.0,
+        fs_latency_scale: 0.0,
+        imap_sleep: false,
+        with_rss: true,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct Sweep {
+    fleet: usize,
+    delta_p50: Duration,
+    delta_p99: Duration,
+    recompute_p50: Duration,
+    recompute_p99: Duration,
+    /// Fraction of (standing query × change batch) maintenance passes
+    /// that fell back to re-expansion or full recompute.
+    fallback_rate: f64,
+}
+
+/// One sweep: seed `fleet` standing queries, then `reps` rounds of
+/// one single-record change each. Per round, time (a) maintaining every
+/// standing result from the change records and (b) recomputing every
+/// standing plan from scratch; both divided by the fleet size give the
+/// per-query latency samples.
+fn sweep(bench: &Workbench, fleet: usize, reps: usize) -> Sweep {
+    let processor: QueryProcessor = bench.system.query_processor();
+    let store = bench.system.store();
+    let indexes = bench.system.indexes();
+
+    let mut standings: Vec<MaintainedPlan> = (0..fleet)
+        .map(|i| {
+            let plan = processor.plan_iql(STANDING[i % STANDING.len()]).unwrap();
+            let (_, standing) = processor
+                .execute_standing(&plan, QueryBudget::none())
+                .unwrap();
+            standing.expect("unbudgeted execution seeds standing state")
+        })
+        .collect();
+
+    let rx = store.subscribe_records();
+    let mut delta_samples = Vec::with_capacity(reps);
+    let mut recompute_samples = Vec::with_capacity(reps);
+    let mut bench_vids: Vec<Vid> = Vec::new();
+    for rep in 0..reps {
+        // The single-record change of this round. Rounds cycle through
+        // the record kinds a live feed produces — insert, rename,
+        // content edit, tuple edit — so each standing query sees a mix
+        // of relevant changes (re-derivation) and irrelevant ones
+        // (classification only), as a real change stream would.
+        if bench_vids.is_empty() || rep % 4 == 0 {
+            let vid = store
+                .build(format!("bench-live-{rep}.txt"))
+                .text(format!("database entry {rep}"))
+                .insert();
+            indexes.index_view(store, vid, "bench").unwrap();
+            bench_vids.push(vid);
+        } else {
+            let vid = bench_vids[rep % bench_vids.len()];
+            match rep % 4 {
+                1 => store
+                    .set_name(vid, Some(format!("bench-renamed-{rep}.txt")))
+                    .unwrap(),
+                2 => store
+                    .set_content(vid, Content::text(format!("database tuning entry {rep}")))
+                    .unwrap(),
+                _ => store
+                    .set_tuple(
+                        vid,
+                        Some(TupleComponent::of(vec![(
+                            "size",
+                            Value::Integer(rep as i64),
+                        )])),
+                    )
+                    .unwrap(),
+            }
+            indexes.index_view(store, vid, "bench").unwrap();
+        }
+        let records: Vec<ChangeRecord> = rx.try_iter().collect();
+
+        let start = Instant::now();
+        for standing in &mut standings {
+            processor.maintain(standing, &records).unwrap();
+        }
+        delta_samples.push(start.elapsed() / fleet as u32);
+
+        let start = Instant::now();
+        for standing in &standings {
+            processor.execute_plan(standing.plan()).unwrap();
+        }
+        recompute_samples.push(start.elapsed() / fleet as u32);
+    }
+
+    let (mut fallbacks, mut batches) = (0u64, 0u64);
+    for standing in &standings {
+        let stats = standing.stats();
+        fallbacks += stats.relate_fallbacks + stats.full_recomputes;
+        batches += stats.batches;
+    }
+
+    delta_samples.sort();
+    recompute_samples.sort();
+    Sweep {
+        fleet,
+        delta_p50: percentile(&delta_samples, 0.50),
+        delta_p99: percentile(&delta_samples, 0.99),
+        recompute_p50: percentile(&recompute_samples, 0.50),
+        recompute_p99: percentile(&recompute_samples, 0.99),
+        fallback_rate: if batches == 0 {
+            0.0
+        } else {
+            fallbacks as f64 / batches as f64
+        },
+    }
+}
+
+fn to_json(s: &Sweep) -> String {
+    format!(
+        "{{\"fleet\":{},\"delta_p50_us\":{},\"delta_p99_us\":{},\"recompute_p50_us\":{},\"recompute_p99_us\":{},\"fallback_rate\":{:.4}}}",
+        s.fleet,
+        s.delta_p50.as_micros(),
+        s.delta_p99.as_micros(),
+        s.recompute_p50.as_micros(),
+        s.recompute_p99.as_micros(),
+        s.fallback_rate
+    )
+}
+
+fn run(scale: f64, reps: usize, out: &PathBuf) -> Vec<Sweep> {
+    let bench = build(options_at(scale));
+    println!(
+        "Live queries — delta apply vs recompute per standing query (sf {scale}, {} views)\n",
+        bench.system.store().vids().len()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "fleet", "delta p50", "delta p99", "recompute p50", "recompute p99", "fallback"
+    );
+
+    let sweeps: Vec<Sweep> = FLEETS
+        .iter()
+        .map(|&fleet| {
+            let s = sweep(&bench, fleet, reps);
+            println!(
+                "{:>6} {:>12?} {:>12?} {:>14?} {:>14?} {:>9.1}%",
+                s.fleet,
+                s.delta_p50,
+                s.delta_p99,
+                s.recompute_p50,
+                s.recompute_p99,
+                s.fallback_rate * 100.0
+            );
+            s
+        })
+        .collect();
+
+    let json = format!(
+        "{{\"bench\":\"livequery\",\"sf\":{scale},\"reps\":{reps},\"runs\":[\n  {}\n]}}\n",
+        sweeps.iter().map(to_json).collect::<Vec<_>>().join(",\n  ")
+    );
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(out, &json).expect("write BENCH_livequery.json");
+    println!("\nwrote {}", out.display());
+    sweeps
+}
+
+fn main() {
+    let args = parse_args();
+    let (scale, reps) = if args.smoke {
+        (0.05, args.reps.min(15))
+    } else {
+        (args.scale, args.reps)
+    };
+    let sweeps = run(scale, reps, &args.out);
+
+    if args.smoke {
+        for s in &sweeps {
+            if s.delta_p50 >= s.recompute_p50 {
+                println!(
+                    "FAIL: delta-apply p50 {:?} does not beat recompute p50 {:?} at fleet {}",
+                    s.delta_p50, s.recompute_p50, s.fleet
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("OK: delta-apply p50 beats recompute p50 at every fleet size");
+    }
+}

@@ -57,6 +57,7 @@ pub mod version;
 pub mod prelude {
     pub use crate::class::{builtin, ClassId, ClassRegistry, Constraints};
     pub use crate::content::{Content, ContentProvider, ContentReader, SymbolSource};
+    pub use crate::durability::record::ChangeRecord;
     pub use crate::durability::{CheckpointStats, DurabilityManager, RecoveryReport, SyncPolicy};
     pub use crate::error::{BudgetKind, IdmError, Result, SubstrateFaultKind};
     pub use crate::fault::{

@@ -185,6 +185,11 @@ pub struct ViewStore {
     next_vid: AtomicU64,
     classes: Arc<ClassRegistry>,
     subscribers: Mutex<Vec<Sender<ChangeEvent>>>,
+    /// Subscribers to the full logical change records (the same records
+    /// the WAL persists). Incremental view maintenance consumes these;
+    /// the flag keeps the fan-out free for stores nobody watches.
+    record_subscribers: Mutex<Vec<Sender<ChangeRecord>>>,
+    record_fanout: std::sync::atomic::AtomicBool,
     /// The attached write-ahead log, if this store is durable. Mutators
     /// append their change record under the shard write lock, so WAL
     /// order per view matches commit order.
@@ -232,6 +237,8 @@ impl ViewStore {
             next_vid: AtomicU64::new(0),
             classes,
             subscribers: Mutex::new(Vec::new()),
+            record_subscribers: Mutex::new(Vec::new()),
+            record_fanout: std::sync::atomic::AtomicBool::new(false),
             wal: RwLock::new(None),
         }
     }
@@ -346,7 +353,7 @@ impl ViewStore {
     pub fn insert(&self, record: ViewRecord) -> Vid {
         let vid = Vid(self.next_vid.fetch_add(1, Ordering::Relaxed));
         let slot_idx = self.slot_of(vid);
-        let wal_rec = self.wal_armed().then(|| ChangeRecord::Insert {
+        let wal_rec = (self.wal_armed() || self.records_wanted()).then(|| ChangeRecord::Insert {
             vid: vid.0,
             view: SerialView::of(&record, &self.classes),
         });
@@ -356,11 +363,14 @@ impl ViewStore {
                 slots.resize_with(slot_idx + 1, || None);
             }
             slots[slot_idx] = Some(Slot { record, version: 0 });
-            if let Some(rec) = wal_rec {
-                self.wal_append(&rec);
+            if let Some(rec) = wal_rec.as_ref() {
+                self.wal_append(rec);
             }
         }
         self.emit(vid, ChangeKind::Created);
+        if let Some(rec) = wal_rec {
+            self.emit_record(rec);
+        }
         vid
     }
 
@@ -383,7 +393,8 @@ impl ViewStore {
         let base = self.next_vid.fetch_add(n, Ordering::Relaxed);
         let vids: Vec<Vid> = (base..base + n).map(Vid).collect();
         let armed = self.wal_armed();
-        let mut wal_recs = Vec::with_capacity(if armed { records.len() } else { 0 });
+        let want_recs = armed || self.records_wanted();
+        let mut wal_recs = Vec::with_capacity(if want_recs { records.len() } else { 0 });
 
         let mask = self.shards.len() as u64 - 1;
         let mut involved: Vec<usize> = vids.iter().map(|v| (v.0 & mask) as usize).collect();
@@ -400,7 +411,7 @@ impl ViewStore {
                 .map(|&i| self.shards[i].slots.write())
                 .collect();
             for (vid, record) in vids.iter().zip(records) {
-                if armed {
+                if want_recs {
                     wal_recs.push(ChangeRecord::Insert {
                         vid: vid.0,
                         view: SerialView::of(&record, &self.classes),
@@ -419,6 +430,9 @@ impl ViewStore {
         }
         for &vid in &vids {
             self.emit(vid, ChangeKind::Created);
+        }
+        for rec in wal_recs {
+            self.emit_record(rec);
         }
         vids
     }
@@ -486,6 +500,7 @@ impl ViewStore {
             record
         };
         self.emit(vid, ChangeKind::Removed);
+        self.emit_record(ChangeRecord::Remove { vid: vid.0 });
         Ok(record)
     }
 
@@ -608,17 +623,20 @@ impl ViewStore {
                 .ok_or(IdmError::UnknownVid(vid))?;
             f(&mut slot.record);
             slot.version += 1;
-            if let Some(rec) = wal_rec {
-                self.wal_append(&rec);
+            if let Some(rec) = wal_rec.as_ref() {
+                self.wal_append(rec);
             }
         }
         self.emit(vid, kind);
+        if let Some(rec) = wal_rec {
+            self.emit_record(rec);
+        }
         Ok(())
     }
 
     /// Replaces the name component.
     pub fn set_name(&self, vid: Vid, name: Option<String>) -> Result<()> {
-        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetName {
+        let wal_rec = (self.wal_armed() || self.records_wanted()).then(|| ChangeRecord::SetName {
             vid: vid.0,
             name: name.clone(),
         });
@@ -627,7 +645,7 @@ impl ViewStore {
 
     /// Replaces the tuple component.
     pub fn set_tuple(&self, vid: Vid, tuple: Option<TupleComponent>) -> Result<()> {
-        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetTuple {
+        let wal_rec = (self.wal_armed() || self.records_wanted()).then(|| ChangeRecord::SetTuple {
             vid: vid.0,
             tuple: tuple.clone(),
         });
@@ -636,16 +654,17 @@ impl ViewStore {
 
     /// Replaces the content component.
     pub fn set_content(&self, vid: Vid, content: Content) -> Result<()> {
-        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetContent {
-            vid: vid.0,
-            content: SerialContent::of(&content),
-        });
+        let wal_rec =
+            (self.wal_armed() || self.records_wanted()).then(|| ChangeRecord::SetContent {
+                vid: vid.0,
+                content: SerialContent::of(&content),
+            });
         self.mutate(vid, ChangeKind::Content, |r| r.content = content, wal_rec)
     }
 
     /// Replaces the group component.
     pub fn set_group(&self, vid: Vid, group: Group) -> Result<()> {
-        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetGroup {
+        let wal_rec = (self.wal_armed() || self.records_wanted()).then(|| ChangeRecord::SetGroup {
             vid: vid.0,
             group: SerialGroup::of(&group),
         });
@@ -654,7 +673,7 @@ impl ViewStore {
 
     /// Replaces the class.
     pub fn set_class(&self, vid: Vid, class: Option<ClassId>) -> Result<()> {
-        let wal_rec = self.wal_armed().then(|| ChangeRecord::SetClass {
+        let wal_rec = (self.wal_armed() || self.records_wanted()).then(|| ChangeRecord::SetClass {
             vid: vid.0,
             class: class.map(|c| self.classes.name(c)),
         });
@@ -707,6 +726,11 @@ impl ViewStore {
             };
             if committed {
                 self.emit(vid, ChangeKind::Group);
+                self.emit_record(ChangeRecord::AddGroupMember {
+                    vid: vid.0,
+                    member: member.0,
+                    ordered,
+                });
                 return Ok(());
             }
         }
@@ -719,6 +743,25 @@ impl ViewStore {
         rx
     }
 
+    /// Subscribes to the full logical [`ChangeRecord`] stream — the same
+    /// records the WAL persists, carrying the changed component values
+    /// rather than just a [`ChangeKind`]. Incremental view maintenance
+    /// (standing queries, the result cache) consumes this. Only records
+    /// committed after subscription flow; construction of the records is
+    /// skipped entirely while nobody is subscribed and no WAL is armed.
+    pub fn subscribe_records(&self) -> Receiver<ChangeRecord> {
+        let (tx, rx) = unbounded();
+        self.record_subscribers.lock().push(tx);
+        self.record_fanout.store(true, Ordering::Release);
+        rx
+    }
+
+    /// Whether any record subscriber is attached (cheap check mutators
+    /// use to decide whether to construct a [`ChangeRecord`] at all).
+    fn records_wanted(&self) -> bool {
+        self.record_fanout.load(Ordering::Acquire)
+    }
+
     fn emit(&self, vid: Vid, kind: ChangeKind) {
         let mut subs = self.subscribers.lock();
         if subs.is_empty() {
@@ -728,33 +771,54 @@ impl ViewStore {
         subs.retain(|tx| tx.send(event).is_ok());
     }
 
+    fn emit_record(&self, record: ChangeRecord) {
+        if !self.records_wanted() {
+            return;
+        }
+        let mut subs = self.record_subscribers.lock();
+        subs.retain(|tx| tx.send(record.clone()).is_ok());
+        if subs.is_empty() {
+            // Every receiver is gone; stop building records on the next
+            // mutation (a later subscribe_records re-arms the flag).
+            self.record_fanout.store(false, Ordering::Release);
+        }
+    }
+
     /// When a lazy group is first forced on a durable store, upgrade the
     /// stored handle to the materialized members and log the edge set.
     /// Without this a crash would lose child edges created by a
     /// converter force (the lazy cache dies with the process). No
     /// version bump: forcing is a read, the group *value* is unchanged.
     fn promote_forced_group(&self, vid: Vid, lazy: &Arc<LazyGroup>, data: &Arc<GroupData>) {
-        if !self.wal_armed() {
+        if !self.wal_armed() && !self.records_wanted() {
             return;
         }
-        let slot_idx = self.slot_of(vid);
-        let mut slots = self.shard_of(vid).slots.write();
-        let Some(slot) = slots.get_mut(slot_idx).and_then(Option::as_mut) else {
-            return;
-        };
-        // Only promote the handle we actually forced — a concurrent
-        // set_group may have replaced it, and that mutation (already
-        // logged) wins.
-        match &slot.record.group {
-            Group::Lazy(current) if Arc::ptr_eq(current, lazy) => {
-                slot.record.group = Group::Materialized(Arc::clone(data));
-                self.wal_append(&ChangeRecord::GroupForced {
-                    vid: vid.0,
-                    set: data.set().iter().map(|v| v.0).collect(),
-                    seq: data.seq().iter().map(|v| v.0).collect(),
-                });
+        let mut forced = None;
+        {
+            let slot_idx = self.slot_of(vid);
+            let mut slots = self.shard_of(vid).slots.write();
+            let Some(slot) = slots.get_mut(slot_idx).and_then(Option::as_mut) else {
+                return;
+            };
+            // Only promote the handle we actually forced — a concurrent
+            // set_group may have replaced it, and that mutation (already
+            // logged) wins.
+            match &slot.record.group {
+                Group::Lazy(current) if Arc::ptr_eq(current, lazy) => {
+                    slot.record.group = Group::Materialized(Arc::clone(data));
+                    let rec = ChangeRecord::GroupForced {
+                        vid: vid.0,
+                        set: data.set().iter().map(|v| v.0).collect(),
+                        seq: data.seq().iter().map(|v| v.0).collect(),
+                    };
+                    self.wal_append(&rec);
+                    forced = Some(rec);
+                }
+                _ => {}
             }
-            _ => {}
+        }
+        if let Some(rec) = forced {
+            self.emit_record(rec);
         }
     }
 
@@ -1087,6 +1151,58 @@ mod tests {
             kinds,
             vec![ChangeKind::Created, ChangeKind::Name, ChangeKind::Removed]
         );
+    }
+
+    #[test]
+    fn record_subscribers_see_logical_changes_in_commit_order() {
+        let store = ViewStore::new();
+        // Mutations before subscription build no records at all.
+        let early = store.build("before").insert();
+        let rx = store.subscribe_records();
+        let vid = store.build("doc").text("body").insert();
+        store.set_name(vid, Some("renamed".into())).unwrap();
+        store.add_group_member(vid, early, false).unwrap();
+        store.remove(early).unwrap();
+        let records: Vec<ChangeRecord> = rx.try_iter().collect();
+        assert_eq!(records.len(), 4);
+        assert!(
+            matches!(&records[0], ChangeRecord::Insert { vid: v, .. } if *v == vid.as_u64()),
+            "{records:?}"
+        );
+        assert!(
+            matches!(&records[1], ChangeRecord::SetName { vid: v, name: Some(n) }
+                if *v == vid.as_u64() && n == "renamed")
+        );
+        assert!(
+            matches!(&records[2], ChangeRecord::AddGroupMember { vid: v, member, ordered: false }
+                if *v == vid.as_u64() && *member == early.as_u64())
+        );
+        assert!(matches!(&records[3], ChangeRecord::Remove { vid: v } if *v == early.as_u64()));
+
+        // Dropping the receiver turns fan-out back off.
+        drop(rx);
+        store.set_content(vid, Content::text("again")).unwrap();
+        assert!(!store.records_wanted());
+    }
+
+    #[test]
+    fn batch_inserts_fan_out_one_record_per_view() {
+        let store = ViewStore::new();
+        let rx = store.subscribe_records();
+        let records = vec![
+            store.build("a").into_record(),
+            store.build("b").into_record(),
+            store.build("c").into_record(),
+        ];
+        let vids = store.insert_batch(records);
+        let seen: Vec<u64> = rx
+            .try_iter()
+            .map(|r| match r {
+                ChangeRecord::Insert { vid, .. } => vid,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(seen, vids.iter().map(|v| v.as_u64()).collect::<Vec<_>>());
     }
 
     #[test]

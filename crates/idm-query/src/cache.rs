@@ -16,7 +16,7 @@
 //! parallel query workers can share one cache, and are surfaced per query
 //! through [`crate::exec::ExecStats`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -335,13 +335,24 @@ pub struct ResultCacheCounters {
     pub misses: u64,
     /// Entries dropped for capacity.
     pub evictions: u64,
-    /// Entries dropped because the store changed underneath them.
+    /// Entries dropped because they could not be brought up to date
+    /// (maintenance error, record-log overflow, or a stale admission).
     pub invalidations: u64,
+    /// Maintenance passes that applied pending change records to an
+    /// entry on lookup (the maintain-on-change hit path).
+    pub maintained: u64,
 }
+
+/// Pending change records held beyond this many force a full clear: the
+/// store churned so much since the last cached lookup that replaying
+/// the backlog would cost more than re-executing.
+const MAX_PENDING_RECORDS: usize = 8192;
 
 struct ResultEntry {
     tick: u64,
-    rows: crate::exec::ResultRows,
+    /// Absolute record-log offset this entry's state is current through.
+    applied: u64,
+    state: crate::delta::MaintainedPlan,
 }
 
 struct ResultCacheInner {
@@ -349,53 +360,81 @@ struct ResultCacheInner {
     /// LRU order: tick → fingerprint (ticks are unique).
     order: BTreeMap<u64, u64>,
     next_tick: u64,
+    /// Lazily-opened store record subscription: arming change-record
+    /// fan-out costs every mutation a record clone, so it waits until
+    /// the cached path is actually used.
+    records: Option<Receiver<ChangeRecord>>,
+    /// Shared log of drained records; `log_base` is the absolute offset
+    /// of `log[0]`. Entries apply the suffix past their own `applied`
+    /// offset on lookup, and the prefix below every entry's offset (and
+    /// every outstanding execution mark) is trimmed.
+    log: VecDeque<ChangeRecord>,
+    log_base: u64,
+    /// Offsets of in-flight executions (taken before executing, consumed
+    /// by `admit`/`release`) — they pin the log so records committed
+    /// mid-execution are still replayable onto the admitted entry.
+    marks: Vec<u64>,
 }
 
-/// Bounded LRU over complete query results, keyed by the **normalized
-/// plan fingerprint** ([`crate::plan::Plan::fingerprint`]).
+impl ResultCacheInner {
+    fn log_end(&self) -> u64 {
+        self.log_base + self.log.len() as u64
+    }
+}
+
+/// Bounded LRU over **delta-maintained standing results**, keyed by the
+/// normalized plan fingerprint ([`crate::plan::Plan::fingerprint`]).
 ///
 /// Keying on the plan rather than the query string means two spellings
 /// that plan identically (whitespace, conjunct order the optimizer
 /// normalizes away) share one entry, and a strategy change — which
 /// produces a different plan — correctly misses.
 ///
-/// Invalidation is deliberately coarse: a query result can depend on any
-/// view through ancestry or complements, so *any* store change event
-/// clears the whole cache. The cache therefore only pays off on
-/// read-heavy phases, which is why [`crate::exec::QueryProcessor`]
-/// exposes it through the opt-in `execute_cached` path rather than
-/// every `execute` call.
+/// Where the first iteration of this cache cleared wholesale on any
+/// store change, entries now carry a [`crate::delta::MaintainedPlan`]:
+/// pending logical [`ChangeRecord`]s from the store are kept in a
+/// shared log, and a lookup first applies the suffix the entry has not
+/// seen ([`crate::exec::QueryProcessor::maintain`]) before serving the
+/// rows. Application is version-gated by per-entry log offsets, and
+/// convergent — replaying records an execution already observed is a
+/// no-op — which is what makes the mark/admit protocol below safe
+/// without blocking writers.
 ///
 /// **Only complete results belong here.** A budget-truncated
 /// (`stats.partial`) result is a sound *subset* of the true rows;
-/// admitting one would serve it as the complete answer until the next
-/// invalidating change event. The insert site in `execute_cached`
-/// checks `partial` before keying.
+/// admitting one would serve (and maintain!) it as the complete answer
+/// forever. The admit site in `run_cached` checks `partial` first.
 pub struct ResultCache {
     inner: Mutex<ResultCacheInner>,
     capacity: usize,
-    events: Receiver<ChangeEvent>,
+    store: Arc<ViewStore>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    maintained: AtomicU64,
 }
 
 impl ResultCache {
     /// A cache over `store` holding at most `capacity` results.
-    pub fn new(store: &ViewStore, capacity: usize) -> Self {
+    pub fn new(store: &Arc<ViewStore>, capacity: usize) -> Self {
         ResultCache {
             inner: Mutex::new(ResultCacheInner {
                 entries: HashMap::new(),
                 order: BTreeMap::new(),
                 next_tick: 0,
+                records: None,
+                log: VecDeque::new(),
+                log_base: 0,
+                marks: Vec::new(),
             }),
             capacity: capacity.max(1),
-            events: store.subscribe(),
+            store: Arc::clone(store),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            maintained: AtomicU64::new(0),
         }
     }
 
@@ -416,59 +455,154 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            maintained: self.maintained.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every entry if the store changed since the last check.
-    fn drain_events(&self) {
-        if self.events.try_iter().next().is_none() {
-            return;
+    fn ensure_subscribed(&self, inner: &mut ResultCacheInner) {
+        if inner.records.is_none() {
+            inner.records = Some(self.store.subscribe_records());
         }
-        // Drain the rest of the backlog too.
-        for _ in self.events.try_iter() {}
-        let mut inner = self.inner.lock();
-        let dropped = inner.entries.len() as u64;
-        inner.entries.clear();
-        inner.order.clear();
-        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }
 
-    /// The cached rows for a plan fingerprint, if still valid.
-    pub fn get(&self, fingerprint: u64) -> Option<crate::exec::ResultRows> {
-        self.drain_events();
-        let mut inner = self.inner.lock();
-        match inner.entries.get(&fingerprint) {
-            Some(entry) => {
-                let old_tick = entry.tick;
-                let rows = entry.rows.clone();
-                let tick = inner.next_tick;
-                inner.next_tick += 1;
-                inner.order.remove(&old_tick);
-                inner.order.insert(tick, fingerprint);
-                inner.entries.get_mut(&fingerprint).expect("present").tick = tick;
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(rows)
+    /// Pulls pending store records into the shared log; on pathological
+    /// backlog, clears every entry instead of replaying it.
+    fn drain_records(&self, inner: &mut ResultCacheInner) {
+        if let Some(rx) = &inner.records {
+            while let Ok(record) = rx.try_recv() {
+                inner.log.push_back(record);
             }
+        }
+        if inner.log.len() > MAX_PENDING_RECORDS {
+            let dropped = inner.entries.len() as u64;
+            inner.entries.clear();
+            inner.order.clear();
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+            self.trim(inner);
+        }
+    }
+
+    /// Drops the log prefix every entry (and every outstanding mark)
+    /// has already applied.
+    fn trim(&self, inner: &mut ResultCacheInner) {
+        let floor = inner
+            .entries
+            .values()
+            .map(|e| e.applied)
+            .chain(inner.marks.iter().copied())
+            .min();
+        match floor {
             None => {
-                drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                inner.log_base = inner.log_end();
+                inner.log.clear();
+            }
+            Some(floor) => {
+                while inner.log_base < floor {
+                    inner.log.pop_front();
+                    inner.log_base += 1;
+                }
             }
         }
     }
 
-    /// Stores the rows for a plan fingerprint, evicting LRU entries past
-    /// capacity.
-    pub fn insert(&self, fingerprint: u64, rows: crate::exec::ResultRows) {
-        self.drain_events();
+    /// The maintained rows for a plan fingerprint. Applies any pending
+    /// change records to the entry first; a maintenance failure evicts
+    /// the entry and reports a miss.
+    pub(crate) fn lookup(
+        &self,
+        processor: &crate::exec::QueryProcessor,
+        fingerprint: u64,
+    ) -> Option<crate::exec::ResultRows> {
         let mut inner = self.inner.lock();
+        self.ensure_subscribed(&mut inner);
+        self.drain_records(&mut inner);
+        let end = inner.log_end();
+        let Some(entry) = inner.entries.get(&fingerprint) else {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if entry.applied < end {
+            let from = (entry.applied - inner.log_base) as usize;
+            let pending: Vec<ChangeRecord> = inner.log.iter().skip(from).cloned().collect();
+            let entry = inner.entries.get_mut(&fingerprint).expect("present");
+            match processor.maintain(&mut entry.state, &pending) {
+                Ok(_) => {
+                    entry.applied = end;
+                    self.maintained.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    let tick = entry.tick;
+                    inner.entries.remove(&fingerprint);
+                    inner.order.remove(&tick);
+                    self.trim(&mut inner);
+                    drop(inner);
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+            self.trim(&mut inner);
+        }
+        let entry = inner.entries.get(&fingerprint).expect("present");
+        let old_tick = entry.tick;
+        let rows = entry.state.rows();
         let tick = inner.next_tick;
         inner.next_tick += 1;
-        if let Some(old) = inner
-            .entries
-            .insert(fingerprint, ResultEntry { tick, rows })
-        {
+        inner.order.remove(&old_tick);
+        inner.order.insert(tick, fingerprint);
+        inner.entries.get_mut(&fingerprint).expect("present").tick = tick;
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(rows)
+    }
+
+    /// Registers an in-flight execution: returns the current record-log
+    /// offset and pins the log at it until `admit` or `release`.
+    pub(crate) fn mark(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        self.ensure_subscribed(&mut inner);
+        self.drain_records(&mut inner);
+        let mark = inner.log_end();
+        inner.marks.push(mark);
+        mark
+    }
+
+    /// Abandons an execution mark (error, partial result, or
+    /// unmaintainable plan shape).
+    pub(crate) fn release(&self, mark: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.marks.iter().position(|&m| m == mark) {
+            inner.marks.swap_remove(pos);
+        }
+        self.trim(&mut inner);
+    }
+
+    /// Admits a freshly-seeded standing result whose execution began at
+    /// `mark`. Records logged since the mark are applied on the entry's
+    /// next lookup; if the log was force-cleared past the mark, the
+    /// entry cannot be caught up and is dropped instead.
+    pub(crate) fn admit(&self, fingerprint: u64, state: crate::delta::MaintainedPlan, mark: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.marks.iter().position(|&m| m == mark) {
+            inner.marks.swap_remove(pos);
+        }
+        if mark < inner.log_base {
+            self.trim(&mut inner);
+            drop(inner);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        if let Some(old) = inner.entries.insert(
+            fingerprint,
+            ResultEntry {
+                tick,
+                applied: mark,
+                state,
+            },
+        ) {
             inner.order.remove(&old.tick);
         }
         inner.order.insert(tick, fingerprint);
@@ -478,6 +612,7 @@ impl ResultCache {
             inner.entries.remove(&lru_key);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        self.trim(&mut inner);
     }
 }
 
@@ -633,47 +768,93 @@ mod tests {
         assert!(cache.is_empty());
     }
 
-    #[test]
-    fn result_cache_round_trips_by_fingerprint() {
-        use crate::exec::ResultRows;
+    /// An indexed store + processor for result-cache tests.
+    fn query_fixture() -> (
+        Arc<ViewStore>,
+        Arc<idm_index::IndexBundle>,
+        crate::exec::QueryProcessor,
+    ) {
         let store = Arc::new(ViewStore::new());
-        let a = store.build("a").insert();
-        let cache = ResultCache::new(&store, 4);
-        assert_eq!(cache.get(7), None);
-        cache.insert(7, ResultRows::Views(vec![a]));
-        assert_eq!(cache.get(7), Some(ResultRows::Views(vec![a])));
-        assert_eq!(cache.get(8), None, "different plan, different key");
-        let c = cache.counters();
-        assert_eq!((c.hits, c.misses), (1, 2));
+        let indexes = Arc::new(idm_index::IndexBundle::new());
+        let draft = store.build("draft.tex").text("a dataspace vision").insert();
+        let notes = store.build("notes.txt").text("meeting notes").insert();
+        store.build("papers").children(vec![draft, notes]).insert();
+        for vid in store.vids() {
+            indexes.index_view(&store, vid, "filesystem").unwrap();
+        }
+        let p = crate::exec::QueryProcessor::new(Arc::clone(&store), Arc::clone(&indexes));
+        (store, indexes, p)
     }
 
     #[test]
-    fn result_cache_clears_on_any_store_change() {
-        use crate::exec::ResultRows;
-        let store = Arc::new(ViewStore::new());
-        let a = store.build("a").insert();
-        let cache = ResultCache::new(&store, 4);
-        cache.insert(1, ResultRows::Views(vec![a]));
-        assert!(cache.get(1).is_some());
-        // Any mutation — even of an unrelated view — invalidates: results
-        // can depend on arbitrary views via ancestry and complements.
-        store.build("unrelated").insert();
-        assert_eq!(cache.get(1), None);
-        assert!(cache.counters().invalidations >= 1);
+    fn result_cache_round_trips_by_fingerprint() {
+        use crate::budget::QueryBudget;
+        let (_store, _indexes, p) = query_fixture();
+        let plan = p.plan_iql(r#""dataspace""#).unwrap();
+        let first = p.run_cached(&plan, QueryBudget::none()).unwrap();
+        assert_eq!(first.stats.result_cache_hits, 0);
+        let second = p.run_cached(&plan, QueryBudget::none()).unwrap();
+        assert_eq!(second.stats.result_cache_hits, 1);
+        assert_eq!(second.rows, first.rows);
+        let other = p.plan_iql(r#""meeting""#).unwrap();
+        let miss = p.run_cached(&other, QueryBudget::none()).unwrap();
+        assert_eq!(
+            miss.stats.result_cache_hits, 0,
+            "different plan, different key"
+        );
+        let c = p.result_cache().counters();
+        assert!(c.hits >= 1 && c.misses >= 2);
+    }
+
+    #[test]
+    fn result_cache_maintains_entries_through_store_changes() {
+        use crate::budget::QueryBudget;
+        let (store, indexes, p) = query_fixture();
+        let plan = p.plan_iql(r#""dataspace""#).unwrap();
+        let first = p.run_cached(&plan, QueryBudget::none()).unwrap();
+        assert_eq!(first.rows.len(), 1);
+        // A store change no longer clears the entry: the pending change
+        // records are applied to the standing result on the next lookup.
+        let vid = store.build("more.tex").text("dataspace redux").insert();
+        indexes.index_view(&store, vid, "filesystem").unwrap();
+        let second = p.run_cached(&plan, QueryBudget::none()).unwrap();
+        assert_eq!(
+            second.stats.result_cache_hits, 1,
+            "maintained in place, not recomputed"
+        );
+        assert!(second.rows.views().contains(&vid));
+        assert_eq!(second.rows, p.execute_plan(&plan).unwrap().rows);
+        let c = p.result_cache().counters();
+        assert!(c.maintained >= 1);
+        assert_eq!(c.invalidations, 0);
     }
 
     #[test]
     fn result_cache_evicts_lru() {
-        use crate::exec::ResultRows;
-        let store = Arc::new(ViewStore::new());
+        use crate::budget::QueryBudget;
+        use crate::plan::Plan;
+        let (store, _indexes, p) = query_fixture();
         let cache = ResultCache::new(&store, 2);
-        cache.insert(1, ResultRows::Views(vec![]));
-        cache.insert(2, ResultRows::Views(vec![]));
-        assert!(cache.get(1).is_some()); // touch 1: now 2 is LRU
-        cache.insert(3, ResultRows::Views(vec![]));
-        assert!(cache.get(2).is_none(), "2 was evicted");
-        assert!(cache.get(1).is_some());
-        assert!(cache.get(3).is_some());
+        let plans: Vec<Plan> = [r#""dataspace""#, r#""meeting""#, r#""notes""#]
+            .iter()
+            .map(|q| p.plan_iql(q).unwrap())
+            .collect();
+        let seed = |plan: &Plan| {
+            let mark = cache.mark();
+            let (_, standing) = p.execute_standing(plan, QueryBudget::none()).unwrap();
+            cache.admit(plan.fingerprint(), standing.unwrap(), mark);
+        };
+        seed(&plans[0]);
+        seed(&plans[1]);
+        // Touch 0: now 1 is LRU.
+        assert!(cache.lookup(&p, plans[0].fingerprint()).is_some());
+        seed(&plans[2]);
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.lookup(&p, plans[1].fingerprint()).is_none(),
+            "1 was evicted"
+        );
+        assert!(cache.lookup(&p, plans[0].fingerprint()).is_some());
         assert_eq!(cache.counters().evictions, 1);
     }
 }

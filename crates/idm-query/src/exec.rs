@@ -280,12 +280,28 @@ impl QueryProcessor {
     /// is the only evaluation path; `execute`/`execute_ast` are
     /// parse/plan front-ends to it.
     pub fn execute_plan(&self, plan: &Plan) -> Result<QueryResult> {
+        self.execute_plan_with(plan, self.options.budget, None)
+    }
+
+    /// [`QueryProcessor::execute_plan`] with an explicit budget and an
+    /// optional per-node row capture. When `cap` is given, every plan
+    /// node pushes its output rows in post-order (children before
+    /// parents, inputs in plan order) — the seed a
+    /// [`crate::delta::MaintainedPlan`] is built from. A truncated
+    /// (partial) run may capture fewer entries than the plan has nodes;
+    /// partial captures are never used.
+    pub(crate) fn execute_plan_with(
+        &self,
+        plan: &Plan,
+        budget: QueryBudget,
+        cap: Option<&mut Vec<ResultRows>>,
+    ) -> Result<QueryResult> {
         self.cache.drain_invalidations();
         let before = self.cache.counters();
         let fault_before = self.fault_stats.as_ref().map(|s| s.snapshot());
-        let tracker = BudgetTracker::start(self.options.budget);
+        let tracker = BudgetTracker::start(budget);
         let mut stats = ExecStats::default();
-        let rows = self.eval_node(&plan.root, &mut stats, &tracker)?;
+        let rows = self.eval_node(&plan.root, &mut stats, &tracker, cap)?;
         stats.partial = tracker.tripped();
         stats.exhausted = tracker.exhaustion();
         stats.consumed = tracker.consumption();
@@ -306,23 +322,52 @@ impl QueryProcessor {
     /// cache first, keyed by the plan's normalized fingerprint. A hit
     /// returns the cached rows without touching the indexes (stats show
     /// `result_cache_hits = 1` and no operator work); a miss executes
-    /// the plan and stores the rows. Any store change clears the cache.
+    /// the plan and seeds a delta-maintained standing result. Store
+    /// changes no longer clear the cache — pending [`ChangeRecord`]s
+    /// are applied to each entry on its next lookup
+    /// ([`crate::delta`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QueryProcessor::run` with `QueryRequest::new(iql).cached()`"
+    )]
     pub fn execute_cached(&self, iql: &str) -> Result<QueryResult> {
-        let plan = self.plan_iql(iql)?;
+        self.run(&crate::request::QueryRequest::new(iql).cached())
+            .map(|response| response.result)
+    }
+
+    /// The cached execution path over an already-built plan.
+    pub(crate) fn run_cached(&self, plan: &Plan, budget: QueryBudget) -> Result<QueryResult> {
         let fingerprint = plan.fingerprint();
-        if let Some(rows) = self.results.get(fingerprint) {
+        if let Some(rows) = self.results.lookup(self, fingerprint) {
             let stats = ExecStats {
                 result_cache_hits: 1,
                 ..ExecStats::default()
             };
             return Ok(QueryResult { rows, stats });
         }
-        let result = self.execute_plan(&plan)?;
+        // Mark the record-log position *before* executing so changes
+        // committed mid-execution are replayed onto the seeded entry
+        // (delta application is convergent, so replaying a change the
+        // execution already saw is harmless).
+        let mark = self.results.mark();
+        let mut captured = Vec::new();
+        let result = match self.execute_plan_with(plan, budget, Some(&mut captured)) {
+            Ok(result) => result,
+            Err(err) => {
+                self.results.release(mark);
+                return Err(err);
+            }
+        };
         // A truncated (partial-budget) result is a subset of the true
-        // rows; caching it would serve it as complete until the next
-        // invalidating change event. Only full results are admitted.
-        if !result.stats.partial {
-            self.results.insert(fingerprint, result.rows.clone());
+        // rows; caching it would serve it as complete. Only full
+        // results seed standing state.
+        if result.stats.partial {
+            self.results.release(mark);
+        } else {
+            match self.seed_maintained(plan, captured) {
+                Some(state) => self.results.admit(fingerprint, state, mark),
+                None => self.results.release(mark),
+            }
         }
         Ok(result)
     }
@@ -373,9 +418,10 @@ impl QueryProcessor {
         node: &PlanNode,
         stats: &mut ExecStats,
         tracker: &BudgetTracker,
+        mut cap: Option<&mut Vec<ResultRows>>,
     ) -> Result<ResultRows> {
         tracker.checkpoint(node.op.label())?;
-        match &node.op {
+        let rows = match &node.op {
             PlanOp::IndexAccess(access) => {
                 stats.ops.index_accesses += 1;
                 if tracker.tripped() {
@@ -384,7 +430,7 @@ impl QueryProcessor {
                 let vids = self.eval_access(access);
                 stats.candidates_examined += vids.len();
                 tracker.charge_rows(vids.len(), "index-access")?;
-                Ok(ResultRows::Views(vids))
+                ResultRows::Views(vids)
             }
             PlanOp::Scan => {
                 stats.ops.scans += 1;
@@ -394,7 +440,7 @@ impl QueryProcessor {
                 let vids = self.all_vids();
                 stats.candidates_examined += vids.len();
                 tracker.charge_rows(vids.len(), "scan")?;
-                Ok(ResultRows::Views(vids))
+                ResultRows::Views(vids)
             }
             PlanOp::Intersect(inputs) => {
                 stats.ops.intersects += 1;
@@ -407,12 +453,14 @@ impl QueryProcessor {
                 // subsets is a subset of the true intersection.
                 let mut iter = inputs.iter();
                 let mut acc = match iter.next() {
-                    Some(first) => self.eval_node(first, stats, tracker)?.views(),
+                    Some(first) => self
+                        .eval_node(first, stats, tracker, cap.as_deref_mut())?
+                        .views(),
                     None => Vec::new(),
                 };
                 for input in iter {
                     let set: HashSet<Vid> = self
-                        .eval_node(input, stats, tracker)?
+                        .eval_node(input, stats, tracker, cap.as_deref_mut())?
                         .views()
                         .into_iter()
                         .collect();
@@ -420,13 +468,13 @@ impl QueryProcessor {
                 }
                 stats.candidates_examined += acc.len();
                 tracker.charge_rows(acc.len(), "intersect")?;
-                Ok(ResultRows::Views(acc))
+                ResultRows::Views(acc)
             }
             PlanOp::UnionOp(inputs) => {
                 stats.ops.unions += 1;
                 let mut acc: Vec<Vid> = Vec::new();
                 for input in inputs {
-                    match self.eval_node(input, stats, tracker)? {
+                    match self.eval_node(input, stats, tracker, cap.as_deref_mut())? {
                         ResultRows::Views(v) => acc.extend(v),
                         ResultRows::Pairs(_) => {
                             return Err(IdmError::Parse {
@@ -439,12 +487,12 @@ impl QueryProcessor {
                 acc.dedup();
                 stats.candidates_examined += acc.len();
                 tracker.charge_rows(acc.len(), "union")?;
-                Ok(ResultRows::Views(acc))
+                ResultRows::Views(acc)
             }
             PlanOp::Complement(exclude) => {
                 stats.ops.complements += 1;
                 let exclude: HashSet<Vid> = self
-                    .eval_node(exclude, stats, tracker)?
+                    .eval_node(exclude, stats, tracker, cap.as_deref_mut())?
                     .views()
                     .into_iter()
                     .collect();
@@ -460,7 +508,7 @@ impl QueryProcessor {
                 let vids = par::filter(self.all_vids(), self.threads(), |v| !exclude.contains(v));
                 stats.candidates_examined += vids.len();
                 tracker.charge_rows(vids.len(), "complement")?;
-                Ok(ResultRows::Views(vids))
+                ResultRows::Views(vids)
             }
             PlanOp::Relate {
                 context,
@@ -469,11 +517,13 @@ impl QueryProcessor {
                 strategy,
             } => {
                 stats.ops.relates += 1;
-                let ctx = self.eval_node(context, stats, tracker)?.views();
-                let cand = self.eval_node(candidates, stats, tracker)?.views();
-                Ok(ResultRows::Views(
-                    self.relate(&ctx, cand, *axis, *strategy, stats, tracker)?,
-                ))
+                let ctx = self
+                    .eval_node(context, stats, tracker, cap.as_deref_mut())?
+                    .views();
+                let cand = self
+                    .eval_node(candidates, stats, tracker, cap.as_deref_mut())?
+                    .views();
+                ResultRows::Views(self.relate(&ctx, cand, *axis, *strategy, stats, tracker)?)
             }
             PlanOp::HashJoin {
                 left,
@@ -484,8 +534,12 @@ impl QueryProcessor {
                 ..
             } => {
                 stats.ops.hash_joins += 1;
-                let left_rows = self.eval_node(left, stats, tracker)?.views();
-                let right_rows = self.eval_node(right, stats, tracker)?.views();
+                let left_rows = self
+                    .eval_node(left, stats, tracker, cap.as_deref_mut())?
+                    .views();
+                let right_rows = self
+                    .eval_node(right, stats, tracker, cap.as_deref_mut())?
+                    .views();
                 self.hash_join(
                     left_rows,
                     right_rows,
@@ -493,13 +547,17 @@ impl QueryProcessor {
                     right_field,
                     *build,
                     tracker,
-                )
+                )?
             }
+        };
+        if let Some(cap) = cap {
+            cap.push(rows.clone());
         }
+        Ok(rows)
     }
 
     /// One index posting-list read — the plan's leaf accesses.
-    fn eval_access(&self, access: &AccessKind) -> Vec<Vid> {
+    pub(crate) fn eval_access(&self, access: &AccessKind) -> Vec<Vid> {
         match access {
             AccessKind::Name(pattern) => {
                 let mut v = self.indexes.name.matching(pattern);
@@ -521,7 +579,7 @@ impl QueryProcessor {
         }
     }
 
-    fn all_vids(&self) -> Vec<Vid> {
+    pub(crate) fn all_vids(&self) -> Vec<Vid> {
         self.indexes.catalog.vids()
     }
 
@@ -554,7 +612,7 @@ impl QueryProcessor {
     /// `Bidirectional` hybrid is resolved here, at run time, from the
     /// actual frontier sizes (the plan records the *policy*, the
     /// executor the cheap side).
-    fn relate(
+    pub(crate) fn relate(
         &self,
         context: &[Vid],
         candidates: Vec<Vid>,
@@ -829,7 +887,7 @@ impl QueryProcessor {
 
     // ---- joins ---------------------------------------------------------
 
-    fn field_key(&self, vid: Vid, field: &Field) -> Option<String> {
+    pub(crate) fn field_key(&self, vid: Vid, field: &Field) -> Option<String> {
         match field {
             // Borrow-based store reads: cloning a full catalog entry per
             // probe made the join build/probe loops allocation-bound. The
@@ -1189,24 +1247,31 @@ mod tests {
     #[test]
     fn cached_execution_replays_rows_without_index_work() {
         let p = processor(ExpansionStrategy::Forward);
+        let cached = |iql: &str| {
+            p.run(&crate::request::QueryRequest::new(iql).cached())
+                .unwrap()
+                .result
+        };
         let iql = r#"//papers//*[class="latex_section"]"#;
-        let first = p.execute_cached(iql).unwrap();
+        let first = cached(iql);
         assert_eq!(first.stats.result_cache_hits, 0);
         assert!(first.stats.ops.total() > 0);
-        let second = p.execute_cached(iql).unwrap();
+        let second = cached(iql);
         assert_eq!(second.rows, first.rows);
         assert_eq!(second.stats.result_cache_hits, 1);
         assert_eq!(second.stats.ops.total(), 0, "no operators ran");
         // Whitespace differences plan identically → same fingerprint.
-        let respaced = p
-            .execute_cached(r#"//papers//*[ class = "latex_section" ]"#)
-            .unwrap();
+        let respaced = cached(r#"//papers//*[ class = "latex_section" ]"#);
         assert_eq!(respaced.stats.result_cache_hits, 1);
-        // A store change invalidates: the third run recomputes.
+        // A store change no longer clears the entry: the pending change
+        // record is applied to the standing result on lookup, and the
+        // third run still hits (with unchanged rows — the new view does
+        // not match the query).
         p.store.build("new view").insert();
-        let third = p.execute_cached(iql).unwrap();
-        assert_eq!(third.stats.result_cache_hits, 0);
+        let third = cached(iql);
+        assert_eq!(third.stats.result_cache_hits, 1);
         assert_eq!(third.rows, first.rows);
+        assert!(p.result_cache().counters().maintained >= 1);
     }
 
     #[test]
@@ -1371,22 +1436,29 @@ mod tests {
         // Regression (satellite): a truncated result cached as complete
         // would be replayed until the next invalidating change event.
         let iql = r#"//papers//*[class="latex_section"]"#;
-        let mut p = processor(ExpansionStrategy::Forward);
-        p.set_budget(QueryBudget {
+        let p = processor(ExpansionStrategy::Forward);
+        let cached = |budget: QueryBudget| {
+            p.run(
+                &crate::request::QueryRequest::new(iql)
+                    .cached()
+                    .budget(budget),
+            )
+            .unwrap()
+            .result
+        };
+        let truncated = cached(QueryBudget {
             cancel_after_checks: Some(2),
             partial: true,
             ..QueryBudget::default()
         });
-        let truncated = p.execute_cached(iql).unwrap();
         assert!(truncated.stats.partial);
         // Lift the budget: the rerun must MISS the result cache and
         // recompute the full rows, not replay the truncated subset.
-        p.set_budget(QueryBudget::none());
-        let full = p.execute_cached(iql).unwrap();
+        let full = cached(QueryBudget::none());
         assert_eq!(full.stats.result_cache_hits, 0, "partial result was cached");
         assert_eq!(full.rows.len(), 2);
         // The full result IS admitted: third run hits.
-        let replay = p.execute_cached(iql).unwrap();
+        let replay = cached(QueryBudget::none());
         assert_eq!(replay.stats.result_cache_hits, 1);
         assert_eq!(replay.rows, full.rows);
     }

@@ -36,22 +36,26 @@ pub mod ast;
 pub mod budget;
 pub mod cache;
 pub mod cost;
+pub mod delta;
 pub mod exec;
 pub mod lexer;
 pub mod par;
 pub mod parser;
 pub mod plan;
 pub mod rank;
+pub mod request;
 pub mod update;
 
 pub use ast::Query;
 pub use budget::{BudgetConsumption, BudgetTracker, QueryBudget, Tick};
 pub use cache::{CacheCounters, ExpansionCache, ResultCache, ResultCacheCounters};
 pub use cost::{explain_with_estimates, Estimate};
+pub use delta::{DeltaStats, MaintainedPlan, ResultDelta};
 pub use exec::{
     ExecOptions, ExecStats, ExpansionStrategy, QueryProcessor, QueryResult, ResultRows,
 };
 pub use parser::parse;
 pub use plan::{AccessKind, BuildSide, OperatorCounts, Plan, PlanNode, PlanOp};
 pub use rank::{RankWeights, RankedResult};
+pub use request::{QueryRequest, QueryResponse};
 pub use update::{parse_update, UpdateAction, UpdateOutcome, UpdateStatement};

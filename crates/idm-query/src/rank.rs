@@ -106,15 +106,28 @@ impl QueryProcessor {
         weights: RankWeights,
     ) -> Result<Vec<RankedResult>> {
         let result = self.execute_plan(plan)?;
+        Ok(self.rank_rows(plan, &result.rows, weights))
+    }
 
+    /// Scores already-computed result rows against the phrase and class
+    /// signals of the plan that produced them, most relevant first.
+    /// Splitting scoring from execution lets [`crate::QueryRequest`]
+    /// rank the rows of a single execution (or a cache hit) instead of
+    /// running the plan a second time.
+    pub fn rank_rows(
+        &self,
+        plan: &Plan,
+        rows: &ResultRows,
+        weights: RankWeights,
+    ) -> Vec<RankedResult> {
         let mut phrases = Vec::new();
         let mut class_constraints = 0usize;
         collect_signals(&plan.root, &mut phrases, &mut class_constraints);
         let query_terms: Vec<String> = phrases.iter().flat_map(|p| terms(p)).collect();
 
-        let rows = match result.rows {
-            ResultRows::Views(v) => v,
-            ResultRows::Pairs(p) => p.into_iter().map(|(a, _)| a).collect(),
+        let rows = match rows {
+            ResultRows::Views(v) => v.clone(),
+            ResultRows::Pairs(p) => p.iter().map(|(a, _)| *a).collect(),
         };
         let total_docs = self.index_bundle().content.document_count().max(1) as f64;
 
@@ -160,7 +173,7 @@ impl QueryProcessor {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.vid.cmp(&b.vid))
         });
-        Ok(ranked)
+        ranked
     }
 }
 

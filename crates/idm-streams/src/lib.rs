@@ -18,11 +18,14 @@
 //!   polling facility.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod engine;
+pub mod records;
 pub mod sources;
 pub mod window;
 
-pub use engine::{PushEngine, PushOperator};
+pub use engine::{PumpGuard, PushEngine, PushOperator};
+pub use records::{RecordEngine, RecordOperator};
 pub use sources::{GeneratorTupleStream, PollingStream, RssStreamSource};
 pub use window::StreamWindow;

@@ -1,0 +1,171 @@
+//! Push-based dispatch of **logical change records**.
+//!
+//! [`crate::engine::PushEngine`] fans out [`ChangeEvent`]s — cheap
+//! notifications that *something* about a view changed. Incremental
+//! consumers (delta-maintained standing queries, replicas, auditing)
+//! need more: the [`ChangeRecord`]s the store's durability layer
+//! already defines, which carry the *content* of each mutation
+//! (inserted view, new name, new tuple, group edge). A [`RecordEngine`]
+//! subscribes to the store's record fan-out and pushes whole batches to
+//! registered [`RecordOperator`]s.
+//!
+//! Batching is deliberate: a record operator like a standing-query
+//! maintainer amortizes per-batch work (classification, one
+//! re-evaluation per dirty index) across every record of a pump, so the
+//! engine delivers one `Vec` per pump rather than one call per record.
+//! Dispatch is explicit ([`RecordEngine::pump`]) so tests and sync
+//! rounds are deterministic; [`RecordEngine::spawn_pump`] provides a
+//! background dispatcher for live feeds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use idm_core::prelude::*;
+use parking_lot::Mutex;
+
+use crate::engine::PumpGuard;
+
+/// A record operator: receives each batch of logical change records.
+pub trait RecordOperator: Send + Sync {
+    /// Processes one batch (never empty). `store` gives access to the
+    /// *current* state of the mutated views — records describe what
+    /// changed, the store holds what it changed to.
+    fn on_records(&self, store: &ViewStore, records: &[ChangeRecord]);
+}
+
+/// Fans batches of [`ChangeRecord`]s out to registered operators.
+pub struct RecordEngine {
+    store: Arc<ViewStore>,
+    rx: Receiver<ChangeRecord>,
+    operators: Mutex<Vec<Arc<dyn RecordOperator>>>,
+    batches: AtomicU64,
+    records: AtomicU64,
+}
+
+impl RecordEngine {
+    /// Attaches an engine to a store. Only records written after
+    /// attachment flow (attaching arms the store's record fan-out).
+    pub fn attach(store: Arc<ViewStore>) -> Self {
+        let rx = store.subscribe_records();
+        RecordEngine {
+            store,
+            rx,
+            operators: Mutex::new(Vec::new()),
+            batches: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers an operator.
+    pub fn register(&self, operator: Arc<dyn RecordOperator>) {
+        self.operators.lock().push(operator);
+    }
+
+    /// Dispatches all pending records as one batch; returns how many
+    /// records it carried (0 = nothing pending, no operator called).
+    pub fn pump(&self) -> usize {
+        let batch: Vec<ChangeRecord> = self.rx.try_iter().collect();
+        if batch.is_empty() {
+            return 0;
+        }
+        self.dispatch(&batch);
+        batch.len()
+    }
+
+    fn dispatch(&self, batch: &[ChangeRecord]) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.records
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let operators = self.operators.lock().clone();
+        for op in operators {
+            op.on_records(&self.store, batch);
+        }
+    }
+
+    /// `(batches dispatched, records dispatched)` since attachment.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.records.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Spawns a background thread that dispatches records as they
+    /// arrive (coalescing whatever is queued into one batch) until the
+    /// returned guard is dropped.
+    pub fn spawn_pump(self: Arc<Self>) -> PumpGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let engine = Arc::clone(&self);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match engine.rx.recv_timeout(std::time::Duration::from_millis(10)) {
+                    Ok(first) => {
+                        let mut batch = vec![first];
+                        batch.extend(engine.rx.try_iter());
+                        engine.dispatch(&batch);
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        PumpGuard::new(stop, handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Collector {
+        batches: Mutex<Vec<Vec<ChangeRecord>>>,
+    }
+
+    impl RecordOperator for Collector {
+        fn on_records(&self, _store: &ViewStore, records: &[ChangeRecord]) {
+            self.batches.lock().push(records.to_vec());
+        }
+    }
+
+    #[test]
+    fn pump_coalesces_pending_records_into_one_batch() {
+        let store = Arc::new(ViewStore::new());
+        let engine = RecordEngine::attach(Arc::clone(&store));
+        let collector = Arc::new(Collector::default());
+        engine.register(Arc::clone(&collector) as Arc<dyn RecordOperator>);
+
+        assert_eq!(engine.pump(), 0, "nothing pending, no operator call");
+        let vid = store.build("a").insert();
+        store.set_name(vid, Some("b".into())).unwrap();
+        assert_eq!(engine.pump(), 2);
+
+        let batches = collector.batches.lock();
+        assert_eq!(batches.len(), 1, "one batch, not one call per record");
+        assert!(matches!(batches[0][0], ChangeRecord::Insert { .. }));
+        assert!(matches!(batches[0][1], ChangeRecord::SetName { .. }));
+        drop(batches);
+        assert_eq!(engine.counters(), (1, 2));
+    }
+
+    #[test]
+    fn background_pump_delivers_live_records() {
+        let store = Arc::new(ViewStore::new());
+        let engine = Arc::new(RecordEngine::attach(Arc::clone(&store)));
+        let collector = Arc::new(Collector::default());
+        engine.register(Arc::clone(&collector) as Arc<dyn RecordOperator>);
+        let guard = Arc::clone(&engine).spawn_pump();
+
+        store.build("live").text("stream tuple").insert();
+        for _ in 0..200 {
+            if !collector.batches.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        drop(guard);
+        assert!(!collector.batches.lock().is_empty());
+    }
+}

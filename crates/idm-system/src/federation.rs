@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use idm_core::prelude::*;
-use idm_query::{Plan, QueryBudget, RankWeights, RankedResult};
+use idm_query::{Plan, QueryBudget, QueryRequest, RankedResult};
 
 use crate::Pdsms;
 
@@ -102,31 +102,30 @@ impl Federation {
         }
     }
 
-    /// Runs a query on every peer; rows are tagged with their peer.
+    /// Runs a [`QueryRequest`] on every peer; rows are tagged with
+    /// their peer. This is the single federated entry point — the
+    /// legacy `query*` methods are deprecated spellings of it.
     ///
-    /// The plan is built once at the coordinator and executed
-    /// per peer. Peers that fail to execute it (a class unknown to that
-    /// peer's registry, a substrate down) contribute their error to
+    /// The plan is built once at the coordinator and executed per peer.
+    /// Peers that fail to execute it (a class unknown to that peer's
+    /// registry, a substrate down) contribute their error to
     /// [`FederatedResult::errors`] rather than failing the federation —
     /// availability over completeness, as in any P2P setting, but with
     /// the partiality visible to the caller.
-    pub fn query(&self, iql: &str) -> Result<FederatedResult> {
-        self.query_budgeted(iql, QueryBudget::none())
-    }
-
-    /// [`Federation::query`] under a total resource budget. The
-    /// wall-clock deadline is the *federation's*: each peer runs with
-    /// whatever remains of it when its turn comes, so one slow peer
-    /// exhausts its own slice, lands in [`FederatedResult::errors`] as
-    /// `ResourceExhausted`, and cannot stall the coordinator — later
-    /// peers still answer if any time remains, and the caller gets a
-    /// partial federated result instead of an open-ended wait.
-    pub fn query_budgeted(&self, iql: &str, budget: QueryBudget) -> Result<FederatedResult> {
+    ///
+    /// A request budget governs the *federation*: each peer runs with
+    /// whatever remains of the wall-clock deadline when its turn comes,
+    /// so one slow peer exhausts its own slice, lands in the error list
+    /// as `ResourceExhausted`, and cannot stall the coordinator. A
+    /// ranked request scores each peer's rows from the one shared plan
+    /// and merges globally by score.
+    pub fn run(&self, request: &QueryRequest) -> Result<FederatedResult> {
         let started = Instant::now();
         let mut result = FederatedResult::default();
-        let Some(plan) = self.coordinate(iql)? else {
+        let Some(plan) = self.coordinate(request.iql())? else {
             return Ok(result);
         };
+        let budget = request.requested_budget().unwrap_or(QueryBudget::none());
         for (name, system) in &self.peers {
             let mut peer_budget = budget;
             if let Some(total) = budget.deadline {
@@ -138,53 +137,69 @@ impl Federation {
             let mut processor = system.query_processor();
             processor.set_budget(peer_budget);
             match processor.execute_plan(&plan) {
-                Ok(answer) => {
-                    for vid in answer.rows.views() {
-                        result.rows.push(FederatedRow {
-                            peer: name.clone(),
-                            vid,
-                            score: 0.0,
-                        });
+                Ok(answer) => match request.wants_ranked() {
+                    Some(weights) => {
+                        for RankedResult { vid, score } in
+                            processor.rank_rows(&plan, &answer.rows, weights)
+                        {
+                            result.rows.push(FederatedRow {
+                                peer: name.clone(),
+                                vid,
+                                score,
+                            });
+                        }
                     }
-                }
+                    None => {
+                        for vid in answer.rows.views() {
+                            result.rows.push(FederatedRow {
+                                peer: name.clone(),
+                                vid,
+                                score: 0.0,
+                            });
+                        }
+                    }
+                },
                 Err(err) => result.errors.push((name.clone(), err)),
             }
+        }
+        if request.wants_ranked().is_some() {
+            result.rows.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.peer.cmp(&b.peer))
+                    .then(a.vid.cmp(&b.vid))
+            });
         }
         Ok(result)
     }
 
+    /// Runs a query on every peer; rows are tagged with their peer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Federation::run` with `QueryRequest::new(iql)`"
+    )]
+    pub fn query(&self, iql: &str) -> Result<FederatedResult> {
+        self.run(&QueryRequest::new(iql))
+    }
+
+    /// [`Federation::run`] under a total resource budget.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Federation::run` with `QueryRequest::new(iql).budget(budget)`"
+    )]
+    pub fn query_budgeted(&self, iql: &str, budget: QueryBudget) -> Result<FederatedResult> {
+        self.run(&QueryRequest::new(iql).budget(budget))
+    }
+
     /// Runs a ranked query on every peer and merges by score (global
-    /// ranking across the federation). Planned once like
-    /// [`Federation::query`], and partial like it: failing peers land in
-    /// the error list.
+    /// ranking across the federation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Federation::run` with `QueryRequest::new(iql).ranked()`"
+    )]
     pub fn query_ranked(&self, iql: &str) -> Result<FederatedResult> {
-        let mut result = FederatedResult::default();
-        let Some(plan) = self.coordinate(iql)? else {
-            return Ok(result);
-        };
-        for (name, system) in &self.peers {
-            let processor = system.query_processor();
-            match processor.execute_ranked_plan(&plan, RankWeights::default()) {
-                Ok(ranked) => {
-                    for RankedResult { vid, score } in ranked {
-                        result.rows.push(FederatedRow {
-                            peer: name.clone(),
-                            vid,
-                            score,
-                        });
-                    }
-                }
-                Err(err) => result.errors.push((name.clone(), err)),
-            }
-        }
-        result.rows.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.peer.cmp(&b.peer))
-                .then(a.vid.cmp(&b.vid))
-        });
-        Ok(result)
+        self.run(&QueryRequest::new(iql).ranked())
     }
 
     /// Per-peer result counts for a query (the P2P dashboard number).
@@ -240,7 +255,7 @@ mod tests {
     #[test]
     fn queries_fan_out_and_tag_peers() {
         let fed = federation();
-        let result = fed.query(r#""database""#).unwrap();
+        let result = fed.run(&QueryRequest::new(r#""database""#)).unwrap();
         assert!(result.is_complete());
         let rows = result.rows;
         let mut peers: Vec<&str> = rows.iter().map(|r| r.peer.as_str()).collect();
@@ -269,7 +284,9 @@ mod tests {
             peer_with("y.txt", "database database database database"),
         )
         .unwrap();
-        let result = fed.query_ranked(r#""database""#).unwrap();
+        let result = fed
+            .run(&QueryRequest::new(r#""database""#).ranked())
+            .unwrap();
         assert!(result.is_complete());
         let rows = result.rows;
         assert_eq!(rows.len(), 2);
@@ -285,7 +302,9 @@ mod tests {
         // answers (zero rows, one error per peer) instead of failing as
         // a whole.
         let result = fed
-            .query(r#"union("database", join(//notes as a, //notes as b, a.name = b.name))"#)
+            .run(&QueryRequest::new(
+                r#"union("database", join(//notes as a, //notes as b, a.name = b.name))"#,
+            ))
             .unwrap();
         assert!(result.is_empty());
         assert!(!result.is_complete());
@@ -308,7 +327,7 @@ mod tests {
     #[test]
     fn parse_errors_fail_fast() {
         let fed = federation();
-        assert!(fed.query("[size >").is_err());
+        assert!(fed.run(&QueryRequest::new("[size >")).is_err());
         assert!(fed.count_by_peer("[size >").is_err());
     }
 
@@ -319,7 +338,9 @@ mod tests {
         // every peer.
         let fed = federation();
         let err = fed
-            .query(r#"join(//notes as a, //notes as b, a.name = a.name)"#)
+            .run(&QueryRequest::new(
+                r#"join(//notes as a, //notes as b, a.name = a.name)"#,
+            ))
             .unwrap_err();
         assert!(err.to_string().contains("ambiguous"), "{err}");
     }
@@ -333,7 +354,10 @@ mod tests {
         // open-ended wait, no panic.
         let started = std::time::Instant::now();
         let result = fed
-            .query_budgeted(r#""database""#, QueryBudget::with_deadline(Duration::ZERO))
+            .run(
+                &QueryRequest::new(r#""database""#)
+                    .budget(QueryBudget::with_deadline(Duration::ZERO)),
+            )
             .unwrap();
         assert!(started.elapsed() < Duration::from_millis(200));
         assert!(result.is_empty());
@@ -347,12 +371,12 @@ mod tests {
         }
         // A generous deadline changes nothing about the rows.
         let governed = fed
-            .query_budgeted(
-                r#""database""#,
-                QueryBudget::with_deadline(Duration::from_secs(60)),
+            .run(
+                &QueryRequest::new(r#""database""#)
+                    .budget(QueryBudget::with_deadline(Duration::from_secs(60))),
             )
             .unwrap();
-        let free = fed.query(r#""database""#).unwrap();
+        let free = fed.run(&QueryRequest::new(r#""database""#)).unwrap();
         assert_eq!(governed.rows, free.rows);
         assert!(governed.is_complete());
     }
@@ -360,7 +384,7 @@ mod tests {
     #[test]
     fn empty_federation_returns_empty() {
         let fed = Federation::new();
-        let result = fed.query(r#""anything""#).unwrap();
+        let result = fed.run(&QueryRequest::new(r#""anything""#)).unwrap();
         assert!(result.is_empty());
         assert!(result.is_complete());
     }

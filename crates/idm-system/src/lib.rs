@@ -27,6 +27,7 @@
 pub mod converter;
 pub mod federation;
 pub mod govern;
+pub mod live;
 pub mod rvm;
 pub mod source;
 pub mod sync;
@@ -34,6 +35,8 @@ pub mod sync;
 pub use converter::{Content2IdmConverter, ConverterRegistry};
 pub use federation::{FederatedResult, FederatedRow, Federation};
 pub use govern::{AdmissionGate, AdmissionPermit, AdmissionSnapshot, GovernorConfig};
+pub use idm_query::{QueryRequest, QueryResponse};
+pub use live::{LiveQuery, LiveStats, SubscriptionRegistry};
 pub use rvm::{
     BulkIngestOptions, IngestReport, IngestThroughput, ResourceViewManager, SourceIngestStats,
 };
@@ -119,6 +122,10 @@ pub struct Pdsms {
     /// Admission control over the query path, when enabled: max
     /// concurrent queries plus a bounded, deadline-shedding wait queue.
     governor: Option<govern::AdmissionGate>,
+    /// Live-query machinery (record engine + subscription registry),
+    /// created lazily on first [`Pdsms::subscribe`] so systems without
+    /// standing queries never arm the store's record fan-out.
+    live: std::sync::OnceLock<live::LiveState>,
 }
 
 impl Pdsms {
@@ -145,6 +152,7 @@ impl Pdsms {
             durability: durability.map(Mutex::new),
             expansion: ExpansionStrategy::default(),
             governor: None,
+            live: std::sync::OnceLock::new(),
         }
     }
 
@@ -348,16 +356,22 @@ impl Pdsms {
     }
 
     /// Ingests and indexes every registered data source; returns the
-    /// per-source statistics (the Figure 5 / Table 2 numbers).
+    /// per-source statistics (the Figure 5 / Table 2 numbers). Live
+    /// queries are pumped afterwards, so the ingested changes reach
+    /// every subscription as one delta batch.
     pub fn index_all(&self) -> Result<Vec<SourceIngestStats>> {
-        self.rvm.ingest_all()
+        let stats = self.rvm.ingest_all()?;
+        self.pump_subscriptions();
+        Ok(stats)
     }
 
     /// Like [`Pdsms::index_all`] but resilient: failing sources are
     /// reported in [`IngestReport::failed`] while the healthy sources
     /// still ingest and index.
     pub fn index_all_resilient(&self) -> IngestReport {
-        self.rvm.ingest_all_resilient()
+        let report = self.rvm.ingest_all_resilient();
+        self.pump_subscriptions();
+        report
     }
 
     /// Like [`Pdsms::index_all`] but through the bulk pipeline: batched
@@ -365,7 +379,9 @@ impl Pdsms {
     /// grouped WAL syncs. Returns the full report including
     /// [`IngestThroughput`] counters.
     pub fn index_all_bulk(&self, options: &BulkIngestOptions) -> Result<IngestReport> {
-        self.rvm.ingest_all_bulk(options)
+        let report = self.rvm.ingest_all_bulk(options)?;
+        self.pump_subscriptions();
+        Ok(report)
     }
 
     /// The fault counters shared by every source guard of this system
@@ -404,33 +420,50 @@ impl Pdsms {
         self.governor.as_ref().map(govern::AdmissionGate::snapshot)
     }
 
-    /// Parses, plans and executes an iQL query under the system's
-    /// configured expansion strategy (and through the admission gate,
-    /// when enabled).
-    pub fn query(&self, iql: &str) -> Result<QueryResult> {
-        self.query_budgeted(iql, QueryBudget::none())
-    }
-
-    /// Like [`Pdsms::query`], but governed by `budget`: the query's
-    /// wall-clock deadline also caps its admission-queue wait, and the
-    /// budget (deadline, memory/row/node caps, partial-result opt-in)
-    /// bounds execution itself.
-    pub fn query_budgeted(&self, iql: &str, budget: QueryBudget) -> Result<QueryResult> {
+    /// Executes a [`QueryRequest`] under the system's configured
+    /// expansion strategy and through the admission gate, when enabled:
+    /// the request's wall-clock deadline (if any) also caps its
+    /// admission-queue wait. This is the single query entry point — the
+    /// legacy `query*` methods are deprecated spellings of it.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryResponse> {
         // Hold the permit for the whole execution; dropping it on any
         // return path (including budget-exhaustion errors) frees the
         // slot and wakes one queued waiter.
+        let deadline = request.requested_budget().and_then(|b| b.deadline);
         let _permit = match &self.governor {
-            Some(gate) => Some(gate.admit(budget.deadline)?),
+            Some(gate) => Some(gate.admit(deadline)?),
             None => None,
         };
-        let mut processor = self.query_processor();
-        processor.set_budget(budget);
-        processor.execute(iql)
+        self.query_processor().run(request)
+    }
+
+    /// Parses, plans and executes an iQL query under the system's
+    /// configured expansion strategy (and through the admission gate,
+    /// when enabled).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pdsms::run` with `QueryRequest::new(iql)`"
+    )]
+    pub fn query(&self, iql: &str) -> Result<QueryResult> {
+        self.run(&QueryRequest::new(iql)).map(|r| r.result)
+    }
+
+    /// Like [`Pdsms::run`] with a budgeted request: the query's
+    /// wall-clock deadline also caps its admission-queue wait, and the
+    /// budget (deadline, memory/row/node caps, partial-result opt-in)
+    /// bounds execution itself.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pdsms::run` with `QueryRequest::new(iql).budget(budget)`"
+    )]
+    pub fn query_budgeted(&self, iql: &str, budget: QueryBudget) -> Result<QueryResult> {
+        self.run(&QueryRequest::new(iql).budget(budget))
+            .map(|r| r.result)
     }
 
     /// Renders the execution plan of a query — under the system's
     /// configured expansion strategy, so EXPLAIN always matches what
-    /// [`Pdsms::query`] would run.
+    /// [`Pdsms::run`] would run.
     pub fn explain(&self, iql: &str) -> Result<String> {
         self.query_processor().explain(iql)
     }
@@ -438,11 +471,14 @@ impl Pdsms {
     /// Executes a query and returns its result *together with* the
     /// rendered plan. The plan is built exactly once; the executor runs
     /// it and the renderer prints it — the two cannot diverge.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pdsms::run` with `QueryRequest::new(iql).explain()`"
+    )]
     pub fn query_explained(&self, iql: &str) -> Result<(QueryResult, String)> {
-        let processor = self.query_processor();
-        let plan = processor.plan_iql(iql)?;
-        let result = processor.execute_plan(&plan)?;
-        Ok((result, plan.render()))
+        let response = self.run(&QueryRequest::new(iql).explain())?;
+        let plan = response.explain.unwrap_or_default();
+        Ok((response.result, plan))
     }
 }
 
@@ -494,14 +530,20 @@ mod tests {
         // Query 1: LaTeX Introduction sections in project PIM containing
         // 'Mike Franklin'.
         let result = system
-            .query(r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#)
-            .unwrap();
+            .run(&QueryRequest::new(
+                r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#,
+            ))
+            .unwrap()
+            .result;
         assert_eq!(result.rows.len(), 1);
 
         // Without the PIM constraint both Introductions match the name.
         let result = system
-            .query(r#"//Introduction[class="latex_section"]"#)
-            .unwrap();
+            .run(&QueryRequest::new(
+                r#"//Introduction[class="latex_section"]"#,
+            ))
+            .unwrap()
+            .result;
         assert_eq!(result.rows.len(), 2);
     }
 
@@ -546,8 +588,11 @@ mod tests {
         // whose label (caption) contains 'Indexing Time' — matches one
         // figure on disk AND one inside an email attachment.
         let result = system
-            .query(r#"//OLAP//*[class="figure" and "Indexing Time"]"#)
-            .unwrap();
+            .run(&QueryRequest::new(
+                r#"//OLAP//*[class="figure" and "Indexing Time"]"#,
+            ))
+            .unwrap()
+            .result;
         assert_eq!(result.rows.len(), 2, "boundary between subsystems gone");
     }
 
@@ -582,7 +627,10 @@ mod tests {
         let mut system = Pdsms::new();
         system.register_source(Arc::new(FsPlugin::new(fs, NodeId::ROOT)));
         system.index_all().unwrap();
-        let (result, plan) = system.query_explained(r#"//docs//*["database"]"#).unwrap();
+        let response = system
+            .run(&QueryRequest::new(r#"//docs//*["database"]"#).explain())
+            .unwrap();
+        let (result, plan) = (response.result, response.explain.unwrap());
         assert_eq!(result.rows.len(), 1);
         // The rendered operators are the executed operators.
         assert!(plan.contains("Relate"), "{plan}");

@@ -1,0 +1,385 @@
+//! Live queries: standing subscriptions over the dataspace.
+//!
+//! A subscription is a [`QueryRequest`] whose result *stays* answered:
+//! [`Pdsms::subscribe`] executes it once, seeds a delta-maintained
+//! standing result ([`idm_query::MaintainedPlan`]), and hands back a
+//! [`LiveQuery`] — the initial rows plus a channel of
+//! [`ResultDelta`] batches. From then on, every store mutation's
+//! logical [`ChangeRecord`]s flow through an [`idm_streams::RecordEngine`]
+//! into the [`SubscriptionRegistry`], which maintains each standing
+//! result incrementally (falling back to bounded re-expansion or full
+//! recompute only where a node cannot be maintained soundly) and pushes
+//! the non-empty deltas to subscribers.
+//!
+//! Delivery is pull-paced: the engine dispatches when
+//! [`Pdsms::pump_subscriptions`] runs — which the ingest paths
+//! (`index_all*`) do automatically, and which sync-round drivers (RSS
+//! polls, IMAP rounds, filesystem notification sweeps) call after each
+//! round — so a sync round's worth of changes arrives as one coalesced
+//! delta batch per subscription.
+//!
+//! The PR 7 partiality gate extends here: a budget-truncated execution
+//! is a *subset* of the true rows and never seeds a subscription
+//! (subscribing with an exhausted budget is an error, not a silently
+//! wrong feed), and maintenance always runs unbudgeted, so a standing
+//! result is never updated from partial state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use idm_core::prelude::*;
+use idm_query::{
+    MaintainedPlan, QueryBudget, QueryProcessor, QueryRequest, QueryResult, ResultDelta,
+};
+use idm_streams::{RecordEngine, RecordOperator};
+use parking_lot::Mutex;
+
+use crate::Pdsms;
+
+/// A standing query handle: the rows at subscription time plus the
+/// stream of changes since. Dropping it unsubscribes (the registry
+/// prunes the subscription on its next push).
+pub struct LiveQuery {
+    id: u64,
+    initial: QueryResult,
+    deltas: Receiver<ResultDelta>,
+}
+
+impl std::fmt::Debug for LiveQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveQuery")
+            .field("id", &self.id)
+            .field("initial_rows", &self.initial.rows.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LiveQuery {
+    /// The subscription id (unique within the system).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The full result at subscription time.
+    pub fn initial(&self) -> &QueryResult {
+        &self.initial
+    }
+
+    /// Drains every delta pushed since the last poll (empty when
+    /// nothing relevant changed).
+    pub fn poll(&self) -> Vec<ResultDelta> {
+        self.deltas.try_iter().collect()
+    }
+}
+
+struct Subscription {
+    standing: MaintainedPlan,
+    tx: Sender<ResultDelta>,
+}
+
+/// Counter totals for a system's live queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Currently registered subscriptions.
+    pub active: u64,
+    /// Non-empty delta batches pushed to subscribers.
+    pub deltas_pushed: u64,
+    /// Change records applied across all subscriptions.
+    pub records_applied: u64,
+    /// Subscriptions dropped because maintenance failed.
+    pub maintain_failures: u64,
+    /// Subscriptions pruned (handle dropped or maintenance failed).
+    pub dropped: u64,
+}
+
+/// Maintains every standing query against incoming change-record
+/// batches. Registered as a [`RecordOperator`] on the system's
+/// [`RecordEngine`], so pumping the engine maintains all subscriptions.
+pub struct SubscriptionRegistry {
+    processor: QueryProcessor,
+    subs: Mutex<Vec<Subscription>>,
+    next_id: AtomicU64,
+    deltas_pushed: AtomicU64,
+    records_applied: AtomicU64,
+    maintain_failures: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SubscriptionRegistry {
+    fn new(processor: QueryProcessor) -> Self {
+        SubscriptionRegistry {
+            processor,
+            subs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            deltas_pushed: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            maintain_failures: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn subscribe(&self, request: &QueryRequest) -> Result<LiveQuery> {
+        let plan = self.processor.plan_iql(request.iql())?;
+        let budget = request.requested_budget().unwrap_or(QueryBudget::none());
+        let (result, standing) = self.processor.execute_standing(&plan, budget)?;
+        let Some(standing) = standing else {
+            // Either the budget truncated the execution (a partial
+            // result must never seed a standing one) or the plan shape
+            // cannot be maintained soundly.
+            return Err(IdmError::Provider {
+                detail: if result.stats.partial {
+                    "subscribe: budget-truncated (partial) execution cannot seed a standing result"
+                        .into()
+                } else {
+                    "subscribe: plan shape is not maintainable".into()
+                },
+                source: Some("live".into()),
+                vid: None,
+            });
+        };
+        let (tx, rx) = unbounded();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().push(Subscription { standing, tx });
+        Ok(LiveQuery {
+            id,
+            initial: result,
+            deltas: rx,
+        })
+    }
+
+    fn apply(&self, records: &[ChangeRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut subs = self.subs.lock();
+        self.records_applied
+            .fetch_add((records.len() * subs.len()) as u64, Ordering::Relaxed);
+        subs.retain_mut(
+            |sub| match self.processor.maintain(&mut sub.standing, records) {
+                Ok(delta) => {
+                    // An empty delta keeps the subscription as-is; a
+                    // dropped handle is noticed (and pruned) on its
+                    // next non-empty push.
+                    if delta.is_empty() {
+                        return true;
+                    }
+                    self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
+                    if sub.tx.send(delta).is_ok() {
+                        true
+                    } else {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                }
+                Err(_) => {
+                    // Maintenance failed (e.g. a full recompute hit a
+                    // substrate fault): the standing rows can no longer
+                    // be trusted, so the subscription ends rather than
+                    // serving stale results as live.
+                    self.maintain_failures.fetch_add(1, Ordering::Relaxed);
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            },
+        );
+    }
+
+    fn stats(&self) -> LiveStats {
+        LiveStats {
+            active: self.subs.lock().len() as u64,
+            deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
+            records_applied: self.records_applied.load(Ordering::Relaxed),
+            maintain_failures: self.maintain_failures.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl RecordOperator for SubscriptionRegistry {
+    fn on_records(&self, _store: &ViewStore, records: &[ChangeRecord]) {
+        self.apply(records);
+    }
+}
+
+/// The lazily-created live-query machinery of one [`Pdsms`]: a record
+/// engine over the store with the subscription registry attached.
+pub(crate) struct LiveState {
+    engine: Arc<RecordEngine>,
+    registry: Arc<SubscriptionRegistry>,
+}
+
+impl Pdsms {
+    fn live_state(&self) -> &LiveState {
+        self.live.get_or_init(|| {
+            let engine = Arc::new(RecordEngine::attach(Arc::clone(&self.store)));
+            let registry = Arc::new(SubscriptionRegistry::new(self.query_processor()));
+            engine.register(Arc::clone(&registry) as Arc<dyn RecordOperator>);
+            LiveState { engine, registry }
+        })
+    }
+
+    /// Registers `request` as a standing query: executes it once (under
+    /// the admission gate, when enabled) and returns a [`LiveQuery`]
+    /// whose delta channel is fed by [`Pdsms::pump_subscriptions`].
+    ///
+    /// A request whose budget truncates the execution is rejected — a
+    /// partial result never seeds a standing one.
+    pub fn subscribe(&self, request: &QueryRequest) -> Result<LiveQuery> {
+        let state = self.live_state();
+        let deadline = request.requested_budget().and_then(|b| b.deadline);
+        let _permit = match &self.governor {
+            Some(gate) => Some(gate.admit(deadline)?),
+            None => None,
+        };
+        // Deliver anything pending first, so existing subscriptions are
+        // current and the new standing result seeds against a drained
+        // record log. (Records racing past this point are re-applied on
+        // the next pump; delta maintenance is convergent, so replaying
+        // a change the seeding execution already saw is harmless.)
+        state.engine.pump();
+        state.registry.subscribe(request)
+    }
+
+    /// Drives every live query: drains pending change records and
+    /// applies them to each standing result, pushing non-empty deltas
+    /// to subscribers. Returns the number of records dispatched. The
+    /// ingest paths call this automatically; sync-round drivers should
+    /// call it after each round.
+    pub fn pump_subscriptions(&self) -> usize {
+        match self.live.get() {
+            Some(state) => state.engine.pump(),
+            None => 0,
+        }
+    }
+
+    /// Counter totals for this system's live queries.
+    pub fn live_stats(&self) -> LiveStats {
+        match self.live.get() {
+            Some(state) => state.registry.stats(),
+            None => LiveStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FsPlugin;
+    use idm_vfs::{NodeId, VirtualFs};
+
+    fn t() -> Timestamp {
+        Timestamp::from_ymd(2006, 8, 1).unwrap()
+    }
+
+    fn system_with_file(
+        name: &str,
+        body: &str,
+    ) -> (Arc<VirtualFs>, Pdsms, crate::SynchronizationManager) {
+        let fs = Arc::new(VirtualFs::new(t()));
+        let dir = fs.mkdir_p("/docs", t()).unwrap();
+        fs.create_file(dir, name, body.to_owned(), t()).unwrap();
+        let mut system = Pdsms::new();
+        let plugin = Arc::new(FsPlugin::new(Arc::clone(&fs), NodeId::ROOT));
+        system.register_source(Arc::clone(&plugin) as Arc<dyn crate::source::DataSourcePlugin>);
+        system.index_all().unwrap();
+        let sync = crate::SynchronizationManager::attach(
+            plugin,
+            Arc::clone(system.store()),
+            Arc::clone(system.indexes()),
+        )
+        .unwrap();
+        (fs, system, sync)
+    }
+
+    #[test]
+    fn sync_rounds_drive_subscriptions() {
+        let (fs, system, sync) = system_with_file("a.txt", "database tuning");
+        let live = system
+            .subscribe(&QueryRequest::new(r#""database""#).subscribe())
+            .unwrap();
+        assert_eq!(live.initial().rows.len(), 1);
+        assert!(live.poll().is_empty(), "nothing changed yet");
+
+        // A new matching file arrives; the sync round ingests it, the
+        // pump delivers its records to the standing query.
+        let dir = fs.resolve("/docs").unwrap();
+        fs.create_file(dir, "b.txt", "more database notes", t())
+            .unwrap();
+        sync.sync_round().unwrap();
+        system.pump_subscriptions();
+
+        let deltas = live.poll();
+        assert_eq!(deltas.len(), 1, "one coalesced batch per round");
+        assert_eq!(deltas[0].added.len(), 1);
+        assert!(deltas[0].removed.is_empty());
+        // The maintained rows equal a fresh query.
+        let fresh = system.run(&QueryRequest::new(r#""database""#)).unwrap();
+        assert_eq!(deltas[0].total, fresh.result.rows.len());
+        assert!(system.live_stats().deltas_pushed >= 1);
+    }
+
+    #[test]
+    fn removals_flow_through_as_removed_rows() {
+        let (fs, system, sync) = system_with_file("a.txt", "database tuning");
+        let live = system
+            .subscribe(&QueryRequest::new(r#""database""#))
+            .unwrap();
+        assert_eq!(live.initial().rows.len(), 1);
+
+        fs.remove(fs.resolve("/docs/a.txt").unwrap()).unwrap();
+        sync.sync_round().unwrap();
+        system.pump_subscriptions();
+
+        let deltas = live.poll();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].added.is_empty());
+        assert_eq!(deltas[0].removed.len(), 1);
+        assert_eq!(deltas[0].total, 0);
+    }
+
+    #[test]
+    fn irrelevant_changes_push_nothing() {
+        let (fs, system, sync) = system_with_file("a.txt", "database tuning");
+        let live = system
+            .subscribe(&QueryRequest::new(r#""database""#))
+            .unwrap();
+        let dir = fs.resolve("/docs").unwrap();
+        fs.create_file(dir, "c.txt", "tomato soup recipe", t())
+            .unwrap();
+        sync.sync_round().unwrap();
+        system.pump_subscriptions();
+        assert!(live.poll().is_empty(), "unrelated change, no delta");
+    }
+
+    #[test]
+    fn partial_execution_never_seeds_a_subscription() {
+        let (_fs, system, _sync) = system_with_file("a.txt", "database tuning");
+        let budget = QueryBudget {
+            cancel_after_checks: Some(1),
+            partial: true,
+            ..QueryBudget::default()
+        };
+        let err = system
+            .subscribe(&QueryRequest::new(r#""database""#).budget(budget))
+            .unwrap_err();
+        assert!(err.to_string().contains("partial"), "{err}");
+        assert_eq!(system.live_stats().active, 0);
+    }
+
+    #[test]
+    fn dropped_handles_are_pruned() {
+        let (fs, system, sync) = system_with_file("a.txt", "database tuning");
+        let live = system
+            .subscribe(&QueryRequest::new(r#""database""#))
+            .unwrap();
+        assert_eq!(system.live_stats().active, 1);
+        drop(live);
+        let dir = fs.resolve("/docs").unwrap();
+        fs.create_file(dir, "d.txt", "database again", t()).unwrap();
+        sync.sync_round().unwrap();
+        system.pump_subscriptions();
+        assert_eq!(system.live_stats().active, 0);
+        assert!(system.live_stats().dropped >= 1);
+    }
+}

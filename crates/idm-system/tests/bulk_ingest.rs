@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use idm_core::durability::{DurabilityOptions, SyncPolicy};
 use idm_core::prelude::*;
-use idm_system::{BulkIngestOptions, FsPlugin, Pdsms};
+use idm_system::{BulkIngestOptions, FsPlugin, Pdsms, QueryRequest};
 use idm_vfs::{NodeId, VirtualFs};
 
 fn t() -> Timestamp {
@@ -48,8 +48,9 @@ fn query_rows(system: &Pdsms) -> Vec<Vec<u64>> {
         .iter()
         .map(|iql| {
             let mut rows: Vec<u64> = system
-                .query(iql)
+                .run(&QueryRequest::new(*iql))
                 .unwrap()
+                .result
                 .rows
                 .views()
                 .iter()

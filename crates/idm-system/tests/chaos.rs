@@ -12,6 +12,7 @@ use idm_email::message::EmailMessage;
 use idm_email::ImapServer;
 use idm_query::ExpansionCache;
 use idm_system::sync::SyncReport;
+use idm_system::QueryRequest;
 use idm_system::{
     FsPlugin, ImapPlugin, ImapSynchronizationManager, Pdsms, SyncCoordinator, SyncDriver,
     SynchronizationManager,
@@ -256,7 +257,10 @@ fn persistent_failure_quarantines_one_source_while_others_sync() {
 
     // The healthy sources' data is queryable; the dataspace degraded,
     // it did not fail.
-    let hits = system.query(r#""fresh file""#).unwrap();
+    let hits = system
+        .run(&QueryRequest::new(r#""fresh file""#))
+        .unwrap()
+        .result;
     assert_eq!(hits.rows.len(), 1);
 
     // The mail server heals; the next rounds recover the source (the

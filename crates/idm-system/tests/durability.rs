@@ -9,7 +9,7 @@ use std::sync::Arc;
 use idm_core::prelude::*;
 use idm_email::message::{Attachment, EmailMessage};
 use idm_email::ImapServer;
-use idm_system::{FsPlugin, ImapPlugin, IndexFate, Pdsms};
+use idm_system::{FsPlugin, ImapPlugin, IndexFate, Pdsms, QueryRequest};
 use idm_vfs::{NodeId, VirtualFs};
 
 fn t() -> Timestamp {
@@ -75,8 +75,9 @@ fn query_rows(system: &Pdsms) -> Vec<Vec<u64>> {
         .iter()
         .map(|iql| {
             let mut rows: Vec<u64> = system
-                .query(iql)
+                .run(&QueryRequest::new(*iql))
                 .unwrap()
+                .result
                 .rows
                 .views()
                 .iter()
@@ -135,7 +136,11 @@ fn post_checkpoint_mutations_replay_from_the_wal() {
         Some("renamed.txt")
     );
     // The rebuilt index covers the replayed view.
-    let rows = reopened.query(r#""post snapshot""#).unwrap().rows;
+    let rows = reopened
+        .run(&QueryRequest::new(r#""post snapshot""#))
+        .unwrap()
+        .result
+        .rows;
     assert_eq!(rows.views(), &[extra]);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -223,7 +228,11 @@ fn torn_wal_tail_recovers_a_consistent_prefix_end_to_end() {
     let invariants = reopened.store().verify_invariants();
     assert!(invariants.is_ok(), "{invariants:?}");
     // 9 of the 10 tail entries survived; the torn one is gone entirely.
-    let rows = reopened.query(r#""tail entry""#).unwrap().rows;
+    let rows = reopened
+        .run(&QueryRequest::new(r#""tail entry""#))
+        .unwrap()
+        .result
+        .rows;
     assert_eq!(rows.len(), 9);
     std::fs::remove_dir_all(&dir).ok();
 }

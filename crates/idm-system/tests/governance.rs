@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use idm_core::prelude::*;
 use idm_query::{ExecOptions, QueryBudget};
-use idm_system::{GovernorConfig, Pdsms};
+use idm_system::{GovernorConfig, Pdsms, QueryRequest};
 
 /// A dataspace big enough that queries do real work: `n` documents with
 /// names, sizes and content words, chained into a group hierarchy.
@@ -43,7 +43,7 @@ fn populated_system(n: usize) -> Pdsms {
 fn expired_deadline_aborts_within_50ms_and_leaves_no_residue() {
     let system = populated_system(200);
     let query = r#"//doc0//*"#;
-    let fresh = system.query(query).unwrap();
+    let fresh = system.run(&QueryRequest::new(query)).unwrap().result;
     assert!(!fresh.rows.is_empty());
 
     for parallelism in [1, 4] {
@@ -81,14 +81,17 @@ fn expired_deadline_aborts_within_50ms_and_leaves_no_residue() {
 #[test]
 fn partial_budget_through_facade_degrades_instead_of_erroring() {
     let system = populated_system(64);
-    let full = system.query(r#""alpha""#).unwrap();
+    let full = system.run(&QueryRequest::new(r#""alpha""#)).unwrap().result;
 
     let budget = QueryBudget {
         max_rows: Some(4),
         ..QueryBudget::default()
     }
     .degrade_to_partial();
-    let partial = system.query_budgeted(r#""alpha""#, budget).unwrap();
+    let partial = system
+        .run(&QueryRequest::new(r#""alpha""#).budget(budget))
+        .unwrap()
+        .result;
 
     assert!(partial.stats.partial);
     assert_eq!(partial.stats.exhausted, Some(BudgetKind::Rows));
@@ -121,7 +124,9 @@ fn governor_sheds_at_4x_concurrency_without_hangs() {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let system = &system;
-                scope.spawn(move || system.query_budgeted(r#""alpha""#, QueryBudget::none()))
+                scope.spawn(move || {
+                    system.run(&QueryRequest::new(r#""alpha""#).budget(QueryBudget::none()))
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -143,8 +148,9 @@ fn governor_sheds_at_4x_concurrency_without_hangs() {
     drop(slot_a);
     drop(slot_b);
     let ok = system
-        .query_budgeted(r#""alpha""#, QueryBudget::none())
-        .unwrap();
+        .run(&QueryRequest::new(r#""alpha""#).budget(QueryBudget::none()))
+        .unwrap()
+        .result;
     assert!(!ok.rows.is_empty());
     let snap = system.governor_stats().unwrap();
     assert_eq!(snap.admitted, 3);
@@ -165,7 +171,7 @@ fn shed_and_queue_expiry_are_distinct_through_the_facade() {
     });
     let permit = system.governor().unwrap().admit(None).unwrap();
     let err = system
-        .query_budgeted(r#""alpha""#, QueryBudget::none())
+        .run(&QueryRequest::new(r#""alpha""#).budget(QueryBudget::none()))
         .unwrap_err();
     assert_eq!(err.budget_kind(), Some(BudgetKind::Concurrency));
     let snap = system.governor_stats().unwrap();
@@ -184,9 +190,9 @@ fn shed_and_queue_expiry_are_distinct_through_the_facade() {
     let permit = system.governor().unwrap().admit(None).unwrap();
     let started = Instant::now();
     let err = system
-        .query_budgeted(
-            r#""alpha""#,
-            QueryBudget::with_deadline(Duration::from_millis(10)),
+        .run(
+            &QueryRequest::new(r#""alpha""#)
+                .budget(QueryBudget::with_deadline(Duration::from_millis(10))),
         )
         .unwrap_err();
     assert_eq!(err.budget_kind(), Some(BudgetKind::QueueWait));

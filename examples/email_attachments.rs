@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use imemex::email::message::{Attachment, EmailMessage};
 use imemex::email::ImapServer;
-use imemex::system::{FsPlugin, ImapPlugin, Pdsms};
+use imemex::system::{FsPlugin, ImapPlugin, Pdsms, QueryRequest};
 use imemex::vfs::{NodeId, VirtualFs};
 use imemex::Timestamp;
 
@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Query 2 ----
     let query = r#"//OLAP//*[class="figure" and "Indexing Time"]"#;
-    let result = system.query(query)?;
+    let result = system.run(&QueryRequest::new(query))?.result;
     println!("\nQuery 2: {query}");
     println!("{} result(s):", result.rows.len());
     let store = system.store();

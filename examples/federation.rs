@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use imemex::system::{Federation, FsPlugin, Pdsms};
+use imemex::system::{Federation, FsPlugin, Pdsms, QueryRequest};
 use imemex::vfs::{NodeId, VirtualFs};
 use imemex::Timestamp;
 
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Global ranking across the federation: the TF-heavy guide on the
     // desktop outranks the laptop's passing mention.
     println!("\nglobally ranked:");
-    let ranked = federation.query_ranked(query)?;
+    let ranked = federation.run(&QueryRequest::new(query).ranked())?;
     assert!(ranked.is_complete(), "every peer answered");
     for row in &ranked.rows {
         let name = federation
@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Structural queries federate too.
-    let sections = federation.query(r#"//docs//*[class="latex_section"]"#)?;
+    let sections = federation.run(&QueryRequest::new(r#"//docs//*[class="latex_section"]"#))?;
     println!("\nlatex sections across the network: {}", sections.len());
     Ok(())
 }

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use imemex::core::graph;
-use imemex::system::{FsPlugin, Pdsms};
+use imemex::system::{FsPlugin, Pdsms, QueryRequest};
 use imemex::vfs::{NodeId, VirtualFs};
 use imemex::Timestamp;
 
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Query 1 ----
     let query = r#"//PIM//Introduction[class="latex_section" and "Mike Franklin"]"#;
-    let result = system.query(query)?;
+    let result = system.run(&QueryRequest::new(query))?.result;
     println!("Query 1: {query}");
     println!("{} result(s):", result.rows.len());
     for vid in result.rows.views() {
@@ -68,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Without the PIM constraint, the OLAP decoy's Introduction also
     // matches the *name*, but not the phrase:
-    let all_intros = system.query(r#"//Introduction[class="latex_section"]"#)?;
+    let all_intros = system
+        .run(&QueryRequest::new(r#"//Introduction[class="latex_section"]"#))?
+        .result;
     println!(
         "\nAll Introduction sections in the dataspace: {}",
         all_intros.rows.len()

@@ -15,7 +15,7 @@ use std::time::Instant;
 use imemex::core::prelude::*;
 use imemex::index::persist;
 use imemex::query::QueryProcessor;
-use imemex::system::{FsPlugin, Pdsms};
+use imemex::system::{FsPlugin, Pdsms, QueryRequest};
 use imemex::vfs::{NodeId, VirtualFs};
 
 fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +56,11 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
         file_size,
         path.display()
     );
-    let answer_before = system.query(r#""database tuning""#)?.rows.len();
+    let answer_before = system
+        .run(&QueryRequest::new(r#""database tuning""#))?
+        .result
+        .rows
+        .len();
     drop(system); // the first session ends
 
     // Session 2: restart — load the indexes, no re-scan.

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use imemex::system::{FsPlugin, Pdsms};
+use imemex::system::{FsPlugin, Pdsms, QueryRequest};
 use imemex::vfs::{NodeId, VirtualFs};
 use imemex::Timestamp;
 
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // attribute predicates over the filesystem schema W_FS
         r#"[size > 100 and lastmodified < yesterday()]"#,
     ] {
-        let result = system.query(iql)?;
+        let result = system.run(&QueryRequest::new(iql))?.result;
         println!("\niQL> {iql}");
         println!("  -> {} result(s)", result.rows.len());
         for vid in result.rows.views().iter().take(5) {

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use imemex::dataset::{generate, DatasetConfig};
-use imemex::query::{ExpansionStrategy, QueryBudget, QueryProcessor};
-use imemex::system::{FsPlugin, GovernorConfig, ImapPlugin, Pdsms, RssPlugin};
+use imemex::query::{ExpansionStrategy, QueryBudget, QueryProcessor, QueryRequest};
+use imemex::system::{FsPlugin, GovernorConfig, ImapPlugin, LiveQuery, Pdsms, RssPlugin};
 use imemex::vfs::NodeId;
 
 struct Shell {
@@ -28,6 +28,8 @@ struct Shell {
     processor: QueryProcessor,
     /// The session budget every query runs under (`\budget`).
     budget: QueryBudget,
+    /// Standing queries registered with `\subscribe`, polled by `\live`.
+    subscriptions: Vec<(String, LiveQuery)>,
 }
 
 impl Shell {
@@ -68,6 +70,7 @@ impl Shell {
             strategy: ExpansionStrategy::Forward,
             processor,
             budget: QueryBudget::none(),
+            subscriptions: Vec::new(),
         }
     }
 
@@ -107,8 +110,9 @@ impl Shell {
             None => None,
         };
         let start = Instant::now();
-        match self.processor.execute_cached(iql) {
-            Ok(result) => {
+        match self.processor.run(&QueryRequest::new(iql).cached()) {
+            Ok(response) => {
+                let result = response.result;
                 let elapsed = start.elapsed();
                 println!(
                     "{} result(s) in {:.3} ms  ({})",
@@ -239,6 +243,62 @@ impl Shell {
         }
     }
 
+    /// `\subscribe <iql>`: registers a standing query; `\live` polls it.
+    fn subscribe_cmd(&mut self, iql: &str) {
+        if iql.is_empty() {
+            println!("usage: \\subscribe <iql>");
+            return;
+        }
+        match self
+            .system
+            .subscribe(&QueryRequest::new(iql).budget(self.budget).subscribe())
+        {
+            Ok(live) => {
+                println!(
+                    "subscription #{}: {} initial result(s); \\live shows changes",
+                    live.id(),
+                    live.initial().rows.len()
+                );
+                self.subscriptions.push((iql.to_owned(), live));
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `\live`: pumps pending change records through every standing
+    /// query and prints the deltas that arrived.
+    fn poll_live(&mut self) {
+        if self.subscriptions.is_empty() {
+            println!("no subscriptions — \\subscribe <iql> registers one");
+            return;
+        }
+        let records = self.system.pump_subscriptions();
+        let mut quiet = 0;
+        for (iql, live) in &self.subscriptions {
+            let deltas = live.poll();
+            if deltas.is_empty() {
+                quiet += 1;
+                continue;
+            }
+            for delta in deltas {
+                println!(
+                    "subscription #{} {iql}: +{} -{} ({} total)",
+                    live.id(),
+                    delta.added.len(),
+                    delta.removed.len(),
+                    delta.total
+                );
+                for vid in delta.added.views().iter().take(5) {
+                    println!("  + {}", self.describe(*vid));
+                }
+                for vid in delta.removed.views().iter().take(5) {
+                    println!("  - {}", self.describe(*vid));
+                }
+            }
+        }
+        println!("{records} change record(s) applied; {quiet} subscription(s) unchanged");
+    }
+
     fn run_update(&self, statement: &str) {
         match self.processor.execute_update(statement) {
             Ok(outcome) => println!(
@@ -309,8 +369,13 @@ impl Shell {
         println!("expansion:        {:?}", self.strategy);
         let results = self.processor.result_cache().counters();
         println!(
-            "result cache:     {} hit(s), {} miss(es), {} invalidation(s)",
-            results.hits, results.misses, results.invalidations
+            "result cache:     {} hit(s), {} miss(es), {} maintained, {} invalidation(s)",
+            results.hits, results.misses, results.maintained, results.invalidations
+        );
+        let live = self.system.live_stats();
+        println!(
+            "live queries:     {} active, {} delta(s) pushed, {} record(s) applied",
+            live.active, live.deltas_pushed, live.records_applied
         );
         println!("budget:           {}", self.describe_budget());
         match self.system.governor_stats() {
@@ -348,6 +413,10 @@ commands:
                         nodes=<n> bytes=<n> partial|strict|off
   \\governor [c q ms]    enable admission control (max concurrent, max
                         queued, queue deadline ms; defaults 4 16 100)
+  \\subscribe <iql>      register a standing query, incrementally
+                        maintained as the dataspace changes
+  \\live                 apply pending changes and print each standing
+                        query's deltas
   :stats                store, index, budget and governor statistics
   :help                 this text
   :quit                 exit
@@ -401,6 +470,8 @@ fn main() {
                 "checkpoint" => shell.checkpoint(),
                 "budget" => shell.set_budget_cmd(arg),
                 "governor" => shell.governor_cmd(arg),
+                "subscribe" => shell.subscribe_cmd(arg.trim()),
+                "live" => shell.poll_live(),
                 "rank" => shell.run_ranked(arg.trim()),
                 "update" => shell.run_update(arg.trim()),
                 "estimate" => {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::sync::OnceLock;
 
 use imemex::dataset::{generate, DatasetConfig};
-use imemex::query::ExpansionStrategy;
+use imemex::query::{ExpansionStrategy, QueryRequest};
 use imemex::system::{FsPlugin, ImapPlugin, Pdsms, RssPlugin};
 use imemex::vfs::NodeId;
 
@@ -59,7 +59,11 @@ fn table4_queries_return_planted_counts() {
     let e = w.dataset.expected;
     let expected = [e.q1, e.q2, e.q3, e.q4, e.q5, e.q6, e.q7, e.q8];
     for (i, iql) in TABLE4.iter().enumerate() {
-        let result = w.system.query(iql).expect("query runs");
+        let result = w
+            .system
+            .run(&QueryRequest::new(*iql))
+            .expect("query runs")
+            .result;
         assert_eq!(
             result.rows.len(),
             expected[i],
@@ -165,8 +169,16 @@ fn query_stats_show_q8_expansion_blowup() {
     // The paper: Q8 processes a large number of intermediate results
     // relative to its final result size (Section 7.2).
     let w = world();
-    let q8 = w.system.query(TABLE4[7]).expect("q8");
-    let q1 = w.system.query(TABLE4[0]).expect("q1");
+    let q8 = w
+        .system
+        .run(&QueryRequest::new(TABLE4[7]))
+        .expect("q8")
+        .result;
+    let q1 = w
+        .system
+        .run(&QueryRequest::new(TABLE4[0]))
+        .expect("q1")
+        .result;
     assert!(
         q8.stats.nodes_expanded > 100 * q8.rows.len().max(1),
         "expected intermediate-results blowup, got {} expanded for {} rows",
@@ -192,7 +204,13 @@ fn indexes_survive_a_restart() {
     let fresh_store = std::sync::Arc::new(imemex::core::prelude::ViewStore::new());
     let processor = imemex::query::QueryProcessor::new(fresh_store, restored);
     for iql in TABLE4 {
-        let before = w.system.query(iql).unwrap().rows.len();
+        let before = w
+            .system
+            .run(&QueryRequest::new(iql))
+            .unwrap()
+            .result
+            .rows
+            .len();
         let after = processor.execute(iql).unwrap().rows.len();
         assert_eq!(before, after, "restart changed '{iql}'");
     }

@@ -1,0 +1,183 @@
+//! Golden equivalence: every deprecated query entry point is a thin
+//! wrapper over [`QueryRequest`], so each must return byte-identical
+//! results to its request spelling — same rows, same stats, same
+//! explain text — for the full Table 4 workload. A wrapper that drifts
+//! from its replacement is a silent behavior change for migrating
+//! callers; these tests pin the two paths together until the wrappers
+//! are removed.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use imemex::dataset::{generate, DatasetConfig};
+use imemex::query::{QueryBudget, QueryRequest};
+use imemex::system::{Federation, FsPlugin, ImapPlugin, Pdsms, RssPlugin};
+use imemex::vfs::{NodeId, VirtualFs};
+
+const TABLE4: [&str; 8] = [
+    r#""database""#,
+    r#""database tuning""#,
+    r#"[size > 420000 and lastmodified < @12.06.2005]"#,
+    r#"//papers//*Vision/*["Franklin"]"#,
+    r#"//VLDB200?//?onclusion*/*["systems"]"#,
+    r#"union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])"#,
+    r#"join( //VLDB2006//*[class="texref"] as A, //VLDB2006//*[class="environment"]//figure* as B, A.name=B.tuple.label)"#,
+    r#"join ( //*[class="emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )"#,
+];
+
+fn world() -> &'static Pdsms {
+    static WORLD: OnceLock<Pdsms> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let dataset = generate(DatasetConfig::at_scale(0.02));
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(
+            Arc::clone(&dataset.fs),
+            NodeId::ROOT,
+        )));
+        system.register_source(Arc::new(ImapPlugin::new(Arc::clone(&dataset.imap))));
+        system.register_source(Arc::new(RssPlugin::new(
+            Arc::clone(&dataset.feeds),
+            dataset.feed_urls.clone(),
+        )));
+        system.index_all().expect("ingest");
+        system
+    })
+}
+
+#[test]
+fn query_wrapper_is_byte_identical_to_plain_request() {
+    let w = world();
+    for iql in TABLE4 {
+        let old = w.query(iql).expect("wrapper");
+        let new = w.run(&QueryRequest::new(iql)).expect("request");
+        assert_eq!(old.rows, new.result.rows, "rows drifted on '{iql}'");
+        assert_eq!(old.stats, new.result.stats, "stats drifted on '{iql}'");
+        assert_eq!(
+            new.result.stats, new.stats,
+            "response stats mirror the result"
+        );
+        assert!(new.explain.is_none() && new.ranked.is_none());
+    }
+}
+
+#[test]
+fn query_budgeted_wrapper_is_byte_identical_to_budget_switch() {
+    let w = world();
+    let budgets = [
+        QueryBudget::none(),
+        QueryBudget::with_deadline(std::time::Duration::from_secs(60)),
+        QueryBudget {
+            max_nodes: Some(100_000),
+            max_bytes: Some(64 << 20),
+            ..QueryBudget::default()
+        },
+    ];
+    for iql in TABLE4 {
+        for budget in budgets {
+            let old = w.query_budgeted(iql, budget).expect("wrapper");
+            let new = w
+                .run(&QueryRequest::new(iql).budget(budget))
+                .expect("request");
+            assert_eq!(old.rows, new.result.rows, "rows drifted on '{iql}'");
+            assert_eq!(old.stats, new.result.stats, "stats drifted on '{iql}'");
+        }
+    }
+}
+
+#[test]
+fn query_explained_wrapper_is_byte_identical_to_explain_switch() {
+    let w = world();
+    for iql in TABLE4 {
+        let (old_result, old_plan) = w.query_explained(iql).expect("wrapper");
+        let new = w.run(&QueryRequest::new(iql).explain()).expect("request");
+        assert_eq!(old_result.rows, new.result.rows, "rows drifted on '{iql}'");
+        let new_plan = new.explain.expect("explain requested");
+        assert_eq!(old_plan, new_plan, "plan text drifted on '{iql}'");
+        // And both agree with the standalone explain entry point.
+        assert_eq!(w.explain(iql).expect("explain"), new_plan);
+    }
+}
+
+#[test]
+fn execute_cached_wrapper_is_byte_identical_to_cached_request() {
+    let w = world();
+    let old_side = w.query_processor();
+    let new_side = w.query_processor();
+    for iql in TABLE4 {
+        // Twice each: a cold pass that seeds the cache and a warm pass
+        // served from the maintained standing result.
+        for pass in 0..2 {
+            let old = old_side.execute_cached(iql).expect("wrapper");
+            let new = new_side
+                .run(&QueryRequest::new(iql).cached())
+                .expect("request");
+            assert_eq!(old.rows, new.result.rows, "rows drifted on '{iql}'");
+            assert_eq!(
+                old.stats.result_cache_hits > 0,
+                new.result.stats.result_cache_hits > 0,
+                "cache behavior drifted on '{iql}' pass {pass}"
+            );
+        }
+    }
+}
+
+fn federation() -> Federation {
+    let t = imemex::Timestamp::from_ymd(2006, 8, 1).unwrap();
+    let mut federation = Federation::new();
+    for (peer, files) in [
+        (
+            "laptop",
+            vec![("a.txt", "database tuning"), ("b.txt", "soup")],
+        ),
+        ("desktop", vec![("c.txt", "database systems")]),
+    ] {
+        let fs = Arc::new(VirtualFs::new(t));
+        let dir = fs.mkdir_p("/docs", t).unwrap();
+        for (name, body) in files {
+            fs.create_file(dir, name, body.to_owned(), t).unwrap();
+        }
+        let mut system = Pdsms::new();
+        system.register_source(Arc::new(FsPlugin::new(fs, NodeId::ROOT)));
+        system.index_all().unwrap();
+        federation.add_peer(peer, system).unwrap();
+    }
+    federation
+}
+
+#[test]
+fn federation_wrappers_are_byte_identical_to_request_spellings() {
+    let fed = federation();
+    let iql = r#""database""#;
+
+    let old = fed.query(iql).expect("wrapper");
+    let new = fed.run(&QueryRequest::new(iql)).expect("request");
+    assert_eq!(old, new);
+    assert!(new.is_complete());
+
+    let budget = QueryBudget::with_deadline(std::time::Duration::from_secs(60));
+    let old = fed.query_budgeted(iql, budget).expect("wrapper");
+    let new = fed
+        .run(&QueryRequest::new(iql).budget(budget))
+        .expect("request");
+    assert_eq!(old.rows.len(), new.rows.len());
+    assert_eq!(
+        old.rows
+            .iter()
+            .map(|r| (&r.peer, r.vid))
+            .collect::<Vec<_>>(),
+        new.rows
+            .iter()
+            .map(|r| (&r.peer, r.vid))
+            .collect::<Vec<_>>(),
+    );
+
+    let old = fed.query_ranked(iql).expect("wrapper");
+    let new = fed.run(&QueryRequest::new(iql).ranked()).expect("request");
+    assert_eq!(old, new);
+    assert!(
+        new.rows.windows(2).all(|p| p[0].score >= p[1].score),
+        "ranked federation rows stay score-sorted"
+    );
+}

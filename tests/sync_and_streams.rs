@@ -9,7 +9,7 @@ use imemex::core::version::VersionLog;
 use imemex::email::message::EmailMessage;
 use imemex::email::ImapServer;
 use imemex::streams::{PushEngine, StreamWindow};
-use imemex::system::{FsPlugin, Pdsms, SynchronizationManager};
+use imemex::system::{FsPlugin, Pdsms, QueryRequest, SynchronizationManager};
 use imemex::vfs::{NodeId, VirtualFs};
 
 fn t() -> Timestamp {
@@ -39,19 +39,59 @@ fn filesystem_changes_flow_to_queries() {
     fs.create_file(dir, "new.tex", "\\section{Fresh}\nnew findings", t())
         .unwrap();
     sync.sync_round().unwrap();
-    assert_eq!(system.query(r#"//work//Fresh"#).unwrap().rows.len(), 1);
+    assert_eq!(
+        system
+            .run(&QueryRequest::new(r#"//work//Fresh"#))
+            .unwrap()
+            .result
+            .rows
+            .len(),
+        1
+    );
 
     let old = fs.resolve("/work/old.tex").unwrap();
     fs.write_file(old, "\\section{Renewed}\nfresh again", t().plus_days(1))
         .unwrap();
     sync.sync_round().unwrap();
-    assert_eq!(system.query(r#"//work//Old"#).unwrap().rows.len(), 0);
-    assert_eq!(system.query(r#"//work//Renewed"#).unwrap().rows.len(), 1);
+    assert_eq!(
+        system
+            .run(&QueryRequest::new(r#"//work//Old"#))
+            .unwrap()
+            .result
+            .rows
+            .len(),
+        0
+    );
+    assert_eq!(
+        system
+            .run(&QueryRequest::new(r#"//work//Renewed"#))
+            .unwrap()
+            .result
+            .rows
+            .len(),
+        1
+    );
 
     fs.remove(old).unwrap();
     sync.sync_round().unwrap();
-    assert_eq!(system.query(r#"//work//Renewed"#).unwrap().rows.len(), 0);
-    assert_eq!(system.query(r#"//old.tex"#).unwrap().rows.len(), 0);
+    assert_eq!(
+        system
+            .run(&QueryRequest::new(r#"//work//Renewed"#))
+            .unwrap()
+            .result
+            .rows
+            .len(),
+        0
+    );
+    assert_eq!(
+        system
+            .run(&QueryRequest::new(r#"//old.tex"#))
+            .unwrap()
+            .result
+            .rows
+            .len(),
+        0
+    );
 }
 
 #[test]
