@@ -38,6 +38,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod axml;
 pub mod class;
@@ -58,7 +59,10 @@ pub mod prelude {
     pub use crate::class::{builtin, ClassId, ClassRegistry, Constraints};
     pub use crate::content::{Content, ContentProvider, ContentReader, SymbolSource};
     pub use crate::durability::record::ChangeRecord;
-    pub use crate::durability::{CheckpointStats, DurabilityManager, RecoveryReport, SyncPolicy};
+    pub use crate::durability::{
+        CheckpointStats, DurabilityManager, RecoveryReport, ScrubBudget, ScrubReport, Scrubber,
+        SyncPolicy,
+    };
     pub use crate::error::{BudgetKind, IdmError, Result, SubstrateFaultKind};
     pub use crate::fault::{
         BreakerState, CancelToken, CircuitBreaker, FaultAction, FaultCounters, FaultInjector,

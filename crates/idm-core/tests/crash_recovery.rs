@@ -777,3 +777,107 @@ mod injected {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// ---- double faults --------------------------------------------------------
+//
+// A crash is allowed to strike while the system is *already* healing:
+// during the recovery replay of a previous crash, or during the
+// proactive checkpoint a scrub repair triggers. Both must still land on
+// an exact mutation prefix.
+
+/// Recovery's only persistent side effects are tail truncation and
+/// artifact quarantine, so a crash *during* replay leaves a dataspace
+/// that a second recovery must read to the identical prefix — recovery
+/// is idempotent.
+#[test]
+fn crash_during_recovery_replay_recovers_the_same_prefix_on_reboot() {
+    let ops = workload(SEED, 160);
+    let dir = tmp("double-recovery");
+    run_durable(&dir, &ops);
+
+    // Damage the log so the first recovery has real healing to do.
+    let wal_file = dir.join("wal-1.idmlog");
+    let mut wal = std::fs::read(&wal_file).unwrap();
+    let cut = wal.len() * 2 / 3;
+    wal[cut] ^= 0x40;
+    std::fs::write(&wal_file, &wal).unwrap();
+
+    let (first, _, _, report) =
+        DurabilityManager::open(&dir, SyncPolicy::WriteBack).expect("first recovery");
+    let prefix = report.records_replayed as usize;
+    assert!(prefix < 160, "the flip must cost at least the tail");
+    assert_same_state(&first, &reference(&ops, prefix), "first recovery");
+    drop(first); // crash again: replay finished, nothing new was written
+
+    let (second, _, _, again) =
+        DurabilityManager::open(&dir, SyncPolicy::WriteBack).expect("second recovery");
+    assert_eq!(again.records_replayed as usize, prefix, "prefix is stable");
+    assert_same_state(&second, &reference(&ops, prefix), "second recovery");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(feature = "fault-injection")]
+mod double_fault {
+    use super::*;
+    use idm_core::durability::{ScrubBudget, Scrubber};
+    use idm_core::fault::FaultPlan;
+
+    /// Byte-flip the newest snapshot, then kill the scrub-triggered
+    /// repair checkpoint between WAL rotation and the snapshot write —
+    /// and crash. The damaged snapshot is already quarantined, the old
+    /// snapshot plus the complete (rotated) WAL chain survive, so
+    /// recovery lands on every mutation. A second crash-and-reopen on
+    /// the result must agree.
+    #[test]
+    fn crash_during_scrub_repair_checkpoint_loses_no_mutation() {
+        let ops = workload(SEED, 160);
+        let dir = tmp("scrub-ckpt-crash");
+        let store = Arc::new(ViewStore::new());
+        let lineage = LineageGraph::new();
+        let (mut mgr, _) =
+            DurabilityManager::attach(&dir, &store, &lineage, SyncPolicy::WriteBack).unwrap();
+        for op in &ops[..120] {
+            apply(&store, op);
+        }
+        mgr.checkpoint(&store, &lineage)
+            .expect("healthy checkpoint");
+        for op in &ops[120..] {
+            apply(&store, op);
+        }
+
+        // Flip one byte of the newest snapshot (seq 2, written above).
+        let snap = dir.join("snap-2.idmsnap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        mgr.checkpoint_fault_point().install(FaultPlan::fail_n(1));
+        let mut scrubber = Scrubber::new(ScrubBudget::default());
+        let err = mgr.scrub_round(&store, &lineage, &mut scrubber);
+        assert!(err.is_err(), "the repair checkpoint must die mid-flight");
+        assert!(
+            !snap.exists(),
+            "the damaged snapshot was quarantined before the checkpoint"
+        );
+        drop(store);
+        drop(mgr); // crash: no shutdown path runs
+
+        let (recovered, _, _, report) =
+            DurabilityManager::open(&dir, SyncPolicy::WriteBack).expect("recovery");
+        assert_eq!(report.records_replayed, 160, "{report}");
+        assert_same_state(
+            &recovered,
+            &reference(&ops, 160),
+            "crash during scrub repair checkpoint",
+        );
+        drop(recovered);
+
+        // Double fault: crash again immediately after that recovery.
+        let (again, _, _, second) =
+            DurabilityManager::open(&dir, SyncPolicy::WriteBack).expect("second recovery");
+        assert_eq!(second.records_replayed, 160, "{second}");
+        assert_same_state(&again, &reference(&ops, 160), "second crash after repair");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

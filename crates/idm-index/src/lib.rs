@@ -21,7 +21,9 @@
 //! footprint so Table 3 (index sizes) can be regenerated.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod audit;
 pub mod bundle;
 pub mod catalog;
 pub mod fulltext;
@@ -33,6 +35,7 @@ pub mod segment;
 pub mod tokenizer;
 pub mod tuple;
 
+pub use audit::{audit, repair, AuditMemo, AuditMismatch, AuditReport, AuditScope};
 pub use bundle::{ContentIndexing, IndexBundle, IndexSizes};
 pub use catalog::{CatalogEntry, ResourceViewCatalog};
 pub use fulltext::FullTextIndex;

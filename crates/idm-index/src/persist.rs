@@ -514,6 +514,34 @@ pub fn from_bytes_with_epoch(bytes: &[u8]) -> io::Result<(IndexBundle, Option<u6
     Ok((bundle, Some(epoch)))
 }
 
+/// Integrity-checks an index artifact without materializing the bundle:
+/// magic plus, for `IDMIDX02`, the trailing FNV-1a-64 over every
+/// preceding byte — so any single-byte flip fails verification. Legacy
+/// `IDMIDX01` files carry no checksum and verify vacuously (the live
+/// system always writes v2). `Err(InvalidData)` means damaged.
+pub fn verify(path: &Path) -> io::Result<u64> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 {
+        return Err(Decoder::err("missing header"));
+    }
+    if &bytes[..8] == MAGIC {
+        return Ok(bytes.len() as u64);
+    }
+    if &bytes[..8] != MAGIC_V2 || bytes.len() < 16 {
+        return Err(Decoder::err("bad magic (not an iDM index file?)"));
+    }
+    let body_len = bytes.len() - 8;
+    let stored = u64::from_le_bytes(
+        bytes[body_len..]
+            .try_into()
+            .map_err(|_| Decoder::err("truncated checksum"))?,
+    );
+    if fnv1a64(&bytes[..body_len]) != stored {
+        return Err(Decoder::err("checksum mismatch (corrupt index file)"));
+    }
+    Ok(bytes.len() as u64)
+}
+
 /// Saves the bundle to a file atomically (sibling temp file + fsync +
 /// rename + directory fsync): a crash mid-save never corrupts an
 /// existing index.

@@ -616,6 +616,16 @@ impl QueryProcessor {
         }
     }
 
+    /// Resynchronizes a standing result that may have drifted (e.g.
+    /// after a failed maintenance pass): a counted full recompute that
+    /// re-executes the plan, re-seeds the maintained state and returns
+    /// the delta between the old rows and the fresh ones. After a
+    /// successful resync the standing rows are identical to a fresh
+    /// execution regardless of what state maintenance left behind.
+    pub fn resync(&self, standing: &mut MaintainedPlan) -> Result<ResultDelta> {
+        self.recompute_all(standing)
+    }
+
     /// The counted whole-plan fallback: re-execute (unbudgeted,
     /// capturing) and re-seed, diffing old rows against new.
     fn recompute_all(&self, standing: &mut MaintainedPlan) -> Result<ResultDelta> {

@@ -229,7 +229,7 @@ mod tests {
         let gate = gate(1, 4, 5_000);
         let permit = gate.admit(None).unwrap();
         let gate2 = Arc::clone(&gate);
-        let waiter = std::thread::spawn(move || gate2.admit(None).map(|p| drop(p)));
+        let waiter = std::thread::spawn(move || gate2.admit(None).map(drop));
         // Give the waiter time to enter the queue, then free the slot.
         while gate.snapshot().queued == 0 {
             std::thread::yield_now();

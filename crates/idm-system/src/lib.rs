@@ -27,19 +27,23 @@
 pub mod converter;
 pub mod federation;
 pub mod govern;
+pub mod health;
 pub mod live;
 pub mod rvm;
+pub mod sim;
 pub mod source;
 pub mod sync;
 
 pub use converter::{Content2IdmConverter, ConverterRegistry};
 pub use federation::{FederatedResult, FederatedRow, Federation};
 pub use govern::{AdmissionGate, AdmissionPermit, AdmissionSnapshot, GovernorConfig};
+pub use health::{HealthConfig, HealthMonitor, HealthReport, HealthStats, IndexArtifactOutcome};
 pub use idm_query::{QueryRequest, QueryResponse};
 pub use live::{LiveQuery, LiveStats, SubscriptionRegistry};
 pub use rvm::{
     BulkIngestOptions, IngestReport, IngestThroughput, ResourceViewManager, SourceIngestStats,
 };
+pub use sim::{run_sim, SimConfig, SimCounters, SimOutcome};
 pub use source::{DataSourcePlugin, FsPlugin, ImapPlugin, Ingestion, RssPlugin};
 pub use sync::{ImapSynchronizationManager, SyncCoordinator, SyncDriver, SynchronizationManager};
 

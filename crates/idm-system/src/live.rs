@@ -76,7 +76,16 @@ impl LiveQuery {
 struct Subscription {
     standing: MaintainedPlan,
     tx: Sender<ResultDelta>,
+    /// Maintenance failures since the last successful pass; reset by
+    /// any success (including a successful resync).
+    consecutive_failures: u32,
 }
+
+/// How many *consecutive* failed maintenance passes (each including its
+/// resync attempt) a subscription survives before it is dropped. A
+/// transient substrate fault costs a counted resync, not the
+/// subscription; only persistent failure ends it.
+pub const MAX_CONSECUTIVE_MAINTENANCE_FAILURES: u32 = 3;
 
 /// Counter totals for a system's live queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -87,9 +96,13 @@ pub struct LiveStats {
     pub deltas_pushed: u64,
     /// Change records applied across all subscriptions.
     pub records_applied: u64,
-    /// Subscriptions dropped because maintenance failed.
+    /// Maintenance passes that failed (each triggers a resync attempt).
     pub maintain_failures: u64,
-    /// Subscriptions pruned (handle dropped or maintenance failed).
+    /// Standing results rebuilt by a counted full recompute after a
+    /// failed maintenance pass.
+    pub resyncs: u64,
+    /// Subscriptions pruned (handle dropped, or maintenance failed
+    /// [`MAX_CONSECUTIVE_MAINTENANCE_FAILURES`] times in a row).
     pub dropped: u64,
 }
 
@@ -103,7 +116,31 @@ pub struct SubscriptionRegistry {
     deltas_pushed: AtomicU64,
     records_applied: AtomicU64,
     maintain_failures: AtomicU64,
+    resyncs: AtomicU64,
     dropped: AtomicU64,
+    /// Deterministic failure injection for tests and the chaos
+    /// simulator: each pending count fails one maintenance (or resync)
+    /// call.
+    #[cfg(any(test, feature = "fault-injection"))]
+    inject_maintain_failures: AtomicU64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    inject_resync_failures: AtomicU64,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+fn take_one(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+fn injected_error(op: &str) -> IdmError {
+    IdmError::Provider {
+        detail: format!("injected {op} failure"),
+        source: Some("live".into()),
+        vid: None,
+    }
 }
 
 impl SubscriptionRegistry {
@@ -115,7 +152,12 @@ impl SubscriptionRegistry {
             deltas_pushed: AtomicU64::new(0),
             records_applied: AtomicU64::new(0),
             maintain_failures: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            inject_maintain_failures: AtomicU64::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            inject_resync_failures: AtomicU64::new(0),
         }
     }
 
@@ -140,7 +182,11 @@ impl SubscriptionRegistry {
         };
         let (tx, rx) = unbounded();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.subs.lock().push(Subscription { standing, tx });
+        self.subs.lock().push(Subscription {
+            standing,
+            tx,
+            consecutive_failures: 0,
+        });
         Ok(LiveQuery {
             id,
             initial: result,
@@ -155,34 +201,82 @@ impl SubscriptionRegistry {
         let mut subs = self.subs.lock();
         self.records_applied
             .fetch_add((records.len() * subs.len()) as u64, Ordering::Relaxed);
-        subs.retain_mut(
-            |sub| match self.processor.maintain(&mut sub.standing, records) {
-                Ok(delta) => {
-                    // An empty delta keeps the subscription as-is; a
-                    // dropped handle is noticed (and pruned) on its
-                    // next non-empty push.
-                    if delta.is_empty() {
-                        return true;
-                    }
-                    self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
-                    if sub.tx.send(delta).is_ok() {
-                        true
-                    } else {
-                        self.dropped.fetch_add(1, Ordering::Relaxed);
-                        false
-                    }
+        subs.retain_mut(|sub| {
+            // After a failed pass the standing rows are suspect:
+            // incremental maintenance would build on bad state, so go
+            // straight to a resync until one succeeds.
+            let maintained = if sub.consecutive_failures > 0 {
+                None
+            } else {
+                #[cfg(any(test, feature = "fault-injection"))]
+                let result = if take_one(&self.inject_maintain_failures) {
+                    Err(injected_error("maintain"))
+                } else {
+                    self.processor.maintain(&mut sub.standing, records)
+                };
+                #[cfg(not(any(test, feature = "fault-injection")))]
+                let result = self.processor.maintain(&mut sub.standing, records);
+                Some(result)
+            };
+
+            let delta = match maintained {
+                Some(Ok(delta)) => {
+                    sub.consecutive_failures = 0;
+                    delta
                 }
-                Err(_) => {
+                failed => {
                     // Maintenance failed (e.g. a full recompute hit a
                     // substrate fault): the standing rows can no longer
-                    // be trusted, so the subscription ends rather than
-                    // serving stale results as live.
-                    self.maintain_failures.fetch_add(1, Ordering::Relaxed);
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                    false
+                    // be trusted as-is, so resynchronize them with a
+                    // counted full recompute instead of dropping the
+                    // subscription outright.
+                    if failed.is_some() {
+                        self.maintain_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    let resynced = if take_one(&self.inject_resync_failures) {
+                        Err(injected_error("resync"))
+                    } else {
+                        self.processor.resync(&mut sub.standing)
+                    };
+                    #[cfg(not(any(test, feature = "fault-injection")))]
+                    let resynced = self.processor.resync(&mut sub.standing);
+
+                    match resynced {
+                        Ok(delta) => {
+                            sub.consecutive_failures = 0;
+                            self.resyncs.fetch_add(1, Ordering::Relaxed);
+                            delta
+                        }
+                        Err(_) => {
+                            // Even the full recompute failed. Keep the
+                            // subscription for a few more rounds — the
+                            // fault may be transient — but drop it once
+                            // failure is persistent: stale rows must
+                            // not keep masquerading as live.
+                            sub.consecutive_failures += 1;
+                            if sub.consecutive_failures >= MAX_CONSECUTIVE_MAINTENANCE_FAILURES {
+                                self.dropped.fetch_add(1, Ordering::Relaxed);
+                                return false;
+                            }
+                            return true;
+                        }
+                    }
                 }
-            },
-        );
+            };
+            // An empty delta keeps the subscription as-is; a dropped
+            // handle is noticed (and pruned) on its next non-empty push.
+            if delta.is_empty() {
+                return true;
+            }
+            self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
+            if sub.tx.send(delta).is_ok() {
+                true
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        });
     }
 
     fn stats(&self) -> LiveStats {
@@ -191,8 +285,21 @@ impl SubscriptionRegistry {
             deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
             records_applied: self.records_applied.load(Ordering::Relaxed),
             maintain_failures: self.maintain_failures.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Arms deterministic maintenance-failure injection: the next
+    /// `maintain` failing-calls and `resync` failing-calls each error.
+    /// Tests and the chaos simulator use this to exercise the
+    /// resync-then-drop path without a real substrate fault.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn inject_failures(&self, maintain: u64, resync: u64) {
+        self.inject_maintain_failures
+            .fetch_add(maintain, Ordering::Relaxed);
+        self.inject_resync_failures
+            .fetch_add(resync, Ordering::Relaxed);
     }
 }
 
@@ -259,6 +366,13 @@ impl Pdsms {
             Some(state) => state.registry.stats(),
             None => LiveStats::default(),
         }
+    }
+
+    /// Arms deterministic live-maintenance failure injection (see
+    /// [`SubscriptionRegistry::inject_failures`]).
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn inject_live_failures(&self, maintain: u64, resync: u64) {
+        self.live_state().registry.inject_failures(maintain, resync);
     }
 }
 
@@ -365,6 +479,76 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("partial"), "{err}");
         assert_eq!(system.live_stats().active, 0);
+    }
+
+    #[test]
+    fn failed_maintenance_resyncs_instead_of_dropping() {
+        let (fs, system, sync) = system_with_file("a.txt", "database tuning");
+        let live = system
+            .subscribe(&QueryRequest::new(r#""database""#))
+            .unwrap();
+        assert_eq!(system.live_stats().active, 1);
+
+        // The next maintenance pass fails; the resync succeeds and the
+        // subscription survives with correct rows.
+        system.inject_live_failures(1, 0);
+        let dir = fs.resolve("/docs").unwrap();
+        fs.create_file(dir, "b.txt", "database extras", t())
+            .unwrap();
+        sync.sync_round().unwrap();
+        system.pump_subscriptions();
+
+        let stats = system.live_stats();
+        assert_eq!(stats.active, 1, "subscription survived the failure");
+        assert_eq!(stats.maintain_failures, 1);
+        assert_eq!(stats.resyncs, 1);
+        assert_eq!(stats.dropped, 0);
+        // The resync delta carries the new row; totals match a fresh run.
+        let deltas = live.poll();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].added.len(), 1);
+        let fresh = system.run(&QueryRequest::new(r#""database""#)).unwrap();
+        assert_eq!(deltas[0].total, fresh.result.rows.len());
+
+        // And the subscription keeps maintaining normally afterwards.
+        fs.create_file(dir, "c.txt", "database more", t()).unwrap();
+        sync.sync_round().unwrap();
+        system.pump_subscriptions();
+        assert_eq!(live.poll().len(), 1);
+        assert_eq!(system.live_stats().active, 1);
+    }
+
+    #[test]
+    fn persistent_failure_drops_only_after_the_limit() {
+        let (fs, system, sync) = system_with_file("a.txt", "database tuning");
+        let live = system
+            .subscribe(&QueryRequest::new(r#""database""#))
+            .unwrap();
+
+        // Fail maintenance once and every resync attempt: pass 1 is
+        // maintain-fail + resync-fail, passes 2..N go straight to the
+        // (failing) resync. Only after MAX consecutive failures is the
+        // subscription dropped.
+        let max = u64::from(MAX_CONSECUTIVE_MAINTENANCE_FAILURES);
+        system.inject_live_failures(1, max);
+        let dir = fs.resolve("/docs").unwrap();
+        for round in 0..MAX_CONSECUTIVE_MAINTENANCE_FAILURES {
+            assert_eq!(
+                system.live_stats().active,
+                1,
+                "still alive before round {round}"
+            );
+            let name = format!("f{round}.txt");
+            fs.create_file(dir, &name, "database row", t()).unwrap();
+            sync.sync_round().unwrap();
+            system.pump_subscriptions();
+        }
+        let stats = system.live_stats();
+        assert_eq!(stats.active, 0, "dropped after {max} consecutive failures");
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.maintain_failures, 1, "only the first pass maintained");
+        assert_eq!(stats.resyncs, 0);
+        drop(live);
     }
 
     #[test]

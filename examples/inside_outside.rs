@@ -69,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Without the PIM constraint, the OLAP decoy's Introduction also
     // matches the *name*, but not the phrase:
     let all_intros = system
-        .run(&QueryRequest::new(r#"//Introduction[class="latex_section"]"#))?
+        .run(&QueryRequest::new(
+            r#"//Introduction[class="latex_section"]"#,
+        ))?
         .result;
     println!(
         "\nAll Introduction sections in the dataspace: {}",

@@ -15,9 +15,13 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Instant;
 
+use imemex::core::durability::{ScrubBudget, Scrubber};
 use imemex::dataset::{generate, DatasetConfig};
 use imemex::query::{ExpansionStrategy, QueryBudget, QueryProcessor, QueryRequest};
-use imemex::system::{FsPlugin, GovernorConfig, ImapPlugin, LiveQuery, Pdsms, RssPlugin};
+use imemex::system::{
+    FsPlugin, GovernorConfig, HealthConfig, HealthMonitor, ImapPlugin, IndexArtifactOutcome,
+    LiveQuery, Pdsms, RssPlugin,
+};
 use imemex::vfs::NodeId;
 
 struct Shell {
@@ -30,6 +34,9 @@ struct Shell {
     budget: QueryBudget,
     /// Standing queries registered with `\subscribe`, polled by `\live`.
     subscriptions: Vec<(String, LiveQuery)>,
+    /// Scrub/audit orchestrator behind `\health` (cursor and audit
+    /// memo persist across commands, like a background thread's would).
+    monitor: HealthMonitor,
 }
 
 impl Shell {
@@ -71,6 +78,7 @@ impl Shell {
             processor,
             budget: QueryBudget::none(),
             subscriptions: Vec::new(),
+            monitor: HealthMonitor::new(HealthConfig::default()),
         }
     }
 
@@ -325,6 +333,7 @@ impl Shell {
                     self.system = system;
                     self.processor = self.system.query_processor();
                     self.processor.set_expansion(self.strategy);
+                    self.monitor = HealthMonitor::new(HealthConfig::default());
                 }
                 Err(e) => println!("error: {e}"),
             }
@@ -353,6 +362,54 @@ impl Shell {
         }
     }
 
+    /// `\health`: one budgeted scrub/audit round plus cumulative totals.
+    fn health(&mut self) {
+        match self.monitor.round(&self.system) {
+            Ok(report) => {
+                println!("{report}");
+                let totals = self.monitor.stats();
+                println!(
+                    "totals: {} round(s), {} bytes verified, {} finding(s), {} quarantined, \
+                     {} repair checkpoint(s), {} view(s) audited, {} index repair(s)",
+                    totals.rounds,
+                    totals.bytes_verified,
+                    totals.findings,
+                    totals.quarantined,
+                    totals.repair_checkpoints,
+                    totals.views_audited,
+                    totals.index_repaired
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `\scrub`: one full (unbudgeted) integrity pass over every
+    /// durable artifact, with quarantine-and-repair on damage.
+    fn scrub(&self) {
+        if !self.system.is_durable() {
+            println!("dataspace is in-memory — \\open <dir> makes it durable first");
+            return;
+        }
+        let mut scrubber = Scrubber::new(ScrubBudget::default());
+        match self.system.scrub_round(&mut scrubber) {
+            Ok(report) => println!("{report}"),
+            Err(e) => println!("error: {e}"),
+        }
+        match self.system.scrub_index_artifact() {
+            Ok(Some(IndexArtifactOutcome::Clean { bytes })) => {
+                println!("index artifact clean ({bytes} bytes)")
+            }
+            Ok(Some(IndexArtifactOutcome::Repaired { quarantined })) => println!(
+                "index artifact DAMAGED -> quarantined at {} and rewritten",
+                quarantined.display()
+            ),
+            Ok(Some(IndexArtifactOutcome::Missing)) => println!("no index artifact on disk"),
+            Ok(None) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
     fn stats(&self) {
         let sizes = self.system.indexes().sizes();
         let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
@@ -374,8 +431,14 @@ impl Shell {
         );
         let live = self.system.live_stats();
         println!(
-            "live queries:     {} active, {} delta(s) pushed, {} record(s) applied",
-            live.active, live.deltas_pushed, live.records_applied
+            "live queries:     {} active, {} delta(s) pushed, {} record(s) applied, \
+             {} failed maintenance pass(es), {} resync(s), {} dropped",
+            live.active,
+            live.deltas_pushed,
+            live.records_applied,
+            live.maintain_failures,
+            live.resyncs,
+            live.dropped
         );
         println!("budget:           {}", self.describe_budget());
         match self.system.governor_stats() {
@@ -409,6 +472,9 @@ commands:
   \\open <dir>           open a durable dataspace (prints the recovery
                         report), or make this one durable in a new dir
   \\checkpoint           fold the write-ahead log into a fresh snapshot
+  \\scrub                full integrity pass over snapshots, WAL and the
+                        index artifact; damage is quarantined + repaired
+  \\health               one budgeted scrub/audit round + running totals
   \\budget [k=v …]       per-query resource budget: deadline=<ms> rows=<n>
                         nodes=<n> bytes=<n> partial|strict|off
   \\governor [c q ms]    enable admission control (max concurrent, max
@@ -468,6 +534,8 @@ fn main() {
                 }
                 "open" => shell.open_dataspace(arg.trim()),
                 "checkpoint" => shell.checkpoint(),
+                "health" => shell.health(),
+                "scrub" => shell.scrub(),
                 "budget" => shell.set_budget_cmd(arg),
                 "governor" => shell.governor_cmd(arg),
                 "subscribe" => shell.subscribe_cmd(arg.trim()),
